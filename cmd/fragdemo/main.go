@@ -1,0 +1,45 @@
+// Command fragdemo is a quick interactive view of the fragmentation
+// story: it runs Fragbench W1-W4 against a classic allocator and both
+// NVAlloc variants (with and without slab morphing) and prints the peak
+// memory each needs to keep the same live set.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nvalloc/internal/experiment"
+	"nvalloc/internal/workload"
+)
+
+func main() {
+	liveMiB := flag.Uint64("live", 24, "live-set bound in MiB")
+	flag.Parse()
+
+	cfg := experiment.Config{DeviceBytes: 1 << 30}
+	fc := workload.FragConfig{LiveBytes: *liveMiB << 20, Threads: 1}
+	names := []string{"PMDK", "Makalu", "NVAlloc-LOG w/o SM", "NVAlloc-LOG"}
+
+	fmt.Printf("Fragbench: live set %d MiB, churn %d MiB per phase\n\n", *liveMiB, 5**liveMiB)
+	fmt.Printf("%-10s", "workload")
+	for _, n := range names {
+		fmt.Printf("  %-20s", n)
+	}
+	fmt.Println()
+	for _, spec := range workload.FragSpecs {
+		fmt.Printf("%-10s", spec.Name)
+		for _, name := range names {
+			h, err := experiment.OpenHeap(name, cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fragdemo:", err)
+				os.Exit(1)
+			}
+			r := workload.Fragbench(h, spec, fc)
+			fmt.Printf("  %-20s", fmt.Sprintf("%.1f MiB (%.2fx)",
+				float64(r.PeakBytes)/(1<<20), float64(r.PeakBytes)/float64(fc.LiveBytes)))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nPeak divided by live set: lower is better; 1.0x is perfect.")
+}

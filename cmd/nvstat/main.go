@@ -1,0 +1,146 @@
+// Command nvstat inspects an NVAlloc heap image (the pmempool of this
+// repository): it prints the superblock, per-size-class slab population
+// and utilization, large-extent statistics, bookkeeping-log state and the
+// live object count, either for a freshly generated demo heap or for an
+// image file previously written with Device.SaveImage.
+//
+// Usage:
+//
+//	nvstat -demo                # build a demo heap and inspect it
+//	nvstat -image heap.img -size 268435456
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"nvalloc"
+	"nvalloc/internal/core"
+	"nvalloc/internal/sizeclass"
+)
+
+func main() {
+	var (
+		image = flag.String("image", "", "heap image file written by Device.SaveImage")
+		size  = flag.Uint64("size", 256<<20, "device size in bytes (must match the image)")
+		demo  = flag.Bool("demo", false, "generate a demo heap instead of loading an image")
+	)
+	flag.Parse()
+
+	dev := nvalloc.NewDevice(nvalloc.DeviceConfig{Size: *size})
+	var heap *nvalloc.Heap
+	switch {
+	case *demo:
+		heap = buildDemo(dev)
+	case *image != "":
+		if err := dev.LoadImage(*image); err != nil {
+			fatal(err)
+		}
+		h, ns, err := nvalloc.Open(dev, nvalloc.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("opened image %s (recovery: %.2f ms virtual)\n\n", *image, float64(ns)/1e6)
+		heap = h
+	default:
+		fmt.Fprintln(os.Stderr, "nvstat: need -demo or -image <file>")
+		os.Exit(2)
+	}
+
+	inspect(heap)
+}
+
+func buildDemo(dev *nvalloc.Device) *nvalloc.Heap {
+	heap, err := nvalloc.Create(dev, nvalloc.Options{Variant: nvalloc.IC})
+	if err != nil {
+		fatal(err)
+	}
+	th := heap.NewThread()
+	defer th.Close()
+	for i := 0; i < 20000; i++ {
+		p, err := th.Malloc(uint64(16 + i%800))
+		if err != nil {
+			fatal(err)
+		}
+		if i%3 == 0 {
+			if err := th.Free(p); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := th.Malloc(256 << 10); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Println("generated demo heap (NVAlloc-IC)")
+	return heap
+}
+
+func inspect(heap *nvalloc.Heap) {
+	opts := heap.Options()
+	fmt.Printf("variant:          %v\n", opts.Variant)
+	fmt.Printf("arenas:           %d\n", opts.Arenas)
+	fmt.Printf("stripes:          %d (bitmap IM %v, tcache IM %v, WAL IM %v)\n",
+		opts.Stripes, opts.InterleaveBitmap, opts.InterleaveTcache, opts.InterleaveWAL)
+	fmt.Printf("slab morphing:    %v (SU %.0f%%)\n", opts.Morphing, opts.SU*100)
+	fmt.Printf("bookkeeping:      log=%v\n", opts.LogBookkeeping)
+	fmt.Printf("used:             %.1f MiB (peak %.1f MiB)\n",
+		float64(heap.Used())/(1<<20), float64(heap.Peak())/(1<<20))
+	splits, coalesces, grows := heap.LargeStats()
+	fmt.Printf("extent ops:       %d splits, %d coalesces, %d chunk grows\n", splits, coalesces, grows)
+	morphs, refusals := heap.MorphStats()
+	fmt.Printf("morphs:           %d (refused candidates: %d)\n", morphs, refusals)
+	if bl := heap.Blog(); bl != nil {
+		fast, slow := bl.GCCounts()
+		fmt.Printf("bookkeeping log:  %d live entries, %d active chunks, %d free; GC fast=%d slow=%d\n",
+			bl.Live(), bl.ActiveChunks(), bl.FreeChunks(), fast, slow)
+	}
+	b := heap.SlabUtilization()
+	fmt.Printf("slab utilization: %d slabs <30%%, %d in 30-70%%, %d >70%%\n", b[0], b[1], b[2])
+
+	// Live-object census via the internal-collection iterator.
+	type classStat struct {
+		count int
+		bytes uint64
+	}
+	perSize := map[uint64]*classStat{}
+	var objects, largeObjects int
+	var liveBytes uint64
+	heap.Objects(func(o core.Object) bool {
+		objects++
+		liveBytes += o.Size
+		if !o.Slab {
+			largeObjects++
+		}
+		cs := perSize[o.Size]
+		if cs == nil {
+			cs = &classStat{}
+			perSize[o.Size] = cs
+		}
+		cs.count++
+		cs.bytes += o.Size
+		return true
+	})
+	fmt.Printf("live objects:     %d (%d large), %.1f MiB payload\n\n",
+		objects, largeObjects, float64(liveBytes)/(1<<20))
+
+	var sizes []uint64
+	for s := range perSize {
+		sizes = append(sizes, s)
+	}
+	sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+	fmt.Printf("%-12s %-10s %-12s\n", "size", "objects", "bytes")
+	for _, s := range sizes {
+		cs := perSize[s]
+		fmt.Printf("%-12d %-10d %-12d\n", s, cs.count, cs.bytes)
+	}
+	_ = sizeclass.NumClasses()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nvstat:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+// hashindex: a persistent hash index (internal/phash) as a session store.
+// Loads sessions, crashes, recovers in O(1) (the index needs no rebuild —
+// buckets are persistent), and verifies every committed session.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nvalloc"
+	"nvalloc/internal/phash"
+)
+
+func main() {
+	dev := nvalloc.NewDevice(nvalloc.DeviceConfig{Size: 512 << 20, Strict: true})
+	heap, err := nvalloc.Create(dev, nvalloc.Options{Variant: nvalloc.LOG})
+	if err != nil {
+		log.Fatal(err)
+	}
+	th := heap.NewThread()
+
+	idx, err := phash.Create(heap.Heap, th, 0, 4096, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Store 100k sessions: key = session ID, value = user ID.
+	const sessions = 100000
+	for sid := uint64(0); sid < sessions; sid++ {
+		if err := idx.Put(th, sid, sid%977); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Expire a third of them.
+	expired := 0
+	for sid := uint64(0); sid < sessions; sid += 3 {
+		ok, err := idx.Delete(th, sid)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if ok {
+			expired++
+		}
+	}
+	fmt.Printf("stored %d sessions, expired %d, live %d\n", sessions, expired, idx.Len())
+	th.Ctx().Merge()
+
+	dev.Crash()
+	fmt.Println("-- crash --")
+
+	heap2, ns, err := nvalloc.Open(dev, nvalloc.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	th2 := heap2.NewThread()
+	idx2, err := phash.Open(heap2.Heap, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovered in %.2f ms virtual time; index attached with no rebuild\n", float64(ns)/1e6)
+
+	bad := 0
+	for sid := uint64(0); sid < sessions; sid++ {
+		v, ok := idx2.Get(th2, sid)
+		if sid%3 == 0 {
+			if ok {
+				bad++
+			}
+		} else if !ok || v != sid%977 {
+			bad++
+		}
+	}
+	if bad != 0 {
+		log.Fatalf("%d sessions corrupted", bad)
+	}
+	fmt.Printf("all %d live sessions verified after crash\n", idx2.Len())
+	th2.Close()
+	if err := heap2.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module nvalloc
+
+go 1.22

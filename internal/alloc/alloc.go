@@ -1,0 +1,80 @@
+// Package alloc defines the allocator-neutral interface shared by NVAlloc
+// and the five baseline persistent allocators, so that every benchmark and
+// application in this repository can run against any of them.
+package alloc
+
+import (
+	"errors"
+
+	"nvalloc/internal/pmem"
+)
+
+// Common allocator errors.
+var (
+	// ErrOutOfMemory is returned when the device cannot satisfy a request.
+	ErrOutOfMemory = errors.New("alloc: out of persistent memory")
+	// ErrBadAddress is returned when freeing an address the allocator does
+	// not recognize as allocated.
+	ErrBadAddress = errors.New("alloc: address was not allocated")
+	// ErrBadSize is returned for zero or over-large request sizes.
+	ErrBadSize = errors.New("alloc: invalid allocation size")
+	// ErrClosed is returned when using a closed heap.
+	ErrClosed = errors.New("alloc: heap is closed")
+)
+
+// Thread is a per-worker allocation handle. A Thread must be used by a
+// single goroutine; its Ctx carries the worker's virtual clock.
+type Thread interface {
+	// Malloc allocates size bytes and returns its persistent address.
+	Malloc(size uint64) (pmem.PAddr, error)
+	// Free releases a previously allocated block or extent.
+	Free(addr pmem.PAddr) error
+	// MallocTo atomically allocates size bytes and persists the result's
+	// address into the persistent pointer slot at slot, so that a crash
+	// leaves either no allocation or a reachable one (the paper's
+	// nvalloc_malloc_to).
+	MallocTo(slot pmem.PAddr, size uint64) (pmem.PAddr, error)
+	// FreeFrom atomically frees the block referenced by the persistent
+	// pointer slot and clears the slot (the paper's nvalloc_free_from).
+	FreeFrom(slot pmem.PAddr) error
+	// Ctx exposes the worker's pmem context for instrumentation.
+	Ctx() *pmem.Ctx
+	// Close merges the thread's statistics into the device and returns
+	// cached blocks where the allocator supports it.
+	Close()
+}
+
+// Heap is a persistent heap instance bound to a device.
+type Heap interface {
+	// NewThread registers a worker with the heap.
+	NewThread() Thread
+	// Device returns the underlying persistent memory device.
+	Device() *pmem.Device
+	// RootSlot returns the persistent address of root pointer slot i.
+	// Roots anchor application data across restarts and are the scan
+	// origins for GC-based recovery.
+	RootSlot(i int) pmem.PAddr
+	// Used returns the bytes of persistent memory currently committed to
+	// live data, metadata regions and partially used slabs (the paper's
+	// "memory consumption").
+	Used() uint64
+	// Peak returns the high-water mark of Used since creation or the last
+	// ResetPeak.
+	Peak() uint64
+	// ResetPeak restarts peak tracking from the current usage.
+	ResetPeak()
+	// Close performs a normal shutdown (persisting the clean-shutdown
+	// flag where the allocator has one).
+	Close() error
+}
+
+// Recoverable is implemented by heaps that support post-crash recovery.
+type Recoverable interface {
+	// Recover rebuilds volatile metadata from the device's persistent
+	// image and resolves leaks per the allocator's consistency model.
+	// It returns the virtual nanoseconds the recovery consumed.
+	Recover() (int64, error)
+}
+
+// NumRootSlots is how many persistent root pointers every heap provides.
+const NumRootSlots = 64

@@ -1,0 +1,148 @@
+package alloc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"nvalloc/internal/pmem"
+)
+
+// Checker wraps a Heap and verifies allocator invariants online: no two
+// live allocations overlap, frees match a previous allocation exactly,
+// and no allocation escapes the device. It is used by stress tests and
+// is allocator-agnostic.
+type Checker struct {
+	Heap
+	mu   sync.Mutex
+	live map[pmem.PAddr]uint64 // addr -> requested size
+	errs []string
+}
+
+// NewChecker wraps h.
+func NewChecker(h Heap) *Checker {
+	return &Checker{Heap: h, live: make(map[pmem.PAddr]uint64)}
+}
+
+// Errors returns every invariant violation observed so far.
+func (c *Checker) Errors() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.errs...)
+}
+
+// LiveCount returns the number of live allocations.
+func (c *Checker) LiveCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.live)
+}
+
+func (c *Checker) fail(format string, args ...any) {
+	c.errs = append(c.errs, fmt.Sprintf(format, args...))
+}
+
+func (c *Checker) noteAlloc(p pmem.PAddr, size uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p == pmem.Null {
+		c.fail("allocation returned null for size %d", size)
+		return
+	}
+	if uint64(p)+size > c.Device().Size() {
+		c.fail("allocation [%#x,+%d) escapes the device", p, size)
+	}
+	if prev, ok := c.live[p]; ok {
+		c.fail("address %#x returned twice (live size %d)", p, prev)
+		return
+	}
+	// Overlap check against neighbours (live is address-keyed; scan the
+	// closest entries). A full interval tree is overkill for tests.
+	for a, sz := range c.live {
+		if p < a+pmem.PAddr(sz) && a < p+pmem.PAddr(size) {
+			c.fail("allocation [%#x,+%d) overlaps live [%#x,+%d)", p, size, a, sz)
+			break
+		}
+	}
+	c.live[p] = size
+}
+
+func (c *Checker) noteFree(p pmem.PAddr) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.live[p]; !ok {
+		c.fail("free of address %#x that is not live", p)
+		return false
+	}
+	delete(c.live, p)
+	return true
+}
+
+// NewThread wraps the underlying heap's thread with checking.
+func (c *Checker) NewThread() Thread {
+	return &checkedThread{Thread: c.Heap.NewThread(), c: c}
+}
+
+// Snapshot returns the live set sorted by address (for post-recovery
+// comparison).
+func (c *Checker) Snapshot() []pmem.PAddr {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]pmem.PAddr, 0, len(c.live))
+	for a := range c.live {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+type checkedThread struct {
+	Thread
+	c *Checker
+}
+
+func (t *checkedThread) Malloc(size uint64) (pmem.PAddr, error) {
+	p, err := t.Thread.Malloc(size)
+	if err == nil {
+		t.c.noteAlloc(p, size)
+	}
+	return p, err
+}
+
+func (t *checkedThread) Free(addr pmem.PAddr) error {
+	// Deregister BEFORE the underlying free: once the allocator releases
+	// the block, another thread may legally receive the same address, and
+	// its noteAlloc must not race with our deregistration.
+	known := t.c.noteFree(addr)
+	err := t.Thread.Free(addr)
+	if err != nil && known {
+		// The free failed; restore the registration.
+		t.c.mu.Lock()
+		t.c.live[addr] = 0
+		t.c.mu.Unlock()
+	}
+	return err
+}
+
+func (t *checkedThread) MallocTo(slot pmem.PAddr, size uint64) (pmem.PAddr, error) {
+	p, err := t.Thread.MallocTo(slot, size)
+	if err == nil {
+		t.c.noteAlloc(p, size)
+	}
+	return p, err
+}
+
+func (t *checkedThread) FreeFrom(slot pmem.PAddr) error {
+	addr := pmem.PAddr(t.c.Device().ReadU64(slot))
+	known := false
+	if addr != pmem.Null {
+		known = t.c.noteFree(addr)
+	}
+	err := t.Thread.FreeFrom(slot)
+	if err != nil && known {
+		t.c.mu.Lock()
+		t.c.live[addr] = 0
+		t.c.mu.Unlock()
+	}
+	return err
+}

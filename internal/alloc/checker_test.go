@@ -1,0 +1,83 @@
+package alloc_test
+
+import (
+	"testing"
+
+	"nvalloc/internal/alloc"
+	"nvalloc/internal/core"
+	"nvalloc/internal/pmem"
+)
+
+func TestCheckerDetectsViolationsAndPassesCleanUse(t *testing.T) {
+	dev := pmem.New(pmem.Config{Size: 64 << 20})
+	h, err := core.Create(dev, core.DefaultOptions(core.LOG))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := alloc.NewChecker(h)
+	th := c.NewThread()
+	defer th.Close()
+
+	p1, err := th.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := th.MallocTo(c.RootSlot(0), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = p2
+	if c.LiveCount() != 2 {
+		t.Fatalf("live %d", c.LiveCount())
+	}
+	if err := th.Free(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.FreeFrom(c.RootSlot(0)); err != nil {
+		t.Fatal(err)
+	}
+	if errs := c.Errors(); len(errs) != 0 {
+		t.Fatalf("clean usage reported violations: %v", errs)
+	}
+	if c.LiveCount() != 0 {
+		t.Fatal("live set not drained")
+	}
+	if got := c.Snapshot(); len(got) != 0 {
+		t.Fatal("snapshot should be empty")
+	}
+}
+
+// brokenHeap returns overlapping allocations to prove the checker works.
+type brokenThread struct {
+	alloc.Thread
+	n int
+}
+
+func (b *brokenThread) Malloc(size uint64) (pmem.PAddr, error) {
+	b.n++
+	if b.n > 1 {
+		return 0x10000, nil // same address every time
+	}
+	return 0x10000, nil
+}
+
+type brokenHeap struct{ alloc.Heap }
+
+func (b *brokenHeap) NewThread() alloc.Thread {
+	return &brokenThread{Thread: b.Heap.NewThread()}
+}
+
+func TestCheckerCatchesDoubleHandout(t *testing.T) {
+	dev := pmem.New(pmem.Config{Size: 64 << 20})
+	h, err := core.Create(dev, core.DefaultOptions(core.LOG))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := alloc.NewChecker(&brokenHeap{h})
+	th := c.NewThread()
+	_, _ = th.Malloc(64)
+	_, _ = th.Malloc(64)
+	if len(c.Errors()) == 0 {
+		t.Fatal("checker missed a double handout")
+	}
+}

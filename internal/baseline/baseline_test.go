@@ -1,0 +1,385 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"nvalloc/internal/alloc"
+	"nvalloc/internal/pmem"
+)
+
+var allConfigs = []Config{PMDK, NvmMalloc, PAllocator, Makalu, Ralloc}
+
+func newBaseHeap(t *testing.T, cfg Config) (*pmem.Device, *Heap) {
+	t.Helper()
+	dev := pmem.New(pmem.Config{Size: 128 << 20, Strict: true})
+	h, err := New(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev, h
+}
+
+func TestAllBaselinesBasicOps(t *testing.T) {
+	for _, cfg := range allConfigs {
+		t.Run(cfg.Name, func(t *testing.T) {
+			dev, h := newBaseHeap(t, cfg)
+			th := h.NewThread()
+			defer th.Close()
+			seen := map[pmem.PAddr]bool{}
+			var ptrs []pmem.PAddr
+			for i := 0; i < 3000; i++ {
+				size := uint64(8 + i%900)
+				p, err := th.Malloc(size)
+				if err != nil {
+					t.Fatalf("op %d: %v", i, err)
+				}
+				if seen[p] {
+					t.Fatalf("address %#x handed out twice", p)
+				}
+				seen[p] = true
+				dev.WriteU64(p, uint64(p))
+				ptrs = append(ptrs, p)
+			}
+			for _, p := range ptrs {
+				if dev.ReadU64(p) != uint64(p) {
+					t.Fatalf("corruption at %#x", p)
+				}
+				if err := th.Free(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Large path.
+			lp, err := th.Malloc(256 << 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := th.Free(lp); err != nil {
+				t.Fatal(err)
+			}
+			if err := th.Free(pmem.Null); err == nil {
+				t.Fatal("null free must error")
+			}
+			if _, err := th.Malloc(0); err == nil {
+				t.Fatal("zero malloc must error")
+			}
+		})
+	}
+}
+
+func TestAllBaselinesRandomizedStress(t *testing.T) {
+	for _, cfg := range allConfigs {
+		t.Run(cfg.Name, func(t *testing.T) {
+			dev, h := newBaseHeap(t, cfg)
+			th := h.NewThread()
+			defer th.Close()
+			rng := rand.New(rand.NewSource(9))
+			type obj struct {
+				p   pmem.PAddr
+				tag uint64
+			}
+			var live []obj
+			for op := 0; op < 10000; op++ {
+				if len(live) == 0 || rng.Intn(100) < 55 {
+					size := uint64(rng.Intn(800) + 8)
+					if rng.Intn(60) == 0 {
+						size = uint64(rng.Intn(100)+17) << 10
+					}
+					p, err := th.Malloc(size)
+					if err != nil {
+						t.Fatalf("op %d: %v", op, err)
+					}
+					tag := rng.Uint64()
+					dev.WriteU64(p, tag)
+					live = append(live, obj{p, tag})
+				} else {
+					i := rng.Intn(len(live))
+					if dev.ReadU64(live[i].p) != live[i].tag {
+						t.Fatalf("op %d: corruption at %#x", op, live[i].p)
+					}
+					if err := th.Free(live[i].p); err != nil {
+						t.Fatal(err)
+					}
+					live[i] = live[len(live)-1]
+					live = live[:len(live)-1]
+				}
+			}
+		})
+	}
+}
+
+func TestAllBaselinesMultithreaded(t *testing.T) {
+	for _, cfg := range allConfigs {
+		t.Run(cfg.Name, func(t *testing.T) {
+			dev, h := newBaseHeap(t, cfg)
+			ck := alloc.NewChecker(h)
+			var wg sync.WaitGroup
+			errs := make(chan error, 4)
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					th := ck.NewThread()
+					defer th.Close()
+					rng := rand.New(rand.NewSource(seed))
+					var mine []pmem.PAddr
+					for op := 0; op < 2000; op++ {
+						if len(mine) == 0 || rng.Intn(100) < 60 {
+							p, err := th.Malloc(uint64(rng.Intn(300) + 8))
+							if err != nil {
+								errs <- err
+								return
+							}
+							dev.WriteU64(p, uint64(p)^0xAA)
+							mine = append(mine, p)
+						} else {
+							i := rng.Intn(len(mine))
+							if dev.ReadU64(mine[i]) != uint64(mine[i])^0xAA {
+								errs <- fmt.Errorf("corruption at %#x", mine[i])
+								return
+							}
+							if err := th.Free(mine[i]); err != nil {
+								errs <- err
+								return
+							}
+							mine[i] = mine[len(mine)-1]
+							mine = mine[:len(mine)-1]
+						}
+					}
+				}(int64(w))
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+			if verrs := ck.Errors(); len(verrs) != 0 {
+				t.Fatalf("invariant violations: %v", verrs[0])
+			}
+		})
+	}
+}
+
+func TestBaselineShutdownRecovery(t *testing.T) {
+	for _, cfg := range allConfigs {
+		t.Run(cfg.Name, func(t *testing.T) {
+			dev, h := newBaseHeap(t, cfg)
+			th := h.NewThread()
+			p, err := th.MallocTo(h.RootSlot(0), 128)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dev.WriteU64(p, 0xFEED)
+			th.Ctx().Flush(pmem.CatOther, p, 8)
+			th.Close()
+			if err := h.Close(); err != nil {
+				t.Fatal(err)
+			}
+			dev.Crash()
+			h2, ns, err := Open(dev, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ns <= 0 {
+				t.Fatal("recovery time not reported")
+			}
+			if dev.ReadU64(p) != 0xFEED {
+				t.Fatal("object lost across shutdown")
+			}
+			th2 := h2.NewThread()
+			defer th2.Close()
+			// Recovered block must not be handed out again.
+			for i := 0; i < 500; i++ {
+				q, err := th2.Malloc(128)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if q == p {
+					t.Fatal("live block reissued after recovery")
+				}
+			}
+			if err := th2.Free(p); err != nil {
+				t.Fatalf("recovered block not freeable: %v", err)
+			}
+		})
+	}
+}
+
+func TestBaselineCrashRecovery(t *testing.T) {
+	// Strong allocators recover published objects after a hard crash; GC
+	// allocators reclaim unreachable ones.
+	for _, cfg := range allConfigs {
+		t.Run(cfg.Name, func(t *testing.T) {
+			dev, h := newBaseHeap(t, cfg)
+			th := h.NewThread()
+			kept, err := th.MallocTo(h.RootSlot(0), 256)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dev.WriteU64(kept, 0xCAFE)
+			th.Ctx().Flush(pmem.CatOther, kept, 8)
+			for i := 0; i < 200; i++ {
+				if _, err := th.Malloc(256); err != nil {
+					t.Fatal(err)
+				}
+			}
+			th.Ctx().Merge()
+			dev.Crash() // no Close
+			h2, _, err := Open(dev, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dev.ReadU64(kept) != 0xCAFE {
+				t.Fatal("published object lost")
+			}
+			th2 := h2.NewThread()
+			defer th2.Close()
+			if err := th2.Free(kept); err != nil {
+				t.Fatalf("published object not allocated after recovery: %v", err)
+			}
+		})
+	}
+}
+
+func TestRecoveryCostOrdering(t *testing.T) {
+	// Figure 18's ordering: nvm_malloc < PMDK << Ralloc < Makalu.
+	cost := map[string]int64{}
+	for _, cfg := range []Config{NvmMalloc, PMDK, Ralloc, Makalu} {
+		dev := pmem.New(pmem.Config{Size: 128 << 20, Strict: true})
+		h, err := New(dev, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		th := h.NewThread()
+		// A linked list of nodes so GC has something to chase.
+		var prev pmem.PAddr
+		for i := 0; i < 3000; i++ {
+			p, err := th.Malloc(96)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dev.WriteU64(p, uint64(prev))
+			th.Ctx().Flush(pmem.CatOther, p, 8)
+			prev = p
+		}
+		c := th.Ctx()
+		c.PersistU64(pmem.CatOther, h.RootSlot(0), uint64(prev))
+		c.Merge()
+		dev.Crash()
+		_, ns, err := Open(dev, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost[cfg.Name] = ns
+	}
+	if !(cost["nvm_malloc"] < cost["PMDK"] && cost["PMDK"] < cost["Ralloc"] && cost["Ralloc"] < cost["Makalu"]) {
+		t.Fatalf("recovery cost ordering wrong: %v", cost)
+	}
+}
+
+func TestBitmapBaselinesReflushHeavily(t *testing.T) {
+	// Figure 1(a): PMDK / nvm_malloc / PAllocator reflush on 40-99%+ of
+	// their flushes for back-to-back small allocations.
+	for _, cfg := range []Config{PMDK, NvmMalloc, PAllocator} {
+		dev := pmem.New(pmem.Config{Size: 128 << 20})
+		h, err := New(dev, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		th := h.NewThread()
+		for i := 0; i < 3000; i++ {
+			if _, err := th.Malloc(64); err != nil {
+				t.Fatal(err)
+			}
+		}
+		th.Close()
+		st := dev.Stats()
+		if r := st.ReflushRatio(); r < 0.4 {
+			t.Fatalf("%s reflush ratio %.2f, want >= 0.4", cfg.Name, r)
+		}
+	}
+}
+
+func TestGCBaselinesFlushProfile(t *testing.T) {
+	// Makalu flushes head+link per op; Ralloc only on free; both far more
+	// than nothing.
+	flushes := func(cfg Config) uint64 {
+		dev := pmem.New(pmem.Config{Size: 128 << 20})
+		h, err := New(dev, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		th := h.NewThread()
+		var ps []pmem.PAddr
+		for i := 0; i < 1000; i++ {
+			p, _ := th.Malloc(64)
+			ps = append(ps, p)
+		}
+		for _, p := range ps {
+			_ = th.Free(p)
+		}
+		th.Close()
+		return dev.Stats().Flushes
+	}
+	mk, rl := flushes(Makalu), flushes(Ralloc)
+	if mk <= rl {
+		t.Fatalf("Makalu should flush more than Ralloc: %d vs %d", mk, rl)
+	}
+	if rl < 900 {
+		t.Fatalf("Ralloc must flush links on free: %d", rl)
+	}
+}
+
+func TestPerThreadArenasDoNotContend(t *testing.T) {
+	dev, h := newBaseHeap(t, PAllocator)
+	a := h.NewThread()
+	b := h.NewThread()
+	defer a.Close()
+	defer b.Close()
+	for i := 0; i < 500; i++ {
+		if _, err := a.Malloc(64); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Malloc(64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.(*Thread).ar == b.(*Thread).ar {
+		t.Fatal("PAllocator threads must own private arenas")
+	}
+	_ = dev
+}
+
+func TestFreeFromAndUsedPeak(t *testing.T) {
+	dev, h := newBaseHeap(t, NvmMalloc)
+	th := h.NewThread()
+	defer th.Close()
+	u0 := h.Used()
+	p, err := th.MallocTo(h.RootSlot(1), 2<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Used() <= u0 || h.Peak() < h.Used() {
+		t.Fatal("usage accounting wrong")
+	}
+	if err := th.FreeFrom(h.RootSlot(1)); err != nil {
+		t.Fatal(err)
+	}
+	if dev.ReadU64(h.RootSlot(1)) != 0 {
+		t.Fatal("slot not cleared")
+	}
+	_ = p
+	h.ResetPeak()
+	if h.Peak() != h.Used() {
+		t.Fatal("ResetPeak wrong")
+	}
+}
+
+func TestOpenUnformattedDevice(t *testing.T) {
+	dev := pmem.New(pmem.Config{Size: 64 << 20})
+	if _, _, err := Open(dev, PMDK); err == nil {
+		t.Fatal("expected error for unformatted device")
+	}
+}

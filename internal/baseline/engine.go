@@ -1,0 +1,330 @@
+package baseline
+
+import (
+	"fmt"
+	"sync"
+
+	"nvalloc/internal/alloc"
+	"nvalloc/internal/extent"
+	"nvalloc/internal/pmem"
+	"nvalloc/internal/sizeclass"
+	"nvalloc/internal/walog"
+)
+
+// SlabSize matches the paper's 64 KiB slabs.
+const SlabSize = 64 << 10
+
+// maxArenas bounds the WAL region reservation (per-thread allocators
+// register arenas dynamically).
+const maxArenas = 64
+
+const walEntriesPerArena = 1024
+
+// bslab is a baseline slab: sequential metadata in the header pages.
+//
+//	[0,64)        header: magic u32, class u32, freeHead u32 (persistent
+//	              list head: block index+1, 0 = empty)
+//	[64, dataOff) block metadata: 1 bit per block (bitmap styles) or a
+//	              2-byte slot per block (micro-log style); for freelist
+//	              allocators this region is only synced at clean shutdown
+//	[dataOff, SlabSize) blocks; a free block's first 8 bytes hold the
+//	              embedded next link in freelist mode
+type bslab struct {
+	base      pmem.PAddr
+	class     int
+	blockSize uint32
+	blocks    int
+	dataOff   uint32
+
+	mu        sync.Mutex
+	vbits     []uint64 // volatile: 1 = allocated or reserved
+	allocated int
+	reserved  int
+	freeHeadV int   // volatile freelist head (-1 none)
+	vnext     []int // volatile freelist links
+
+	owner              *barena
+	freePrev, freeNext *bslab
+}
+
+const (
+	bsMagic    = 0
+	bsClass    = 4
+	bsFreeHead = 8
+	bsMetaOff  = 64
+
+	bslabMagic = 0x42534C41 // "BSLA"
+)
+
+// twoByteMeta reports whether block metadata units are 2-byte slots
+// (PAllocator's page-header block metadata and the freelist allocators'
+// shutdown image) rather than single bits.
+func (cfg *Config) twoByteMeta() bool {
+	return cfg.Meta == MetaFreelist || cfg.Persist == PersistMicroLog
+}
+
+func metaBytesPer(cfg *Config, blocks int) int {
+	if cfg.twoByteMeta() {
+		return blocks * 2
+	}
+	return (blocks + 7) / 8
+}
+
+func bslabGeometry(cfg *Config, class int) (blocks int, dataOff uint32) {
+	bsize := int(sizeclass.Size(class))
+	blocks = (SlabSize - bsMetaOff) / bsize
+	for i := 0; i < 4; i++ {
+		d := (bsMetaOff + metaBytesPer(cfg, blocks) + pmem.LineSize - 1) &^ (pmem.LineSize - 1)
+		nb := (SlabSize - d) / bsize
+		if nb == blocks {
+			return blocks, uint32(d)
+		}
+		blocks = nb
+	}
+	d := (bsMetaOff + metaBytesPer(cfg, blocks) + pmem.LineSize - 1) &^ (pmem.LineSize - 1)
+	return blocks, uint32(d)
+}
+
+func (s *bslab) blockAddr(idx int) pmem.PAddr {
+	return s.base + pmem.PAddr(s.dataOff) + pmem.PAddr(idx)*pmem.PAddr(s.blockSize)
+}
+
+func (s *bslab) blockIndex(addr pmem.PAddr) int {
+	off := int64(addr) - int64(s.base) - int64(s.dataOff)
+	if off < 0 || off%int64(s.blockSize) != 0 {
+		return -1
+	}
+	idx := int(off / int64(s.blockSize))
+	if idx >= s.blocks {
+		return -1
+	}
+	return idx
+}
+
+func (s *bslab) vset(idx int)       { s.vbits[idx/64] |= 1 << (idx % 64) }
+func (s *bslab) vclear(idx int)     { s.vbits[idx/64] &^= 1 << (idx % 64) }
+func (s *bslab) vtest(idx int) bool { return s.vbits[idx/64]&(1<<(idx%64)) != 0 }
+
+// persistMeta flushes block idx's sequential metadata unit: the bit (or
+// 2-byte slot) of consecutive blocks shares a cache line, which is
+// exactly the reflush behaviour Section 3.1 measures.
+func (s *bslab) persistMeta(h *Heap, c *pmem.Ctx, idx int, allocated bool) {
+	dev := h.dev
+	if !h.cfg.twoByteMeta() {
+		a := s.base + bsMetaOff + pmem.PAddr(idx/8)
+		b := dev.ReadU8(a)
+		if allocated {
+			b |= 1 << (idx % 8)
+		} else {
+			b &^= 1 << (idx % 8)
+		}
+		dev.WriteU8(a, b)
+		c.Flush(pmem.CatMeta, a, 1)
+	} else {
+		a := s.base + bsMetaOff + pmem.PAddr(idx*2)
+		v := uint16(0)
+		if allocated {
+			v = uint16(s.blockSize/8) | 1<<15
+		}
+		dev.WriteU16(a, v)
+		c.Flush(pmem.CatMeta, a, 2)
+	}
+	c.Fence()
+}
+
+// barena is a baseline arena.
+type barena struct {
+	index   int
+	res     pmem.Resource
+	wal     *walog.Log
+	free    []*bslab // per-class freelist heads
+	threads int
+}
+
+// Heap is a baseline allocator instance.
+type Heap struct {
+	cfg  Config
+	dev  *pmem.Device
+	book *extent.InPlace
+	// large is guarded by its own Res.
+	large *extent.Allocator
+	// largeWAL records transactional large-path metadata (PMDK-style);
+	// guarded by large.Res.
+	largeWAL *walog.Log
+
+	arenasMu sync.Mutex
+	arenas   []*barena
+	nextWAL  int
+	rr       int
+
+	slabsMu sync.RWMutex
+	slabs   map[pmem.PAddr]*bslab
+
+	closed bool
+}
+
+var _ alloc.Heap = (*Heap)(nil)
+
+// New formats dev as a fresh heap for the given baseline configuration.
+func New(dev *pmem.Device, cfg Config) (*Heap, error) {
+	if cfg.Arenas <= 0 {
+		cfg.Arenas = 8
+	}
+	h := &Heap{cfg: cfg, dev: dev, slabs: make(map[pmem.PAddr]*bslab)}
+	walRegion := walog.RegionSize(walEntriesPerArena, 1)
+	walBase := uint64(8192)
+	heapBase := (walBase + uint64((maxArenas+1)*walRegion) + extent.ChunkSize - 1) &^ (extent.ChunkSize - 1)
+	if heapBase+extent.ChunkSize > dev.Size() {
+		return nil, fmt.Errorf("baseline: device too small")
+	}
+	c := dev.NewCtx()
+	defer c.Merge()
+	dev.WriteU64(superBase+sbMagic, baseMagic)
+	dev.WriteU64(superBase+sbState, 1)
+	dev.WriteU64(superBase+sbArenas, uint64(cfg.Arenas))
+	dev.WriteU64(superBase+sbWALBase, walBase)
+	dev.WriteU64(superBase+sbWALSize, uint64(walRegion))
+	dev.WriteU64(superBase+sbHeapBase, heapBase)
+	dev.Zero(superBase+sbRoots, alloc.NumRootSlots*8)
+	c.Flush(pmem.CatMeta, superBase, 4096)
+	c.Fence()
+
+	h.book = extent.NewInPlace(dev, pmem.PAddr(heapBase), superBase+sbBreak)
+	h.large = extent.New(dev, h.book, extent.Config{
+		HeapBase:  pmem.PAddr(heapBase),
+		HeapEnd:   pmem.PAddr(dev.Size()),
+		BreakPtr:  superBase + sbBreak,
+		MetaBytes: heapBase,
+	})
+	h.largeWAL = walog.New(dev, pmem.PAddr(walBase), walEntriesPerArena, 1)
+	h.nextWAL = 1
+	if cfg.Model != ArenaPerThread {
+		n := cfg.Arenas
+		if cfg.Model == ArenaGlobal {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			h.arenas = append(h.arenas, h.newArena())
+		}
+	}
+	return h, nil
+}
+
+func (h *Heap) newArena() *barena {
+	walBase := pmem.PAddr(h.dev.ReadU64(superBase + sbWALBase))
+	walRegion := pmem.PAddr(h.dev.ReadU64(superBase + sbWALSize))
+	slot := h.nextWAL
+	if slot > maxArenas {
+		slot = 1 + (slot-1)%maxArenas // wrap: share WAL regions beyond the cap
+	}
+	h.nextWAL++
+	a := &barena{
+		index: slot,
+		wal:   walog.New(h.dev, walBase+pmem.PAddr(slot)*walRegion, walEntriesPerArena, 1),
+		free:  make([]*bslab, sizeclass.NumClasses()),
+	}
+	return a
+}
+
+// Device returns the underlying device.
+func (h *Heap) Device() *pmem.Device { return h.dev }
+
+// Name returns the baseline's name.
+func (h *Heap) Name() string { return h.cfg.Name }
+
+// RootSlot returns the persistent root pointer slot i.
+func (h *Heap) RootSlot(i int) pmem.PAddr {
+	if i < 0 || i >= alloc.NumRootSlots {
+		panic("baseline: root slot out of range")
+	}
+	return superBase + sbRoots + pmem.PAddr(i*8)
+}
+
+// Used returns committed persistent memory.
+func (h *Heap) Used() uint64 {
+	h.large.Res.Acquire(h.dev.NewCtx())
+	defer h.large.Res.Release(h.dev.NewCtx())
+	return h.large.Used()
+}
+
+// Peak returns the usage high-water mark.
+func (h *Heap) Peak() uint64 {
+	h.large.Res.Acquire(h.dev.NewCtx())
+	defer h.large.Res.Release(h.dev.NewCtx())
+	return h.large.Peak()
+}
+
+// ResetPeak restarts peak tracking.
+func (h *Heap) ResetPeak() {
+	h.large.Res.Acquire(h.dev.NewCtx())
+	defer h.large.Res.Release(h.dev.NewCtx())
+	h.large.ResetPeak()
+}
+
+// Close performs a clean shutdown: freelist allocators sync their
+// shutdown images, WALs checkpoint, and the state flag persists.
+func (h *Heap) Close() error {
+	h.arenasMu.Lock()
+	defer h.arenasMu.Unlock()
+	if h.closed {
+		return alloc.ErrClosed
+	}
+	h.closed = true
+	c := h.dev.NewCtx()
+	defer c.Merge()
+	if h.cfg.Persist == PersistNone {
+		h.slabsMu.RLock()
+		for _, s := range h.slabs {
+			s.mu.Lock()
+			for idx := 0; idx < s.blocks; idx++ {
+				s.persistShutdownBit(h, idx, s.vtest(idx))
+			}
+			c.Flush(pmem.CatMeta, s.base+bsMetaOff, int(s.dataOff)-bsMetaOff)
+			s.mu.Unlock()
+		}
+		h.slabsMu.RUnlock()
+		c.Fence()
+	}
+	for _, a := range h.arenas {
+		a.res.Acquire(c)
+		a.wal.Checkpoint(c)
+		a.res.Release(c)
+	}
+	c.PersistU64(pmem.CatMeta, superBase+sbState, 2)
+	c.Fence()
+	return nil
+}
+
+// persistShutdownBit writes (without flushing) block idx's state into the
+// metadata region; Close flushes region-at-once.
+func (s *bslab) persistShutdownBit(h *Heap, idx int, allocated bool) {
+	if !h.cfg.twoByteMeta() {
+		a := s.base + bsMetaOff + pmem.PAddr(idx/8)
+		b := h.dev.ReadU8(a)
+		if allocated {
+			b |= 1 << (idx % 8)
+		} else {
+			b &^= 1 << (idx % 8)
+		}
+		h.dev.WriteU8(a, b)
+	} else {
+		v := uint16(0)
+		if allocated {
+			v = 1 << 15
+		}
+		h.dev.WriteU16(s.base+bsMetaOff+pmem.PAddr(idx*2), v)
+	}
+}
+
+// ArenaLoads returns each arena resource's accumulated virtual load in
+// microseconds (diagnostics).
+func (h *Heap) ArenaLoads() []int64 {
+	out := make([]int64, len(h.arenas))
+	for i, a := range h.arenas {
+		out[i] = a.res.Load() / 1000
+	}
+	return out
+}
+
+// LargeLoad returns the large allocator lock's accumulated load (ns).
+func (h *Heap) LargeLoad() int64 { return h.large.Res.Load() }

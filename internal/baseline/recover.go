@@ -1,0 +1,290 @@
+package baseline
+
+import (
+	"fmt"
+
+	"nvalloc/internal/alloc"
+	"nvalloc/internal/extent"
+	"nvalloc/internal/pmem"
+	"nvalloc/internal/sizeclass"
+	"nvalloc/internal/walog"
+)
+
+// Open reopens a baseline heap, rebuilding volatile state and charging
+// the recovery cost profile of the configured allocator (Figure 18).
+func Open(dev *pmem.Device, cfg Config) (*Heap, int64, error) {
+	if dev.ReadU64(superBase+sbMagic) != baseMagic {
+		return nil, 0, fmt.Errorf("baseline: no heap on device")
+	}
+	if cfg.Arenas <= 0 {
+		cfg.Arenas = 8
+	}
+	h := &Heap{cfg: cfg, dev: dev, slabs: make(map[pmem.PAddr]*bslab)}
+	heapBase := pmem.PAddr(dev.ReadU64(superBase + sbHeapBase))
+	walBase := pmem.PAddr(dev.ReadU64(superBase + sbWALBase))
+	crashed := dev.ReadU64(superBase+sbState) != 2
+
+	c := dev.NewCtx()
+
+	h.book = extent.NewInPlace(dev, heapBase, superBase+sbBreak)
+	records := h.book.Recover(c)
+	var live []*extent.VEH
+	h.large, live = extent.Rebuild(dev, h.book, extent.Config{
+		HeapBase:  heapBase,
+		HeapEnd:   pmem.PAddr(dev.Size()),
+		BreakPtr:  superBase + sbBreak,
+		MetaBytes: uint64(heapBase),
+	}, c, records)
+	h.largeWAL = walog.New(dev, walBase, walEntriesPerArena, 1)
+	h.nextWAL = 1
+	if cfg.Model != ArenaPerThread {
+		n := cfg.Arenas
+		if cfg.Model == ArenaGlobal {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			h.arenas = append(h.arenas, h.newArena())
+		}
+	}
+
+	// Rebuild slabs from their persistent metadata images.
+	next := 0
+	for _, v := range live {
+		if !v.Slab {
+			continue
+		}
+		s, err := h.loadSlab(c, v.Addr)
+		if err != nil {
+			return nil, 0, err
+		}
+		var owner *barena
+		if len(h.arenas) > 0 {
+			owner = h.arenas[next%len(h.arenas)]
+		} else {
+			// Per-thread model with no threads yet: create a recovery
+			// arena that future slabs share until threads register.
+			owner = h.newArena()
+			h.arenas = append(h.arenas, owner)
+		}
+		next++
+		s.owner = owner
+		h.slabs[v.Addr] = s
+		if s.allocated < s.blocks {
+			owner.freelistPush(s)
+		}
+	}
+
+	switch cfg.Recovery {
+	case RecoverDeferred:
+		// nvm_malloc: metadata reconstruction is deferred to runtime
+		// deallocation; opening is nearly free.
+		c.Charge(pmem.CatSearch, 2000)
+	case RecoverWALScan:
+		// PMDK/PAllocator: travel every WAL region and slab header.
+		for _, a := range h.arenas {
+			a.wal.Replay(c, func(e walog.Entry) { h.applyWAL(c, e) })
+		}
+		h.largeWAL.Replay(c, func(walog.Entry) {})
+		for _, s := range h.slabs {
+			c.Charge(pmem.CatSearch, int64(s.blocks)/4+50)
+		}
+	case RecoverGC:
+		if crashed {
+			h.conservativeGC(c, true)
+		} else {
+			// Even clean-shutdown Makalu verifies its freelists.
+			for _, s := range h.slabs {
+				c.Charge(pmem.CatSearch, int64(s.blocks)+100)
+			}
+		}
+	case RecoverPartialScan:
+		if crashed {
+			h.conservativeGC(c, false)
+		} else {
+			for _, s := range h.slabs {
+				c.Charge(pmem.CatSearch, int64(s.blocks)/8+50)
+			}
+		}
+	}
+	if crashed && cfg.Recovery == RecoverWALScan {
+		// WAL replay fixed the bitmaps; re-derive volatile freelists.
+		h.rebuildFreelists()
+	}
+
+	c.PersistU64(pmem.CatMeta, superBase+sbState, 1)
+	c.Fence()
+	ns := c.Now
+	c.Merge()
+	return h, ns, nil
+}
+
+// loadSlab rebuilds a bslab's volatile mirror from its metadata region.
+func (h *Heap) loadSlab(c *pmem.Ctx, base pmem.PAddr) (*bslab, error) {
+	if h.dev.ReadU32(base+bsMagic) != bslabMagic {
+		return nil, fmt.Errorf("baseline: bad slab magic at %#x", base)
+	}
+	class := int(h.dev.ReadU32(base + bsClass))
+	blocks, dataOff := bslabGeometry(&h.cfg, class)
+	s := &bslab{
+		base:      base,
+		class:     class,
+		blockSize: sizeclass.Size(class),
+		blocks:    blocks,
+		dataOff:   dataOff,
+		vbits:     make([]uint64, (blocks+63)/64),
+		freeHeadV: -1,
+	}
+	twoByte := h.cfg.twoByteMeta()
+	for idx := 0; idx < blocks; idx++ {
+		var set bool
+		if twoByte {
+			set = h.dev.ReadU16(base+bsMetaOff+pmem.PAddr(idx*2))&(1<<15) != 0
+		} else {
+			set = h.dev.ReadU8(base+bsMetaOff+pmem.PAddr(idx/8))&(1<<(idx%8)) != 0
+		}
+		if set {
+			s.vset(idx)
+			s.allocated++
+		}
+	}
+	if h.cfg.Recovery == RecoverDeferred {
+		// nvm_malloc defers metadata reconstruction to the runtime
+		// deallocation path; the scan cost is not paid at open time.
+		c.Charge(pmem.CatSearch, 20)
+	} else {
+		c.Charge(pmem.CatSearch, int64(blocks)/8+20)
+	}
+	if h.cfg.Meta == MetaFreelist {
+		s.rebuildFreelist()
+	}
+	return s, nil
+}
+
+func (s *bslab) rebuildFreelist() {
+	s.vnext = make([]int, s.blocks)
+	s.freeHeadV = -1
+	for idx := s.blocks - 1; idx >= 0; idx-- {
+		if !s.vtest(idx) {
+			s.vnext[idx] = s.freeHeadV
+			s.freeHeadV = idx
+		}
+	}
+}
+
+func (h *Heap) rebuildFreelists() {
+	if h.cfg.Meta != MetaFreelist {
+		return
+	}
+	for _, s := range h.slabs {
+		s.rebuildFreelist()
+	}
+}
+
+// applyWAL re-applies a small-allocation WAL record idempotently.
+func (h *Heap) applyWAL(c *pmem.Ctx, e walog.Entry) {
+	switch e.Op {
+	case walog.OpAllocBit, walog.OpFreeBit:
+		s := h.slabs[e.Addr]
+		if s == nil {
+			return
+		}
+		idx := int(e.Aux)
+		if idx < 0 || idx >= s.blocks {
+			return
+		}
+		want := e.Op == walog.OpAllocBit
+		if s.vtest(idx) != want {
+			if want {
+				s.vset(idx)
+				s.allocated++
+			} else {
+				s.vclear(idx)
+				s.allocated--
+			}
+			s.persistMeta(h, c, idx, want)
+		}
+	case walog.OpMallocTo:
+		if pmem.PAddr(h.dev.ReadU64(e.Addr)) != pmem.PAddr(e.Aux) {
+			c.PersistU64(pmem.CatMeta, e.Addr, e.Aux)
+		}
+	case walog.OpFreeFrom:
+		if pmem.PAddr(h.dev.ReadU64(e.Addr)) == pmem.PAddr(e.Aux) {
+			c.PersistU64(pmem.CatMeta, e.Addr, 0)
+		}
+	}
+}
+
+// conservativeGC marks reachable objects from the root slots and resets
+// small-allocation state to exactly the marked set. full=true (Makalu)
+// additionally scans every block of every slab; false (Ralloc) touches
+// only reachable nodes.
+func (h *Heap) conservativeGC(c *pmem.Ctx, full bool) {
+	resolve := func(p pmem.PAddr) (pmem.PAddr, uint64, bool) {
+		if p == pmem.Null || uint64(p) >= h.dev.Size() || p%8 != 0 {
+			return 0, 0, false
+		}
+		base := p &^ (SlabSize - 1)
+		if s := h.slabs[base]; s != nil {
+			if idx := s.blockIndex(p); idx >= 0 {
+				return p, uint64(s.blockSize), true
+			}
+			return 0, 0, false
+		}
+		if v, ok := h.large.Lookup(p); ok && v.Addr == p && !v.Slab {
+			return p, v.Size, true
+		}
+		return 0, 0, false
+	}
+	type obj struct {
+		addr pmem.PAddr
+		size uint64
+	}
+	marked := map[pmem.PAddr]bool{}
+	var work []obj
+	for i := 0; i < alloc.NumRootSlots; i++ {
+		p := pmem.PAddr(h.dev.ReadU64(h.RootSlot(i)))
+		if a, sz, ok := resolve(p); ok && !marked[a] {
+			marked[a] = true
+			work = append(work, obj{a, sz})
+		}
+	}
+	for len(work) > 0 {
+		o := work[len(work)-1]
+		work = work[:len(work)-1]
+		c.Charge(pmem.CatSearch, int64(o.size)/8+60)
+		for off := uint64(0); off+8 <= o.size; off += 8 {
+			p := pmem.PAddr(h.dev.ReadU64(o.addr + pmem.PAddr(off)))
+			if a, sz, ok := resolve(p); ok && !marked[a] {
+				marked[a] = true
+				work = append(work, obj{a, sz})
+			}
+		}
+	}
+	// Sweep.
+	for _, s := range h.slabs {
+		if full {
+			// Makalu scans the whole heap image conservatively.
+			c.Charge(pmem.CatSearch, int64(s.blocks)*int64(s.blockSize)/4)
+		}
+		s.allocated = 0
+		for i := range s.vbits {
+			s.vbits[i] = 0
+		}
+		for idx := 0; idx < s.blocks; idx++ {
+			if marked[s.blockAddr(idx)] {
+				s.vset(idx)
+				s.allocated++
+			}
+		}
+		s.rebuildFreelist()
+	}
+	var leaked []pmem.PAddr
+	for addr, v := range h.large.Activated() {
+		if !v.Slab && !marked[addr] {
+			leaked = append(leaked, addr)
+		}
+	}
+	for _, addr := range leaked {
+		_ = h.large.Free(c, addr)
+	}
+}

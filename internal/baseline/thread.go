@@ -1,0 +1,500 @@
+package baseline
+
+import (
+	"nvalloc/internal/alloc"
+	"nvalloc/internal/pmem"
+	"nvalloc/internal/sizeclass"
+	"nvalloc/internal/slab"
+	"nvalloc/internal/walog"
+)
+
+// Thread is a baseline allocation handle.
+type Thread struct {
+	h      *Heap
+	ar     *barena
+	ctx    *pmem.Ctx
+	caches [][]cached
+	closed bool
+}
+
+type cached struct {
+	s   *bslab
+	idx int
+}
+
+var _ alloc.Thread = (*Thread)(nil)
+
+// NewThread registers a worker, creating a private arena for
+// ArenaPerThread allocators.
+func (h *Heap) NewThread() alloc.Thread {
+	h.arenasMu.Lock()
+	var ar *barena
+	switch h.cfg.Model {
+	case ArenaPerThread:
+		ar = h.newArena()
+		h.arenas = append(h.arenas, ar)
+	case ArenaGlobal:
+		ar = h.arenas[0]
+	default:
+		// Least-loaded with a rotating start so sequential short-lived
+		// threads still spread across arenas.
+		n := len(h.arenas)
+		ar = h.arenas[h.rr%n]
+		for i := 1; i < n; i++ {
+			a := h.arenas[(h.rr+i)%n]
+			if a.threads < ar.threads {
+				ar = a
+			}
+		}
+		h.rr++
+	}
+	ar.threads++
+	h.arenasMu.Unlock()
+	return &Thread{
+		h:      h,
+		ar:     ar,
+		ctx:    h.dev.NewCtx(),
+		caches: make([][]cached, sizeclass.NumClasses()),
+	}
+}
+
+// Ctx returns the worker's pmem context.
+func (t *Thread) Ctx() *pmem.Ctx { return t.ctx }
+
+const opBaseNS = 22 // classic allocators have slightly heavier fast paths
+
+// Malloc allocates size bytes.
+func (t *Thread) Malloc(size uint64) (pmem.PAddr, error) {
+	if size == 0 {
+		return pmem.Null, alloc.ErrBadSize
+	}
+	t.ctx.Charge(pmem.CatOther, opBaseNS)
+	if !sizeclass.IsSmall(size) {
+		return t.mallocLarge(size)
+	}
+	return t.mallocSmall(sizeclass.Class(uint32(size)))
+}
+
+func (t *Thread) mallocSmall(class int) (pmem.PAddr, error) {
+	h := t.h
+	// Thread cache hit (volatile reservation, like all tcache designs).
+	if cap := h.cfg.TcacheCap; cap > 0 {
+		if len(t.caches[class]) == 0 {
+			t.refill(class, cap)
+		}
+		if n := len(t.caches[class]); n > 0 {
+			cb := t.caches[class][n-1]
+			t.caches[class] = t.caches[class][:n-1]
+			t.commitAlloc(cb.s, cb.idx)
+			return cb.s.blockAddr(cb.idx), nil
+		}
+		return pmem.Null, alloc.ErrOutOfMemory
+	}
+	// No cache: take the arena lock per operation (PMDK, Makalu).
+	t.ar.res.Acquire(t.ctx)
+	s, idx := t.ar.takeBlock(t, class)
+	t.ar.res.Release(t.ctx)
+	if s == nil {
+		return pmem.Null, alloc.ErrOutOfMemory
+	}
+	t.commitAlloc(s, idx)
+	return s.blockAddr(idx), nil
+}
+
+// refill reserves up to n blocks into the thread cache.
+func (t *Thread) refill(class, n int) {
+	t.ar.res.Acquire(t.ctx)
+	defer t.ar.res.Release(t.ctx)
+	for i := 0; i < n; i++ {
+		s, idx := t.ar.takeBlock(t, class)
+		if s == nil {
+			return
+		}
+		t.caches[class] = append(t.caches[class], cached{s, idx})
+	}
+}
+
+// takeBlock pops one free block of the class (volatile reservation).
+// Caller holds the arena lock.
+func (a *barena) takeBlock(t *Thread, class int) (*bslab, int) {
+	h := t.h
+	s := a.free[class]
+	if s == nil {
+		s = h.newSlab(t.ctx, a, class)
+		if s == nil {
+			return nil, 0
+		}
+	}
+	s.mu.Lock()
+	var idx int
+	if h.cfg.Meta == MetaFreelist {
+		idx = s.freeHeadV
+		if idx < 0 {
+			s.mu.Unlock()
+			a.freelistRemove(s)
+			return a.takeBlock(t, class)
+		}
+		next := s.vnext[idx]
+		s.freeHeadV = next
+		// Persistent list head update: same header line every operation.
+		h.dev.WriteU32(s.base+bsFreeHead, uint32(next+1))
+		if h.cfg.FlushLinkOnAlloc {
+			t.ctx.Flush(pmem.CatMeta, s.base+bsFreeHead, 4)
+			t.ctx.Fence()
+		}
+	} else {
+		// First-fit bit scan.
+		idx = -1
+		for w := 0; w < len(s.vbits); w++ {
+			m := ^s.vbits[w]
+			if w == len(s.vbits)-1 && s.blocks%64 != 0 {
+				m &= 1<<(s.blocks%64) - 1
+			}
+			if m != 0 {
+				b := 0
+				for m&1 == 0 {
+					m >>= 1
+					b++
+				}
+				idx = w*64 + b
+				break
+			}
+		}
+		t.ctx.Charge(pmem.CatSearch, 12)
+		if idx < 0 {
+			s.mu.Unlock()
+			a.freelistRemove(s)
+			return a.takeBlock(t, class)
+		}
+	}
+	s.vset(idx)
+	s.reserved++
+	exhausted := s.allocated+s.reserved == s.blocks
+	s.mu.Unlock()
+	if exhausted {
+		a.freelistRemove(s)
+	}
+	return s, idx
+}
+
+// commitAlloc persists the allocation per the configured style.
+func (t *Thread) commitAlloc(s *bslab, idx int) {
+	h := t.h
+	a := s.owner
+	switch h.cfg.Persist {
+	case PersistTxnWAL:
+		a.res.Acquire(t.ctx)
+		a.wal.Append(t.ctx, walog.Entry{Op: walog.OpAllocBit, Addr: s.base, Aux: uint64(idx)})
+		a.wal.Append(t.ctx, walog.Entry{Op: walog.OpNone, Addr: s.base}) // commit record
+		s.mu.Lock()
+		s.reserved--
+		s.allocated++
+		s.persistMeta(h, t.ctx, idx, true)
+		s.mu.Unlock()
+		a.res.Release(t.ctx)
+	case PersistWAL:
+		a.res.Acquire(t.ctx)
+		a.wal.Append(t.ctx, walog.Entry{Op: walog.OpAllocBit, Addr: s.base, Aux: uint64(idx)})
+		s.mu.Lock()
+		s.reserved--
+		s.allocated++
+		s.persistMeta(h, t.ctx, idx, true)
+		s.mu.Unlock()
+		a.res.Release(t.ctx)
+	case PersistMicroLog:
+		// PAllocator: 2-byte slot write plus a micro-log entry in the
+		// thread-private log (no cross-thread lock).
+		a.wal.Append(t.ctx, walog.Entry{Op: walog.OpAllocBit, Addr: s.base, Aux: uint64(idx)})
+		s.mu.Lock()
+		s.reserved--
+		s.allocated++
+		s.persistMeta(h, t.ctx, idx, true)
+		s.mu.Unlock()
+	default: // PersistNone: volatile commit only
+		s.mu.Lock()
+		s.reserved--
+		s.allocated++
+		s.mu.Unlock()
+	}
+}
+
+func (t *Thread) mallocLarge(size uint64) (pmem.PAddr, error) {
+	h := t.h
+	h.large.Res.Acquire(t.ctx)
+	defer h.large.Res.Release(t.ctx)
+	if h.cfg.SlowLargeSearch {
+		// Persistent first-fit over live extent headers.
+		n := len(h.large.Activated())
+		if n > 400 {
+			n = 400
+		}
+		t.ctx.Charge(pmem.CatSearch, int64(n)*90)
+	}
+	for i := 0; i < h.cfg.LargeTxnFlushes; i++ {
+		h.largeWAL.Append(t.ctx, walog.Entry{Op: walog.OpAllocBit, Aux: size})
+	}
+	addr, err := h.large.Alloc(t.ctx, size, 0, false)
+	if err != nil {
+		return pmem.Null, alloc.ErrOutOfMemory
+	}
+	return addr, nil
+}
+
+// Free releases a block or extent.
+func (t *Thread) Free(addr pmem.PAddr) error {
+	if addr == pmem.Null {
+		return alloc.ErrBadAddress
+	}
+	t.ctx.Charge(pmem.CatOther, opBaseNS)
+	base := addr &^ (SlabSize - 1)
+	t.h.slabsMu.RLock()
+	s := t.h.slabs[base]
+	t.h.slabsMu.RUnlock()
+	if s == nil {
+		return t.freeLarge(addr)
+	}
+	idx := s.blockIndex(addr)
+	if idx < 0 {
+		return alloc.ErrBadAddress
+	}
+	t.freeSmall(s, idx)
+	return nil
+}
+
+func (t *Thread) freeSmall(s *bslab, idx int) {
+	h := t.h
+	a := s.owner
+	if h.cfg.Model == ArenaPerThread && a != t.ar {
+		// PAllocator's per-thread allocators make cross-thread frees
+		// expensive: the block is queued on the owner's deferred-free
+		// list (an extra persistent write plus a handoff), which is why
+		// the paper sees it lose on Prod-con, Larson-small and FPTree.
+		t.ctx.Charge(pmem.CatOther, 400)
+		t.ctx.Flush(pmem.CatMeta, s.blockAddr(idx), 8)
+		t.ctx.Fence()
+	}
+	a.res.Acquire(t.ctx)
+	s.mu.Lock()
+	switch h.cfg.Persist {
+	case PersistTxnWAL:
+		a.wal.Append(t.ctx, walog.Entry{Op: walog.OpFreeBit, Addr: s.base, Aux: uint64(idx)})
+		a.wal.Append(t.ctx, walog.Entry{Op: walog.OpNone, Addr: s.base})
+		s.persistMeta(h, t.ctx, idx, false)
+	case PersistWAL:
+		a.wal.Append(t.ctx, walog.Entry{Op: walog.OpFreeBit, Addr: s.base, Aux: uint64(idx)})
+		s.persistMeta(h, t.ctx, idx, false)
+	case PersistMicroLog:
+		a.wal.Append(t.ctx, walog.Entry{Op: walog.OpFreeBit, Addr: s.base, Aux: uint64(idx)})
+		s.persistMeta(h, t.ctx, idx, false)
+	default:
+		// Embedded freelist push: the link lives in the freed block
+		// itself — a write (and flush) to a random data cache line.
+		h.dev.WriteU64(s.blockAddr(idx), uint64(s.freeHeadV+1))
+		if h.cfg.FlushLinkOnFree {
+			t.ctx.Flush(pmem.CatMeta, s.blockAddr(idx), 8)
+			t.ctx.Fence()
+		}
+		h.dev.WriteU32(s.base+bsFreeHead, uint32(idx+1))
+		if h.cfg.FlushLinkOnAlloc {
+			t.ctx.Flush(pmem.CatMeta, s.base+bsFreeHead, 4)
+			t.ctx.Fence()
+		}
+	}
+	if h.cfg.Meta == MetaFreelist {
+		s.vnext[idx] = s.freeHeadV
+		s.freeHeadV = idx
+	}
+	s.vclear(idx)
+	s.allocated--
+	empty := s.allocated == 0 && s.reserved == 0
+	wasFull := s.allocated+s.reserved == s.blocks-1
+	s.mu.Unlock()
+	if wasFull && !a.onFreelist(s, s.class) {
+		a.freelistPush(s)
+	}
+	if empty {
+		if head := a.free[s.class]; head != nil && (head != s || head.freeNext != nil) {
+			if a.onFreelist(s, s.class) {
+				a.freelistRemove(s)
+			}
+			h.releaseSlab(t.ctx, s)
+		}
+	}
+	a.res.Release(t.ctx)
+}
+
+func (t *Thread) freeLarge(addr pmem.PAddr) error {
+	h := t.h
+	h.large.Res.Acquire(t.ctx)
+	defer h.large.Res.Release(t.ctx)
+	for i := 0; i < h.cfg.LargeTxnFlushes; i++ {
+		h.largeWAL.Append(t.ctx, walog.Entry{Op: walog.OpFreeBit, Aux: uint64(addr)})
+	}
+	if err := h.large.Free(t.ctx, addr); err != nil {
+		return alloc.ErrBadAddress
+	}
+	return nil
+}
+
+// MallocTo allocates and publishes into a persistent slot.
+func (t *Thread) MallocTo(slot pmem.PAddr, size uint64) (pmem.PAddr, error) {
+	addr, err := t.Malloc(size)
+	if err != nil {
+		return pmem.Null, err
+	}
+	if t.h.cfg.Persist != PersistNone {
+		a := t.ar
+		a.res.Acquire(t.ctx)
+		a.wal.Append(t.ctx, walog.Entry{Op: walog.OpMallocTo, Addr: slot, Aux: uint64(addr)})
+		a.res.Release(t.ctx)
+	}
+	t.ctx.PersistU64(pmem.CatOther, slot, uint64(addr))
+	t.ctx.Fence()
+	return addr, nil
+}
+
+// FreeFrom frees the block referenced by the slot and clears it.
+func (t *Thread) FreeFrom(slot pmem.PAddr) error {
+	addr := pmem.PAddr(t.h.dev.ReadU64(slot))
+	if addr == pmem.Null {
+		return alloc.ErrBadAddress
+	}
+	if t.h.cfg.Persist != PersistNone {
+		a := t.ar
+		a.res.Acquire(t.ctx)
+		a.wal.Append(t.ctx, walog.Entry{Op: walog.OpFreeFrom, Addr: slot, Aux: uint64(addr)})
+		a.res.Release(t.ctx)
+	}
+	t.ctx.PersistU64(pmem.CatOther, slot, 0)
+	t.ctx.Fence()
+	return t.Free(addr)
+}
+
+// Close drains the thread cache and merges statistics.
+func (t *Thread) Close() {
+	if t.closed {
+		return
+	}
+	t.closed = true
+	for class, blocks := range t.caches {
+		for _, cb := range blocks {
+			a := cb.s.owner
+			a.res.Acquire(t.ctx)
+			cb.s.mu.Lock()
+			cb.s.vclear(cb.idx)
+			cb.s.reserved--
+			if t.h.cfg.Meta == MetaFreelist {
+				cb.s.vnext[cb.idx] = cb.s.freeHeadV
+				cb.s.freeHeadV = cb.idx
+			}
+			full := cb.s.allocated+cb.s.reserved == cb.s.blocks-1
+			cb.s.mu.Unlock()
+			if full && !a.onFreelist(cb.s, class) {
+				a.freelistPush(cb.s)
+			}
+			a.res.Release(t.ctx)
+		}
+		t.caches[class] = nil
+	}
+	t.h.arenasMu.Lock()
+	t.ar.threads--
+	t.h.arenasMu.Unlock()
+	t.ctx.Merge()
+}
+
+// ---- arena slab management ----------------------------------------------
+
+func (a *barena) freelistPush(s *bslab) {
+	s.freeNext = a.free[s.class]
+	s.freePrev = nil
+	if a.free[s.class] != nil {
+		a.free[s.class].freePrev = s
+	}
+	a.free[s.class] = s
+}
+
+func (a *barena) freelistRemove(s *bslab) {
+	if s.freePrev != nil {
+		s.freePrev.freeNext = s.freeNext
+	} else if a.free[s.class] == s {
+		a.free[s.class] = s.freeNext
+	}
+	if s.freeNext != nil {
+		s.freeNext.freePrev = s.freePrev
+	}
+	s.freePrev, s.freeNext = nil, nil
+}
+
+func (a *barena) onFreelist(s *bslab, class int) bool {
+	return s.freePrev != nil || s.freeNext != nil || a.free[class] == s
+}
+
+// newSlab allocates and formats a slab for the class. Caller holds the
+// arena lock.
+func (h *Heap) newSlab(c *pmem.Ctx, a *barena, class int) *bslab {
+	// Same crash ordering as NVAlloc: header before bookkeeping record.
+	h.large.Res.Acquire(c)
+	base, err := h.large.AllocDeferRecord(c, SlabSize, SlabSize, true)
+	h.large.Res.Release(c)
+	if err != nil {
+		return nil
+	}
+	blocks, dataOff := bslabGeometry(&h.cfg, class)
+	s := &bslab{
+		base:      base,
+		class:     class,
+		blockSize: sizeclass.Size(class),
+		blocks:    blocks,
+		dataOff:   dataOff,
+		vbits:     make([]uint64, (blocks+63)/64),
+		freeHeadV: -1,
+		owner:     a,
+	}
+	if h.cfg.Meta == MetaFreelist {
+		s.vnext = make([]int, blocks)
+		for i := 0; i < blocks-1; i++ {
+			s.vnext[i] = i + 1
+		}
+		s.vnext[blocks-1] = -1
+		s.freeHeadV = 0
+	}
+	h.dev.WriteU32(base+bsMagic, bslabMagic)
+	h.dev.WriteU32(base+bsClass, uint32(class))
+	h.dev.WriteU32(base+bsFreeHead, 1)
+	h.dev.Zero(base+bsMetaOff, int(dataOff)-bsMetaOff)
+	c.Flush(pmem.CatMeta, base, int(dataOff))
+	c.Fence()
+	h.large.Res.Acquire(c)
+	recErr := h.large.Record(c, base)
+	h.large.Res.Release(c)
+	if recErr != nil {
+		h.large.Res.Acquire(c)
+		_ = h.large.Free(c, base)
+		h.large.Res.Release(c)
+		return nil
+	}
+	h.slabsMu.Lock()
+	h.slabs[base] = s
+	h.slabsMu.Unlock()
+	a.freelistPush(s)
+	return s
+}
+
+// releaseSlab returns an empty slab to the large allocator.
+func (h *Heap) releaseSlab(c *pmem.Ctx, s *bslab) {
+	h.slabsMu.Lock()
+	delete(h.slabs, s.base)
+	h.slabsMu.Unlock()
+	h.large.Res.Acquire(c)
+	_ = h.large.Free(c, s.base)
+	h.large.Res.Release(c)
+}
+
+// compile-time use of slab constant parity (baseline slabs must match the
+// paper's size so space numbers are comparable).
+var _ = func() struct{} {
+	if SlabSize != slab.Size {
+		panic("baseline slab size must match nvalloc slab size")
+	}
+	return struct{}{}
+}()

@@ -1,0 +1,362 @@
+// Package blog implements NVAlloc's persistent bookkeeping log
+// (Section 5.3): a log-structured record of every live extent, written
+// sequentially so that large-allocation metadata never causes small
+// random writes to persistent memory.
+//
+// The log region holds a header plus 1 KiB chunks. Each chunk stores a
+// 64 B chunk header and up to 120 eight-byte entries (96 with the default
+// six stripes — see PerChunk) placed with the same interleaved mapping as
+// slab bitmaps so consecutive appends hit different cache lines. (The
+// paper packs 128 entries per chunk with an out-of-band header; we keep
+// the header inside the chunk for a self-contained layout.)
+//
+// Entry format (8 B, little endian):
+//
+//	bits  0..25  size in bytes (<= 64 MiB)
+//	bits 26..61  address >> 12 (extents are 4 KiB aligned)
+//	bits 62..63  type: 1 extent, 2 slab, 3 tombstone (0 = empty slot)
+//
+// Volatile state mirrors the paper: one vchunk (validity bitmap) per
+// active chunk, kept in a red-black tree; a free-chunk list; and an
+// address index so freeing an extent can clear the vbit of its normal
+// entry. Fast GC retires chunks whose vbitmap is empty by clearing one
+// activeness bit; slow GC rewrites live entries into a fresh chain and
+// flips the header's alt bit atomically.
+package blog
+
+import (
+	"fmt"
+
+	"nvalloc/internal/interleave"
+	"nvalloc/internal/pmem"
+	"nvalloc/internal/rbtree"
+)
+
+// ChunkSize is the persistent footprint of one log chunk.
+const ChunkSize = 1024
+
+// PerChunk returns the entry capacity of a chunk for a given stripe
+// count. A chunk has 15 usable lines after its header; interleaving pads
+// each stripe to whole cache lines, so the capacity is the largest
+// stripe-balanced layout that fits (120 entries sequentially, 96 with the
+// default 6 stripes; the paper's 128 assumes an out-of-band header and no
+// stripe padding).
+func PerChunk(stripes int) int {
+	usable := (ChunkSize - chunkHdrSize) / pmem.LineSize
+	if stripes < 1 {
+		stripes = 1
+	}
+	if stripes > usable {
+		stripes = usable
+	}
+	return (usable / stripes) * stripes * (pmem.LineSize / 8)
+}
+
+const (
+	headerSize   = pmem.LineSize // log header: two chain pointers + alt bit + break
+	chunkHdrSize = pmem.LineSize
+
+	// Log header field offsets.
+	offPtrA  = 0
+	offPtrB  = 8
+	offAlt   = 16
+	offBreak = 24
+
+	// Chunk header field offsets.
+	coMagic  = 0  // u32
+	coActive = 4  // u32 (1 = active)
+	coNext   = 8  // u64 next chunk in chain
+	coSeq    = 16 // u64 activation sequence; orders entries globally
+
+	chunkMagic = 0x4B4E4843 // "CHNK"
+)
+
+// Type tags a log entry.
+type Type uint8
+
+// Log entry types.
+const (
+	TypeEmpty     Type = 0
+	TypeExtent    Type = 1
+	TypeSlab      Type = 2
+	TypeTombstone Type = 3
+)
+
+// Record is a decoded live-extent record produced by recovery.
+type Record struct {
+	Addr pmem.PAddr
+	Size uint64
+	Slab bool
+}
+
+func encode(addr pmem.PAddr, size uint64, t Type) uint64 {
+	if size >= 1<<26 {
+		panic(fmt.Sprintf("blog: size %d exceeds 26-bit entry field", size))
+	}
+	if addr&0xFFF != 0 {
+		panic(fmt.Sprintf("blog: address %#x not 4K aligned", addr))
+	}
+	return size | uint64(addr>>12)<<26 | uint64(t)<<62
+}
+
+func decode(e uint64) (addr pmem.PAddr, size uint64, t Type) {
+	return pmem.PAddr(e>>26&(1<<36-1)) << 12, e & (1<<26 - 1), Type(e >> 62)
+}
+
+type entryRef struct {
+	chunk pmem.PAddr
+	slot  int
+}
+
+// vchunk is the volatile mirror of one active chunk.
+type vchunk struct {
+	addr   pmem.PAddr
+	bits   [2]uint64 // validity bitmap over the chunk's entries
+	live   int
+	queued bool // sitting in the empty-candidate queue
+}
+
+func (v *vchunk) set(slot int)        { v.bits[slot/64] |= 1 << (slot % 64); v.live++ }
+func (v *vchunk) clear(slot int)      { v.bits[slot/64] &^= 1 << (slot % 64); v.live-- }
+func (v *vchunk) valid(slot int) bool { return v.bits[slot/64]&(1<<(slot%64)) != 0 }
+
+// Log is the bookkeeping log. Callers serialize access (the large
+// allocator holds its resource lock across log operations).
+type Log struct {
+	dev     *pmem.Device
+	base    pmem.PAddr
+	size    uint64
+	im      interleave.Mapping
+	stripes int
+
+	perChunk int // entry capacity per chunk for this stripe count
+
+	chunks *rbtree.Tree[pmem.PAddr, *vchunk]
+	index  map[pmem.PAddr]entryRef // extent addr -> its normal entry
+	// dormant chunks were retired by fast GC but remain linked in the
+	// active chain; they are reactivated in place. free chunks are
+	// unlinked (slow GC output) and must be re-linked at the tail.
+	dormant []pmem.PAddr
+	free    []pmem.PAddr
+	// empties queues vchunks whose validity bitmap drained to zero, so
+	// fast GC retires them in O(retired) instead of scanning every chunk.
+	empties []*vchunk
+	current *vchunk
+	tail    pmem.PAddr // last chunk in the active chain
+	cursor  int        // next slot in current
+	nextSeq uint64     // next chunk activation sequence
+
+	// SlowGCThreshold is the active-chain byte size beyond which MaybeGC
+	// escalates from fast to slow GC.
+	SlowGCThreshold uint64
+
+	fastGCs, slowGCs uint64
+}
+
+// RegionSize returns a reasonable region size for a heap of the given
+// byte capacity (the paper provisions 100 MB for terabyte-class heaps;
+// we scale at ~1.5% with a floor).
+func RegionSize(heapBytes uint64) uint64 {
+	r := heapBytes / 64
+	if r < 64*ChunkSize {
+		r = 64 * ChunkSize
+	}
+	return (r + ChunkSize - 1) &^ (ChunkSize - 1)
+}
+
+// New formats a fresh log over [base, base+size).
+func New(dev *pmem.Device, base pmem.PAddr, size uint64, stripes int) *Log {
+	l := newLog(dev, base, size, stripes)
+	c := dev.NewCtx()
+	dev.Zero(base, headerSize)
+	dev.WriteU64(base+offBreak, uint64(base)+headerSize)
+	c.Flush(pmem.CatMeta, base, headerSize)
+	c.Fence()
+	c.Merge()
+	return l
+}
+
+func newLog(dev *pmem.Device, base pmem.PAddr, size uint64, stripes int) *Log {
+	if stripes < 1 {
+		stripes = 1
+	}
+	maxStripes := (ChunkSize - chunkHdrSize) / pmem.LineSize // one stripe per line at most
+	if stripes > maxStripes {
+		stripes = maxStripes
+	}
+	perChunk := PerChunk(stripes)
+	return &Log{
+		dev:             dev,
+		base:            base,
+		size:            size,
+		im:              interleave.New(perChunk, 64, stripes, pmem.LineSize),
+		stripes:         stripes,
+		perChunk:        perChunk,
+		chunks:          rbtree.New[pmem.PAddr, *vchunk](func(a, b pmem.PAddr) bool { return a < b }),
+		index:           make(map[pmem.PAddr]entryRef),
+		SlowGCThreshold: size * 3 / 4,
+	}
+}
+
+// EntriesPerChunk returns this log's per-chunk entry capacity.
+func (l *Log) EntriesPerChunk() int { return l.perChunk }
+
+// DataOffset implements extent.Bookkeeper: the log lives in its own
+// region, so heap chunks carry no per-chunk reservation.
+func (l *Log) DataOffset() uint64 { return 0 }
+
+func (l *Log) entryAddr(chunk pmem.PAddr, slot int) pmem.PAddr {
+	return chunk + chunkHdrSize + pmem.PAddr(l.im.ByteOffset(slot))
+}
+
+func (l *Log) headPtrOff() pmem.PAddr {
+	if l.dev.ReadU64(l.base+offAlt)&1 == 0 {
+		return l.base + offPtrA
+	}
+	return l.base + offPtrB
+}
+
+func (l *Log) sparePtrOff() pmem.PAddr {
+	if l.dev.ReadU64(l.base+offAlt)&1 == 0 {
+		return l.base + offPtrB
+	}
+	return l.base + offPtrA
+}
+
+// newChunk obtains a chunk and makes it current. Preference order:
+// reactivate a dormant chunk in place, relink a free chunk at the tail,
+// or carve a fresh chunk from the region break. If no chunk is at hand it
+// first attempts a fast GC pass.
+func (l *Log) newChunk(c *pmem.Ctx) error {
+	if len(l.dormant) == 0 && len(l.free) == 0 && !l.breakHasRoom() {
+		l.FastGC(c)
+	}
+	var addr pmem.PAddr
+	switch {
+	case len(l.dormant) > 0:
+		// Dormant chunks stay linked where they are; wipe stale entries,
+		// bump the activation sequence and flip the activeness bit. The
+		// wipe is a sequential burst amortized over EntriesPerChunk
+		// appends.
+		addr = l.dormant[len(l.dormant)-1]
+		l.dormant = l.dormant[:len(l.dormant)-1]
+		l.dev.Zero(addr+chunkHdrSize, ChunkSize-chunkHdrSize)
+		c.Flush(pmem.CatMeta, addr+chunkHdrSize, ChunkSize-chunkHdrSize)
+		c.Fence()
+		l.dev.WriteU32(addr+coActive, 1)
+		l.dev.WriteU64(addr+coSeq, l.nextSeq)
+		c.Flush(pmem.CatMeta, addr, chunkHdrSize)
+		c.Fence()
+	case len(l.free) > 0:
+		addr = l.free[len(l.free)-1]
+		l.free = l.free[:len(l.free)-1]
+		l.dev.Zero(addr+chunkHdrSize, ChunkSize-chunkHdrSize)
+		c.Flush(pmem.CatMeta, addr+chunkHdrSize, ChunkSize-chunkHdrSize)
+		l.initAndLink(c, addr)
+	default:
+		brk := pmem.PAddr(l.dev.ReadU64(l.base + offBreak))
+		if uint64(brk)+ChunkSize > uint64(l.base)+l.size {
+			return fmt.Errorf("blog: log region exhausted (%d bytes)", l.size)
+		}
+		addr = brk
+		c.PersistU64(pmem.CatMeta, l.base+offBreak, uint64(brk)+ChunkSize)
+		l.initAndLink(c, addr)
+	}
+	l.nextSeq++
+	v := &vchunk{addr: addr}
+	l.chunks.Put(addr, v)
+	l.current = v
+	l.cursor = 0
+	return nil
+}
+
+func (l *Log) breakHasRoom() bool {
+	brk := l.dev.ReadU64(l.base + offBreak)
+	return brk+ChunkSize <= uint64(l.base)+l.size
+}
+
+// initAndLink writes a fresh header for an unlinked chunk and splices it
+// at the tail of the active chain (header persisted before the link so a
+// crash never exposes an uninitialized chunk).
+func (l *Log) initAndLink(c *pmem.Ctx, addr pmem.PAddr) {
+	l.dev.WriteU32(addr+coMagic, chunkMagic)
+	l.dev.WriteU32(addr+coActive, 1)
+	l.dev.WriteU64(addr+coNext, 0)
+	l.dev.WriteU64(addr+coSeq, l.nextSeq)
+	c.Flush(pmem.CatMeta, addr, chunkHdrSize)
+	c.Fence()
+	if l.tail == pmem.Null {
+		c.PersistU64(pmem.CatMeta, l.headPtrOff(), uint64(addr))
+	} else {
+		c.PersistU64(pmem.CatMeta, l.tail+coNext, uint64(addr))
+	}
+	c.Fence()
+	l.tail = addr
+}
+
+func (l *Log) append(c *pmem.Ctx, e uint64) (entryRef, error) {
+	if l.current == nil || l.cursor >= l.perChunk {
+		if err := l.newChunk(c); err != nil {
+			return entryRef{}, err
+		}
+	}
+	slot := l.cursor
+	l.cursor++
+	a := l.entryAddr(l.current.addr, slot)
+	c.PersistU64(pmem.CatMeta, a, e)
+	c.Fence()
+	l.current.set(slot)
+	return entryRef{chunk: l.current.addr, slot: slot}, nil
+}
+
+// RecordAlloc appends a normal entry for a newly live extent.
+func (l *Log) RecordAlloc(c *pmem.Ctx, addr pmem.PAddr, size uint64, slab bool) error {
+	t := TypeExtent
+	if slab {
+		t = TypeSlab
+	}
+	ref, err := l.append(c, encode(addr, size, t))
+	if err != nil {
+		return err
+	}
+	l.index[addr] = ref
+	return nil
+}
+
+// RecordFree appends a tombstone for addr and invalidates its normal
+// entry's vbit. It is an error to free an unrecorded address.
+func (l *Log) RecordFree(c *pmem.Ctx, addr pmem.PAddr) error {
+	ref, ok := l.index[addr]
+	if !ok {
+		return fmt.Errorf("blog: free of unrecorded extent %#x", addr)
+	}
+	if _, err := l.append(c, encode(addr, 0, TypeTombstone)); err != nil {
+		return err
+	}
+	delete(l.index, addr)
+	if v, ok := l.chunks.Get(ref.chunk); ok {
+		v.clear(ref.slot)
+		l.noteEmpty(v)
+	}
+	return nil
+}
+
+// noteEmpty queues a fully invalidated chunk for fast GC.
+func (l *Log) noteEmpty(v *vchunk) {
+	if v.live == 0 && !v.queued && v != l.current {
+		v.queued = true
+		l.empties = append(l.empties, v)
+	}
+}
+
+// Live returns the number of live (indexed) extents.
+func (l *Log) Live() int { return len(l.index) }
+
+// ActiveChunks returns the number of chunks in the active chain.
+func (l *Log) ActiveChunks() int { return l.chunks.Len() }
+
+// FreeChunks returns the length of the free-chunk list.
+func (l *Log) FreeChunks() int { return len(l.free) }
+
+// GCCounts returns how many fast and slow GC passes have run.
+func (l *Log) GCCounts() (fast, slow uint64) { return l.fastGCs, l.slowGCs }

@@ -1,0 +1,27 @@
+package blog
+
+import (
+	"testing"
+
+	"nvalloc/internal/pmem"
+)
+
+// FuzzEntryCodec checks the 8-byte entry encoding over its full domain.
+func FuzzEntryCodec(f *testing.F) {
+	f.Add(uint32(1), uint32(4096), byte(1))
+	f.Add(uint32(1<<20), uint32(1<<25), byte(3))
+	f.Fuzz(func(t *testing.T, page, sizeRaw uint32, typRaw byte) {
+		addr := pmem36(page)
+		size := uint64(sizeRaw) % (1 << 26)
+		typ := Type(typRaw%3 + 1)
+		a, s, ty := decode(encode(addr, size, typ))
+		if a != addr || s != size || ty != typ {
+			t.Fatalf("roundtrip: (%#x,%d,%d) -> (%#x,%d,%d)", addr, size, typ, a, s, ty)
+		}
+	})
+}
+
+// pmem36 builds a 4 KiB-aligned address within the 36-bit page field.
+func pmem36(page uint32) pmem.PAddr {
+	return pmem.PAddr(page) << 12
+}

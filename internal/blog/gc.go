@@ -1,0 +1,168 @@
+package blog
+
+import (
+	"fmt"
+	"sort"
+
+	"nvalloc/internal/pmem"
+	"nvalloc/internal/rbtree"
+)
+
+// FastGC retires every active chunk whose validity bitmap is empty by
+// clearing its activeness bit (one flush per retired chunk, no entry
+// copying). Retired chunks stay linked in the chain and are reactivated
+// in place when a new chunk is needed. Returns the number of chunks
+// retired.
+func (l *Log) FastGC(c *pmem.Ctx) int {
+	retired := 0
+	for _, v := range l.empties {
+		v.queued = false
+		// Revalidate: the chunk may have been refilled (reactivated as
+		// current) or already recycled by a slow GC since it was queued.
+		cur, ok := l.chunks.Get(v.addr)
+		if !ok || cur != v || v.live != 0 || v == l.current {
+			continue
+		}
+		l.dev.WriteU32(v.addr+coActive, 0)
+		c.Flush(pmem.CatMeta, v.addr, chunkHdrSize)
+		l.chunks.Delete(v.addr)
+		l.dormant = append(l.dormant, v.addr)
+		retired++
+	}
+	l.empties = l.empties[:0]
+	if retired > 0 {
+		c.Fence()
+		l.fastGCs++
+	}
+	return retired
+}
+
+// SlowGC rewrites every live normal entry into a fresh chunk chain built
+// on the spare header pointer, then commits by flipping the alt bit with
+// a single 8-byte persist. Tombstones and dead entries are dropped; every
+// chunk of the old chain (active or dormant) becomes free. Returns the
+// number of live entries copied.
+func (l *Log) SlowGC(c *pmem.Ctx) (int, error) {
+	// Snapshot live entries in activation order so the new chain keeps
+	// the (simple) invariant that one normal entry per live address
+	// exists.
+	type liveEntry struct {
+		addr pmem.PAddr
+		raw  uint64
+	}
+	var live []liveEntry
+	for addr, ref := range l.index {
+		raw := l.dev.ReadU64(l.entryAddr(ref.chunk, ref.slot))
+		live = append(live, liveEntry{addr: addr, raw: raw})
+		c.Charge(pmem.CatSearch, 5)
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].addr < live[j].addr })
+
+	need := (len(live) + l.perChunk - 1) / l.perChunk
+	// The new chain may only use unlinked chunks: the free list plus the
+	// region break. Dormant chunks still belong to the old chain.
+	brk := l.dev.ReadU64(l.base + offBreak)
+	fromBreak := int((uint64(l.base) + l.size - brk) / ChunkSize)
+	if need > len(l.free)+fromBreak {
+		return 0, fmt.Errorf("blog: slow GC needs %d chunks, only %d available", need, len(l.free)+fromBreak)
+	}
+
+	// Build the new chain fully before committing.
+	var (
+		newHead, prev pmem.PAddr
+		newChunks     []pmem.PAddr
+	)
+	takeChunk := func() pmem.PAddr {
+		var a pmem.PAddr
+		if n := len(l.free); n > 0 {
+			a = l.free[n-1]
+			l.free = l.free[:n-1]
+			l.dev.Zero(a+chunkHdrSize, ChunkSize-chunkHdrSize)
+		} else {
+			a = pmem.PAddr(brk)
+			brk += ChunkSize
+		}
+		return a
+	}
+	newIndex := make(map[pmem.PAddr]entryRef, len(live))
+	newVchunks := make([]*vchunk, 0, need)
+	for ci := 0; ci < need; ci++ {
+		ca := takeChunk()
+		newChunks = append(newChunks, ca)
+		l.dev.WriteU32(ca+coMagic, chunkMagic)
+		l.dev.WriteU32(ca+coActive, 1)
+		l.dev.WriteU64(ca+coNext, 0)
+		l.dev.WriteU64(ca+coSeq, l.nextSeq)
+		l.nextSeq++
+		v := &vchunk{addr: ca}
+		lo := ci * l.perChunk
+		hi := lo + l.perChunk
+		if hi > len(live) {
+			hi = len(live)
+		}
+		for slot, e := range live[lo:hi] {
+			l.dev.WriteU64(l.entryAddr(ca, slot), e.raw)
+			v.set(slot)
+			newIndex[e.addr] = entryRef{chunk: ca, slot: slot}
+		}
+		// One sequential burst per chunk: header plus entry lines.
+		c.Flush(pmem.CatMeta, ca, ChunkSize)
+		if prev != pmem.Null {
+			l.dev.WriteU64(prev+coNext, uint64(ca))
+			c.FlushU64(pmem.CatMeta, prev+coNext)
+		} else {
+			newHead = ca
+		}
+		prev = ca
+		newVchunks = append(newVchunks, v)
+	}
+	c.Fence()
+
+	// Persist the new break and the spare head pointer, then commit by
+	// flipping the alt bit (8-byte atomic persist).
+	c.PersistU64(pmem.CatMeta, l.base+offBreak, brk)
+	c.PersistU64(pmem.CatMeta, l.sparePtrOff(), uint64(newHead))
+	c.Fence()
+	alt := l.dev.ReadU64(l.base + offAlt)
+	c.PersistU64(pmem.CatMeta, l.base+offAlt, alt^1)
+	c.Fence()
+
+	// Recycle the entire old chain.
+	l.chunks.Ascend(func(addr pmem.PAddr, _ *vchunk) bool {
+		l.free = append(l.free, addr)
+		return true
+	})
+	l.free = append(l.free, l.dormant...)
+	l.dormant = nil
+	for _, v := range l.empties {
+		v.queued = false
+	}
+	l.empties = l.empties[:0]
+	l.chunks = rbtree.New[pmem.PAddr, *vchunk](func(a, b pmem.PAddr) bool { return a < b })
+	for _, v := range newVchunks {
+		l.chunks.Put(v.addr, v)
+	}
+	l.index = newIndex
+	if need > 0 {
+		l.tail = newChunks[need-1]
+		l.current = newVchunks[need-1]
+		l.cursor = len(live) - (need-1)*l.perChunk
+	} else {
+		l.tail = pmem.Null
+		l.current = nil
+		l.cursor = 0
+	}
+	l.slowGCs++
+	return len(live), nil
+}
+
+// MaybeGC applies the paper's policy: run fast GC routinely; escalate to
+// slow GC once the active chain exceeds SlowGCThreshold bytes. Call it
+// periodically (the large allocator invokes it on frees).
+func (l *Log) MaybeGC(c *pmem.Ctx) {
+	l.FastGC(c)
+	if uint64(l.chunks.Len())*ChunkSize > l.SlowGCThreshold {
+		// Best effort: a full region with everything live cannot shrink.
+		_, _ = l.SlowGC(c)
+	}
+}

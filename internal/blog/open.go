@@ -1,0 +1,127 @@
+package blog
+
+import (
+	"sort"
+
+	"nvalloc/internal/pmem"
+)
+
+// Open reopens an existing log after a restart or crash. It walks the
+// active chunk chain, replays normal and tombstone entries in activation
+// order, rebuilds the volatile vchunks/index/free structures, and returns
+// the records of every live extent. Recovery work is charged to c.
+func Open(dev *pmem.Device, base pmem.PAddr, size uint64, stripes int) (*Log, []Record, error) {
+	l := newLog(dev, base, size, stripes)
+	c := dev.NewCtx()
+	defer c.Merge()
+
+	type chunkInfo struct {
+		addr   pmem.PAddr
+		seq    uint64
+		active bool
+	}
+	var chain []chunkInfo
+	head := pmem.PAddr(dev.ReadU64(l.headPtrOff()))
+	seen := make(map[pmem.PAddr]bool)
+	for a := head; a != pmem.Null && !seen[a]; a = pmem.PAddr(dev.ReadU64(a + coNext)) {
+		seen[a] = true
+		if dev.ReadU32(a+coMagic) != chunkMagic {
+			break // torn chunk init at the tail: the chain ends here
+		}
+		chain = append(chain, chunkInfo{
+			addr:   a,
+			seq:    dev.ReadU64(a + coSeq),
+			active: dev.ReadU32(a+coActive) == 1,
+		})
+		c.Charge(pmem.CatSearch, 20)
+	}
+
+	// Replay entries in global activation order.
+	ordered := make([]chunkInfo, 0, len(chain))
+	for _, ci := range chain {
+		if ci.active {
+			ordered = append(ordered, ci)
+		} else {
+			l.dormant = append(l.dormant, ci.addr)
+		}
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].seq < ordered[j].seq })
+
+	type liveRef struct {
+		ref entryRef
+		rec Record
+	}
+	livemap := make(map[pmem.PAddr]liveRef)
+	var maxSeq uint64
+	for _, ci := range ordered {
+		if ci.seq > maxSeq {
+			maxSeq = ci.seq
+		}
+		v := &vchunk{addr: ci.addr}
+		l.chunks.Put(ci.addr, v)
+		for slot := 0; slot < l.perChunk; slot++ {
+			raw := dev.ReadU64(l.entryAddr(ci.addr, slot))
+			c.Charge(pmem.CatSearch, 2)
+			if raw == 0 {
+				continue
+			}
+			addr, sz, t := decode(raw)
+			switch t {
+			case TypeExtent, TypeSlab:
+				// A later normal entry for the same address supersedes an
+				// earlier one (free+realloc at the same address whose
+				// tombstone chunk was already retired).
+				if prev, ok := livemap[addr]; ok {
+					if pv, ok := l.chunks.Get(prev.ref.chunk); ok {
+						pv.clear(prev.ref.slot)
+					}
+				}
+				v.set(slot)
+				livemap[addr] = liveRef{
+					ref: entryRef{chunk: ci.addr, slot: slot},
+					rec: Record{Addr: addr, Size: sz, Slab: t == TypeSlab},
+				}
+			case TypeTombstone:
+				// Tombstones keep their vbit (they die at slow GC), and
+				// kill the live record for their address if present.
+				v.set(slot)
+				if prev, ok := livemap[addr]; ok {
+					if pv, ok := l.chunks.Get(prev.ref.chunk); ok {
+						pv.clear(prev.ref.slot)
+					}
+					delete(livemap, addr)
+				}
+			}
+		}
+	}
+	l.nextSeq = maxSeq + 1
+
+	// Resume appending in the chain tail if it is active and has room.
+	if n := len(chain); n > 0 {
+		l.tail = chain[n-1].addr
+		if v, ok := l.chunks.Get(l.tail); ok {
+			cur := 0
+			for cur < l.perChunk && dev.ReadU64(l.entryAddr(l.tail, cur)) != 0 {
+				cur++
+			}
+			if cur < l.perChunk {
+				l.current = v
+				l.cursor = cur
+			}
+		}
+	}
+
+	// Queue any fully dead chunks for fast GC.
+	l.chunks.Ascend(func(_ pmem.PAddr, v *vchunk) bool {
+		l.noteEmpty(v)
+		return true
+	})
+
+	records := make([]Record, 0, len(livemap))
+	for addr, lr := range livemap {
+		l.index[addr] = lr.ref
+		records = append(records, lr.rec)
+	}
+	sort.Slice(records, func(i, j int) bool { return records[i].Addr < records[j].Addr })
+	return l, records, nil
+}

@@ -1,0 +1,327 @@
+package core
+
+import (
+	"sync"
+
+	"nvalloc/internal/pmem"
+	"nvalloc/internal/sizeclass"
+	"nvalloc/internal/slab"
+	"nvalloc/internal/tcache"
+	"nvalloc/internal/walog"
+)
+
+// arena is one per-core allocation domain: per-class freelists of
+// partially full slabs, the LRU list of morph candidates, and the
+// arena's WAL. Its resource lock serializes all structural operations
+// and models the paper's arena synchronization in virtual time.
+type arena struct {
+	h     *Heap
+	index int
+	res   pmem.Resource
+	wal   *walog.Log // nil in the GC variant's runtime path? (kept for morph records)
+
+	// freelists[class] heads doubly linked lists of slabs with free (or
+	// reservable) blocks.
+	freelists []*slab.Slab
+	// LRU list of slabs (morph candidates); head = least recently used.
+	lruHead, lruTail *slab.Slab
+	// candidates holds slabs whose usage dropped below the SU threshold;
+	// morphInto validates and consumes them in O(1) instead of scanning
+	// the whole LRU list on every slab acquisition. candMu protects it
+	// because the GC variant's free path runs without the arena lock.
+	candMu     sync.Mutex
+	candidates []*slab.Slab
+
+	threads int // assigned thread count (least-loaded assignment)
+
+	// Stats.
+	morphs, morphRefusals uint64
+}
+
+func newArena(h *Heap, index int) *arena {
+	return &arena{
+		h:         h,
+		index:     index,
+		freelists: make([]*slab.Slab, sizeclass.NumClasses()),
+	}
+}
+
+// ---- intrusive list plumbing -------------------------------------------
+
+func (a *arena) freelistPush(s *slab.Slab) {
+	cls := s.Class
+	s.FreeNext = a.freelists[cls]
+	s.FreePrev = nil
+	if a.freelists[cls] != nil {
+		a.freelists[cls].FreePrev = s
+	}
+	a.freelists[cls] = s
+}
+
+func (a *arena) freelistRemove(s *slab.Slab) {
+	if s.FreePrev != nil {
+		s.FreePrev.FreeNext = s.FreeNext
+	} else if a.freelists[s.Class] == s {
+		a.freelists[s.Class] = s.FreeNext
+	}
+	if s.FreeNext != nil {
+		s.FreeNext.FreePrev = s.FreePrev
+	}
+	s.FreePrev, s.FreeNext = nil, nil
+}
+
+func (a *arena) onFreelist(s *slab.Slab) bool {
+	return s.FreePrev != nil || s.FreeNext != nil || a.freelists[s.Class] == s
+}
+
+func (a *arena) lruPushTail(s *slab.Slab) {
+	s.LRUPrev = a.lruTail
+	s.LRUNext = nil
+	if a.lruTail != nil {
+		a.lruTail.LRUNext = s
+	}
+	a.lruTail = s
+	if a.lruHead == nil {
+		a.lruHead = s
+	}
+}
+
+func (a *arena) lruRemove(s *slab.Slab) {
+	if s.LRUPrev != nil {
+		s.LRUPrev.LRUNext = s.LRUNext
+	} else if a.lruHead == s {
+		a.lruHead = s.LRUNext
+	}
+	if s.LRUNext != nil {
+		s.LRUNext.LRUPrev = s.LRUPrev
+	} else if a.lruTail == s {
+		a.lruTail = s.LRUPrev
+	}
+	s.LRUPrev, s.LRUNext = nil, nil
+}
+
+func (a *arena) lruTouch(s *slab.Slab) {
+	if a.lruTail == s {
+		return
+	}
+	a.lruRemove(s)
+	a.lruPushTail(s)
+}
+
+// ---- slab acquisition ---------------------------------------------------
+
+// fill refills tc with up to want blocks of the class. Caller does NOT
+// hold the arena lock. Returns the number of blocks cached.
+func (a *arena) fill(c *pmem.Ctx, class int, tc *tcache.Cache, want int) int {
+	a.res.Acquire(c)
+	defer a.res.Release(c)
+	got := 0
+	var idxBuf []int
+	for got < want {
+		s := a.freelists[class]
+		if s == nil {
+			s = a.acquireSlab(c, class)
+			if s == nil {
+				break
+			}
+		}
+		s.Mu.Lock()
+		idxBuf = s.Reserve(want-got, idxBuf[:0])
+		full := s.FreeCount() == 0
+		for _, idx := range idxBuf {
+			tc.Push(a.tcacheStripe(s, idx), tcache.Block{Slab: s, Idx: idx})
+		}
+		s.Mu.Unlock()
+		got += len(idxBuf)
+		a.lruTouch(s)
+		if full {
+			a.freelistRemove(s)
+		}
+		c.Charge(pmem.CatSearch, 20)
+	}
+	return got
+}
+
+func (a *arena) tcacheStripe(s *slab.Slab, idx int) int {
+	if a.h.tcacheStripes == 1 {
+		return 0
+	}
+	return s.Stripe(idx)
+}
+
+// acquireSlab finds a slab with free blocks for the class: morphing an
+// underused slab of another class first (per the paper), else a new slab
+// extent from the large allocator. Caller holds the arena lock.
+func (a *arena) acquireSlab(c *pmem.Ctx, class int) *slab.Slab {
+	if a.h.opts.Morphing {
+		if s := a.morphInto(c, class); s != nil {
+			return s
+		}
+	}
+	return a.newSlab(c, class)
+}
+
+// noteCandidate queues a slab whose occupancy fell below the SU
+// threshold. Caller holds the slab lock.
+func (a *arena) noteCandidate(s *slab.Slab) {
+	if !a.h.opts.Morphing || s.MorphCand || s.Dead || s.OldClass >= 0 {
+		return
+	}
+	s.MorphCand = true
+	a.candMu.Lock()
+	a.candidates = append(a.candidates, s)
+	a.candMu.Unlock()
+}
+
+// morphInto consumes the candidate list — slabs whose usage dropped below
+// the SU occupancy threshold — looking for one that can legally morph
+// into the requested class (the paper scans the LRU list; the candidate
+// list finds the same slabs without a per-acquisition O(n) walk). On
+// success the slab is re-labelled and moved to the class's freelist.
+func (a *arena) morphInto(c *pmem.Ctx, class int) *slab.Slab {
+	h := a.h
+	a.candMu.Lock()
+	cands := a.candidates
+	a.candidates = nil
+	a.candMu.Unlock()
+	var keep []*slab.Slab
+	var winner *slab.Slab
+	for len(cands) > 0 && winner == nil {
+		s := cands[len(cands)-1]
+		cands = cands[:len(cands)-1]
+		s.MorphCand = false
+		c.Charge(pmem.CatSearch, 15)
+		if s.Dead || s.Owner != a.index {
+			continue
+		}
+		s.Mu.Lock()
+		if s.Class == class || s.Usage() >= h.opts.SU || !s.CanMorphTo(class) {
+			// Not usable for this class; keep it queued if it remains a
+			// plausible candidate for other classes.
+			requeue := s.OldClass < 0 && s.Usage() < h.opts.SU
+			s.Mu.Unlock()
+			a.morphRefusals++
+			if requeue {
+				s.MorphCand = true
+				keep = append(keep, s)
+			}
+			continue
+		}
+		if a.wal != nil && h.useWAL {
+			a.wal.Append(c, walog.Entry{Op: walog.OpMorph, Addr: s.Base, Aux: uint64(class)})
+		}
+		a.freelistRemove(s)
+		err := s.MorphTo(c, class, h.persistSmall)
+		s.Mu.Unlock()
+		if err != nil {
+			a.freelistPush(s)
+			a.morphRefusals++
+			continue
+		}
+		// A slab_in leaves the LRU list (it cannot morph again) and joins
+		// the new class's freelist.
+		a.lruRemove(s)
+		a.freelistPush(s)
+		a.morphs++
+		winner = s
+	}
+	a.candMu.Lock()
+	a.candidates = append(a.candidates, append(cands, keep...)...)
+	a.candMu.Unlock()
+	return winner
+}
+
+// newSlab allocates and formats a fresh slab extent. Caller holds the
+// arena lock (the large allocator has its own).
+func (a *arena) newSlab(c *pmem.Ctx, class int) *slab.Slab {
+	h := a.h
+	// Crash ordering: carve the extent, format the slab header, and only
+	// then persist the bookkeeping record — recovery must never see a
+	// recorded slab without a valid header.
+	h.large.Res.Acquire(c)
+	base, err := h.large.AllocDeferRecord(c, slab.Size, slab.Size, true)
+	h.large.Res.Release(c)
+	if err != nil {
+		return nil
+	}
+	s := slab.Format(h.dev, c, base, class, h.bitmapStripes, h.persistSmall)
+	h.large.Res.Acquire(c)
+	err = h.large.Record(c, base)
+	h.large.Res.Release(c)
+	if err != nil {
+		// Bookkeeping exhausted: surface as allocation failure; the carved
+		// extent is returned to the free lists.
+		h.large.Res.Acquire(c)
+		_ = h.large.Free(c, base)
+		h.large.Res.Release(c)
+		return nil
+	}
+	s.Owner = a.index
+	h.slabsMu.Lock()
+	h.slabs[base] = s
+	h.slabsMu.Unlock()
+	a.freelistPush(s)
+	a.lruPushTail(s)
+	return s
+}
+
+// releaseSlab returns a completely empty slab to the large allocator.
+// Caller holds the arena lock and the slab is not on any list.
+func (a *arena) releaseSlab(c *pmem.Ctx, s *slab.Slab) {
+	h := a.h
+	s.Dead = true
+	h.slabsMu.Lock()
+	delete(h.slabs, s.Base)
+	h.slabsMu.Unlock()
+	h.large.Res.Acquire(c)
+	_ = h.large.Free(c, s.Base)
+	h.large.Res.Release(c)
+}
+
+// freeBypass returns a block straight to its slab (tcache full or
+// drained). Caller does not hold locks.
+func (a *arena) freeBypass(c *pmem.Ctx, s *slab.Slab, idx int, fromCache bool) {
+	a.res.Acquire(c)
+	s.Mu.Lock()
+	if fromCache {
+		s.Unreserve(idx)
+	} else {
+		if a.wal != nil && a.h.useWAL {
+			a.wal.Append(c, walog.Entry{Op: walog.OpFreeBit, Addr: s.Base, Aux: uint64(idx)})
+		}
+		s.FreeBlock(c, idx, a.h.persistSmall)
+	}
+	empty := s.Allocated == 0 && s.Reserved == 0
+	wasOff := !a.onFreelist(s)
+	if s.Usage() < a.h.opts.SU {
+		a.noteCandidate(s)
+	}
+	s.Mu.Unlock()
+	if wasOff && !empty {
+		a.freelistPush(s)
+	}
+	a.lruTouch(s)
+	if empty && s.OldClass < 0 {
+		// Keep one spare slab per class; release the rest.
+		if a.spareExists(s) {
+			if a.onFreelist(s) {
+				a.freelistRemove(s)
+			}
+			a.lruRemove(s)
+			a.res.Release(c)
+			a.releaseSlab(c, s)
+			return
+		}
+		if wasOff {
+			a.freelistPush(s)
+		}
+	}
+	a.res.Release(c)
+}
+
+// spareExists reports whether the class has another slab with free space
+// besides s. Caller holds the arena lock.
+func (a *arena) spareExists(s *slab.Slab) bool {
+	head := a.freelists[s.Class]
+	return head != nil && (head != s || head.FreeNext != nil)
+}

@@ -1,0 +1,433 @@
+// Package core assembles NVAlloc from its substrates: per-core arenas
+// with per-class slab freelists and an LRU list of morph candidates,
+// per-thread interleaved tcaches, per-arena write-ahead logs, the global
+// large allocator with log-structured bookkeeping, slab morphing, and
+// the two consistency variants of the paper — NVAlloc-LOG (WAL-based)
+// and NVAlloc-GC (post-crash conservative garbage collection).
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"nvalloc/internal/alloc"
+	"nvalloc/internal/blog"
+	"nvalloc/internal/extent"
+	"nvalloc/internal/pmem"
+	"nvalloc/internal/slab"
+	"nvalloc/internal/walog"
+)
+
+// Variant selects the crash-consistency model.
+type Variant int
+
+// Consistency variants.
+const (
+	// LOG is NVAlloc-LOG: every metadata update goes through a WAL and is
+	// flushed eagerly (strongly consistent).
+	LOG Variant = iota
+	// GC is NVAlloc-GC: the small-allocation path persists nothing;
+	// recovery runs a conservative GC from the root slots (weakly
+	// consistent, fastest runtime).
+	GC
+	// IC is NVAlloc-IC, the paper's future-work variant using internal
+	// collection: bitmap updates are persisted eagerly (no WAL), and the
+	// application resolves crash-time leaks by iterating Heap.Objects —
+	// the PMDK POBJ_FIRST/POBJ_NEXT model.
+	IC
+)
+
+func (v Variant) String() string {
+	switch v {
+	case GC:
+		return "NVAlloc-GC"
+	case IC:
+		return "NVAlloc-IC"
+	default:
+		return "NVAlloc-LOG"
+	}
+}
+
+// Options configures a heap. The zero value is completed by
+// (&Options{}).withDefaults(); feature toggles exist so the Figure 11
+// ablations (Base, +Interleaved, +Log) can be built from the same code.
+type Options struct {
+	Variant Variant
+	// Arenas is the number of per-core arenas (the paper binds one arena
+	// per CPU core on a 40-core machine). Default 16.
+	Arenas int
+	// Stripes is the interleaved-mapping stripe count (paper default 6).
+	Stripes int
+	// InterleaveBitmap applies interleaved mapping to slab bitmaps.
+	InterleaveBitmap bool
+	// InterleaveTcache splits tcaches into per-stripe sub-tcaches.
+	InterleaveTcache bool
+	// InterleaveWAL applies interleaved mapping to WAL entries.
+	InterleaveWAL bool
+	// LogBookkeeping uses the log-structured bookkeeping log for large
+	// allocations; false falls back to classic in-place chunk headers.
+	LogBookkeeping bool
+	// Morphing enables slab morphing.
+	Morphing bool
+	// SU is the slab space-utilization threshold below which a slab may
+	// morph (paper default 0.20).
+	SU float64
+	// TcacheCap is the per-class tcache capacity in blocks.
+	TcacheCap int
+	// WALEntries is the per-arena WAL ring capacity.
+	WALEntries int
+	// BlogGC enables the bookkeeping log's garbage collection.
+	BlogGC bool
+	// BlogGCThreshold overrides the active-chain byte size that triggers
+	// slow GC (0 = the log's default of 3/4 of its region; the paper's
+	// Usage_pmem is a small fraction of the heap).
+	BlogGCThreshold uint64
+	// FirstFitExtents switches the large allocator to address-ordered
+	// first fit (ablation).
+	FirstFitExtents bool
+}
+
+// DefaultOptions returns the paper's configuration for a variant.
+func DefaultOptions(v Variant) Options {
+	return Options{
+		Variant:          v,
+		Arenas:           16,
+		Stripes:          6,
+		InterleaveBitmap: true,
+		InterleaveTcache: true,
+		InterleaveWAL:    true,
+		LogBookkeeping:   true,
+		Morphing:         true,
+		SU:               0.20,
+		TcacheCap:        24,
+		WALEntries:       1024,
+		BlogGC:           true,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	if o.Arenas <= 0 {
+		o.Arenas = 16
+	}
+	if o.Stripes <= 0 {
+		o.Stripes = 6
+	}
+	if o.SU <= 0 {
+		o.SU = 0.20
+	}
+	if o.TcacheCap <= 0 {
+		o.TcacheCap = 24
+	}
+	if o.WALEntries <= 0 {
+		o.WALEntries = 1024
+	}
+	return o
+}
+
+// Superblock layout (at device page 1; page 0 is the null guard).
+const (
+	superBase = pmem.PAddr(4096)
+
+	sbMagic      = 0
+	sbVersion    = 8
+	sbState      = 16
+	sbArenas     = 24
+	sbStripes    = 32
+	sbVariant    = 40
+	sbHeapBase   = 48
+	sbBreak      = 56 // the heap break cell itself
+	sbBlogBase   = 64
+	sbBlogSize   = 72
+	sbWALBase    = 80
+	sbWALEnts    = 88
+	sbBookMode   = 96
+	sbWALStripes = 104 // stripe count used by WAL + blog entry layout
+	sbRoots      = 128 // alloc.NumRootSlots * 8 bytes
+
+	superMagic   = 0x4E56414C4C4F4321 // "NVALLOC!"
+	superVersion = 1
+)
+
+// Heap run-state values (the paper's per-arena flag, kept globally plus
+// per arena).
+const (
+	stateFresh    = 0
+	stateRunning  = 1
+	stateShutdown = 2
+	stateRecovery = 3
+)
+
+// arenaFlagsBase: per-arena run-state flags live in the superblock page.
+const arenaFlagsBase = superBase + 1024
+
+// Heap is an NVAlloc heap instance.
+type Heap struct {
+	dev  *pmem.Device
+	opts Options
+
+	bitmapStripes int // 1 when bitmap interleaving is off
+	tcacheStripes int
+	walStripes    int
+	persistSmall  bool // LOG and IC variants flush small metadata
+	useWAL        bool // LOG variant only
+
+	arenas []*arena
+	large  *extent.Allocator
+	book   extent.Bookkeeper
+	blog   *blog.Log // non-nil iff LogBookkeeping
+
+	slabsMu sync.RWMutex
+	slabs   map[pmem.PAddr]*slab.Slab // slab base -> vslab
+
+	threadsMu sync.Mutex
+	nextOwner int
+	closed    bool
+
+	heapBase pmem.PAddr
+}
+
+var _ alloc.Heap = (*Heap)(nil)
+
+// Create formats the device as a fresh NVAlloc heap.
+func Create(dev *pmem.Device, opts Options) (*Heap, error) {
+	opts = opts.withDefaults()
+	h, err := layout(dev, opts)
+	if err != nil {
+		return nil, err
+	}
+	c := dev.NewCtx()
+	defer c.Merge()
+
+	// Persist the superblock.
+	w := func(off pmem.PAddr, v uint64) { dev.WriteU64(superBase+off, v) }
+	w(sbMagic, superMagic)
+	w(sbVersion, superVersion)
+	w(sbState, stateRunning)
+	w(sbArenas, uint64(opts.Arenas))
+	w(sbStripes, uint64(opts.Stripes))
+	w(sbVariant, uint64(opts.Variant))
+	w(sbHeapBase, uint64(h.heapBase))
+	w(sbBreak, uint64(h.heapBase))
+	bookMode := uint64(0)
+	if opts.LogBookkeeping {
+		bookMode = 1
+	}
+	w(sbBookMode, bookMode)
+	dev.Zero(superBase+sbRoots, alloc.NumRootSlots*8)
+
+	h.initVolatile(dev, opts)
+	w(sbWALStripes, uint64(h.walStripes))
+	c.Flush(pmem.CatMeta, superBase, 4096)
+	c.Fence()
+	// Fresh persistent structures.
+	if opts.LogBookkeeping {
+		h.blog = blog.New(dev, h.blogBase(), h.blogSize(), h.walStripesForBlog())
+		if !opts.BlogGC {
+			h.blog.SlowGCThreshold = ^uint64(0) >> 1
+		} else if opts.BlogGCThreshold > 0 {
+			h.blog.SlowGCThreshold = opts.BlogGCThreshold
+		}
+		h.book = h.blog
+	} else {
+		h.book = extent.NewInPlace(dev, h.heapBase, superBase+sbBreak)
+	}
+	h.large = extent.New(dev, h.book, extent.Config{
+		HeapBase:  h.heapBase,
+		HeapEnd:   pmem.PAddr(dev.Size()),
+		BreakPtr:  superBase + sbBreak,
+		MetaBytes: uint64(h.heapBase),
+	})
+	h.large.FirstFit = opts.FirstFitExtents
+	for i := range h.arenas {
+		h.arenas[i].wal = h.newWAL(i, true)
+		c.PersistU64(pmem.CatMeta, arenaFlagsBase+pmem.PAddr(i*8), stateRunning)
+	}
+	return h, nil
+}
+
+// layout computes region addresses for a fresh heap and records them in
+// the (not yet flushed) superblock.
+func layout(dev *pmem.Device, opts Options) (*Heap, error) {
+	h := &Heap{dev: dev, opts: opts}
+	walBytes := uint64(opts.Arenas) * uint64(walog.RegionSize(opts.WALEntries, opts.Stripes))
+	walBase := uint64(8192)
+	blogBase := (walBase + walBytes + 4095) &^ 4095
+	blogSize := blog.RegionSize(dev.Size())
+	heapBase := (blogBase + blogSize + extent.ChunkSize - 1) &^ (extent.ChunkSize - 1)
+	if heapBase+extent.ChunkSize > dev.Size() {
+		return nil, fmt.Errorf("core: device too small (%d bytes) for metadata regions", dev.Size())
+	}
+	dev.WriteU64(superBase+sbWALBase, walBase)
+	dev.WriteU64(superBase+sbWALEnts, uint64(opts.WALEntries))
+	dev.WriteU64(superBase+sbBlogBase, blogBase)
+	dev.WriteU64(superBase+sbBlogSize, blogSize)
+	h.heapBase = pmem.PAddr(heapBase)
+	return h, nil
+}
+
+func (h *Heap) blogBase() pmem.PAddr { return pmem.PAddr(h.dev.ReadU64(superBase + sbBlogBase)) }
+func (h *Heap) blogSize() uint64     { return h.dev.ReadU64(superBase + sbBlogSize) }
+func (h *Heap) walBase() pmem.PAddr  { return pmem.PAddr(h.dev.ReadU64(superBase + sbWALBase)) }
+
+// walStripesForBlog: the bookkeeping log uses the same stripe setting as
+// WALs (interleaved mapping toggle applies to both, per Table 2).
+func (h *Heap) walStripesForBlog() int { return h.walStripes }
+
+func (h *Heap) initVolatile(dev *pmem.Device, opts Options) {
+	h.bitmapStripes = 1
+	if opts.InterleaveBitmap {
+		h.bitmapStripes = opts.Stripes
+	}
+	h.tcacheStripes = 1
+	if opts.InterleaveTcache {
+		h.tcacheStripes = opts.Stripes
+	}
+	h.walStripes = 1
+	if opts.InterleaveWAL {
+		h.walStripes = opts.Stripes
+	}
+	h.persistSmall = opts.Variant == LOG || opts.Variant == IC
+	h.useWAL = opts.Variant == LOG
+	h.slabs = make(map[pmem.PAddr]*slab.Slab)
+	h.arenas = make([]*arena, opts.Arenas)
+	for i := range h.arenas {
+		h.arenas[i] = newArena(h, i)
+	}
+}
+
+func (h *Heap) newWAL(i int, fresh bool) *walog.Log {
+	base := h.walBase() + pmem.PAddr(i*walog.RegionSize(h.opts.WALEntries, h.opts.Stripes))
+	if fresh {
+		h.dev.Zero(base, walog.RegionSize(h.opts.WALEntries, h.opts.Stripes))
+	}
+	return walog.New(h.dev, base, h.opts.WALEntries, h.walStripes)
+}
+
+// Device returns the underlying device.
+func (h *Heap) Device() *pmem.Device { return h.dev }
+
+// Options returns the heap's effective options.
+func (h *Heap) Options() Options { return h.opts }
+
+// RootSlot returns the persistent address of root pointer slot i.
+func (h *Heap) RootSlot(i int) pmem.PAddr {
+	if i < 0 || i >= alloc.NumRootSlots {
+		panic("core: root slot out of range")
+	}
+	return superBase + sbRoots + pmem.PAddr(i*8)
+}
+
+// Used returns committed persistent memory (see extent.Allocator.Used).
+func (h *Heap) Used() uint64 {
+	h.large.Res.Acquire(h.noopCtx())
+	defer h.large.Res.Release(h.noopCtx())
+	return h.large.Used()
+}
+
+// Peak returns the high-water mark of Used.
+func (h *Heap) Peak() uint64 {
+	h.large.Res.Acquire(h.noopCtx())
+	defer h.large.Res.Release(h.noopCtx())
+	return h.large.Peak()
+}
+
+// ResetPeak restarts peak tracking.
+func (h *Heap) ResetPeak() {
+	h.large.Res.Acquire(h.noopCtx())
+	defer h.large.Res.Release(h.noopCtx())
+	h.large.ResetPeak()
+}
+
+// noopCtx returns a throwaway context for lock-only acquisitions.
+func (h *Heap) noopCtx() *pmem.Ctx {
+	return h.dev.NewCtx()
+}
+
+// Blog exposes the bookkeeping log (nil when in-place bookkeeping is
+// configured); used by GC-overhead experiments.
+func (h *Heap) Blog() *blog.Log { return h.blog }
+
+// LargeStats returns split/coalesce/grow counters.
+func (h *Heap) LargeStats() (splits, coalesces, grows uint64) {
+	return h.large.Splits, h.large.Coalesces, h.large.Grows
+}
+
+// MorphStats returns total morphs and refused candidates across arenas.
+func (h *Heap) MorphStats() (morphs, refusals uint64) {
+	for _, a := range h.arenas {
+		morphs += a.morphs
+		refusals += a.morphRefusals
+	}
+	return
+}
+
+// SlabUtilization buckets live slabs by occupancy — <30%, 30-70%, >70% —
+// and returns the slab counts per bucket (Figure 15(b)'s breakdown).
+func (h *Heap) SlabUtilization() (buckets [3]int) {
+	h.slabsMu.RLock()
+	defer h.slabsMu.RUnlock()
+	for _, s := range h.slabs {
+		s.Mu.Lock()
+		u := s.Usage()
+		s.Mu.Unlock()
+		switch {
+		case u < 0.30:
+			buckets[0]++
+		case u < 0.70:
+			buckets[1]++
+		default:
+			buckets[2]++
+		}
+	}
+	return
+}
+
+// Close performs a normal shutdown: drains nothing (threads must be
+// closed by their owners first), checkpoints WALs, syncs GC-variant
+// bitmaps, and persists the shutdown flag.
+func (h *Heap) Close() error {
+	h.threadsMu.Lock()
+	defer h.threadsMu.Unlock()
+	if h.closed {
+		return alloc.ErrClosed
+	}
+	h.closed = true
+	c := h.dev.NewCtx()
+	defer c.Merge()
+
+	if !h.persistSmall {
+		// GC variant: bitmaps were never flushed at runtime; persist the
+		// volatile truth now so normal-shutdown recovery is cheap.
+		h.slabsMu.RLock()
+		for _, s := range h.slabs {
+			s.Mu.Lock()
+			s.SyncBitmap(c)
+			s.Mu.Unlock()
+		}
+		h.slabsMu.RUnlock()
+	}
+	for i, a := range h.arenas {
+		if a.wal != nil {
+			a.res.Acquire(c)
+			a.wal.Checkpoint(c)
+			a.res.Release(c)
+		}
+		c.PersistU64(pmem.CatMeta, arenaFlagsBase+pmem.PAddr(i*8), stateShutdown)
+	}
+	c.PersistU64(pmem.CatMeta, superBase+sbState, stateShutdown)
+	c.Fence()
+	return nil
+}
+
+// ArenaLoads returns each arena resource's accumulated virtual load in
+// microseconds (diagnostics).
+func (h *Heap) ArenaLoads() []int64 {
+	out := make([]int64, len(h.arenas))
+	for i, a := range h.arenas {
+		out[i] = a.res.Load() / 1000
+	}
+	return out
+}
+
+// LargeLoad returns the large allocator lock's accumulated load (ns).
+func (h *Heap) LargeLoad() int64 { return h.large.Res.Load() }

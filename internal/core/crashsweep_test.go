@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"nvalloc/internal/alloc"
+	"nvalloc/internal/pmem"
+)
+
+// crashWorkload runs a deterministic mix of published (MallocTo/FreeFrom)
+// and anonymous operations until the device's injected power cut fires.
+func crashWorkload(h *Heap) {
+	th := h.NewThread()
+	dev := h.Device()
+	slot := 0
+	for i := 0; i < 4000 && !dev.Crashed(); i++ {
+		switch i % 5 {
+		case 0, 1:
+			// Publish a small object.
+			if p, err := th.MallocTo(h.RootSlot(slot%alloc.NumRootSlots), uint64(64+i%256)); err == nil {
+				dev.WriteU64(p, uint64(i))
+				th.Ctx().Flush(pmem.CatOther, p, 8)
+				slot++
+			}
+		case 2:
+			// Retract an earlier publication.
+			s := h.RootSlot((slot + 3) % alloc.NumRootSlots)
+			if dev.ReadU64(s) != 0 {
+				_ = th.FreeFrom(s)
+			}
+		case 3:
+			// Anonymous allocation (a potential leak at crash time).
+			_, _ = th.Malloc(128)
+		case 4:
+			// A large publication every so often.
+			if i%25 == 4 {
+				if _, err := th.MallocTo(h.RootSlot(slot%alloc.NumRootSlots), 64<<10); err == nil {
+					slot++
+				}
+			}
+		}
+	}
+	th.Ctx().Merge()
+}
+
+// verifyAfterRecovery checks the recovered heap's fundamental guarantees:
+// every non-null root slot references an allocated object (freeable
+// exactly once), and fresh allocations never overlap recovered ones.
+func verifyAfterRecovery(t *testing.T, cut int64, h2 *Heap) {
+	t.Helper()
+	dev := h2.Device()
+	ck := alloc.NewChecker(h2)
+	th := ck.NewThread()
+	defer th.Close()
+
+	roots := map[pmem.PAddr]bool{}
+	for i := 0; i < alloc.NumRootSlots; i++ {
+		p := pmem.PAddr(dev.ReadU64(h2.RootSlot(i)))
+		if p == pmem.Null {
+			continue
+		}
+		if roots[p] {
+			t.Fatalf("cut=%d: two roots reference %#x", cut, p)
+		}
+		roots[p] = true
+	}
+	// New allocations must not collide with published objects.
+	for i := 0; i < 3000; i++ {
+		p, err := th.Malloc(uint64(64 + i%256))
+		if err != nil {
+			t.Fatalf("cut=%d: alloc after recovery: %v", cut, err)
+		}
+		if roots[p] {
+			t.Fatalf("cut=%d: published object %#x handed out again", cut, p)
+		}
+	}
+	// Published objects are allocated: freeing succeeds exactly once.
+	// (Use a raw thread — the checker has no record of pre-recovery
+	// allocations.)
+	thRaw := h2.NewThread()
+	defer thRaw.Close()
+	for p := range roots {
+		if err := thRaw.Free(p); err != nil {
+			t.Fatalf("cut=%d: published %#x not allocated after recovery: %v", cut, p, err)
+		}
+	}
+	if errs := ck.Errors(); len(errs) != 0 {
+		t.Fatalf("cut=%d: invariant violations: %v", cut, errs)
+	}
+}
+
+// TestCrashSweepLOG cuts power at a sweep of flush counts across a mixed
+// workload and verifies the WAL-variant recovery restores a consistent
+// heap every time.
+func TestCrashSweepLOG(t *testing.T) {
+	for _, cut := range []int64{1, 3, 7, 17, 40, 97, 217, 500, 1111, 2500, 6000} {
+		t.Run(fmt.Sprintf("cut%d", cut), func(t *testing.T) {
+			dev := pmem.New(pmem.Config{Size: 128 << 20, Strict: true})
+			opts := DefaultOptions(LOG)
+			opts.Arenas = 2
+			h, err := Create(dev, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dev.CrashAfterFlushes(cut)
+			crashWorkload(h)
+			dev.Crash()
+			h2, _, err := Open(dev, DefaultOptions(LOG))
+			if err != nil {
+				t.Fatalf("cut=%d: recovery failed: %v", cut, err)
+			}
+			verifyAfterRecovery(t, cut, h2)
+		})
+	}
+}
+
+// TestCrashSweepGC does the same under the conservative-GC model; here
+// anonymous allocations are reclaimed, published ones survive.
+func TestCrashSweepGC(t *testing.T) {
+	for _, cut := range []int64{2, 11, 47, 199, 800, 3000} {
+		t.Run(fmt.Sprintf("cut%d", cut), func(t *testing.T) {
+			dev := pmem.New(pmem.Config{Size: 128 << 20, Strict: true})
+			opts := DefaultOptions(GC)
+			opts.Arenas = 2
+			h, err := Create(dev, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dev.CrashAfterFlushes(cut)
+			crashWorkload(h)
+			dev.Crash()
+			h2, _, err := Open(dev, DefaultOptions(GC))
+			if err != nil {
+				t.Fatalf("cut=%d: recovery failed: %v", cut, err)
+			}
+			verifyAfterRecovery(t, cut, h2)
+		})
+	}
+}
+
+// TestDoubleCrashDuringRecovery crashes again in the middle of recovery
+// itself (the paper's recovery flag handles this case) and verifies the
+// second recovery still converges.
+func TestDoubleCrashDuringRecovery(t *testing.T) {
+	for _, v := range []Variant{LOG, GC, IC} {
+		t.Run(v.String(), func(t *testing.T) {
+			dev := pmem.New(pmem.Config{Size: 128 << 20, Strict: true})
+			opts := DefaultOptions(v)
+			opts.Arenas = 2
+			h, err := Create(dev, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dev.CrashAfterFlushes(1500)
+			crashWorkload(h)
+			dev.Crash()
+			// First recovery gets its power cut too.
+			dev.CrashAfterFlushes(5)
+			_, _, _ = Open(dev, DefaultOptions(v))
+			dev.Crash()
+			h2, _, err := Open(dev, DefaultOptions(v))
+			if err != nil {
+				t.Fatalf("second recovery failed: %v", err)
+			}
+			verifyAfterRecovery(t, -1, h2)
+		})
+	}
+}
+
+// TestCrashSweepIC covers the internal-collection variant: published
+// objects recover like LOG's, and anonymous ones remain enumerable (not
+// leaked from the collection's perspective).
+func TestCrashSweepIC(t *testing.T) {
+	for _, cut := range []int64{2, 19, 73, 311, 1200, 4000} {
+		t.Run(fmt.Sprintf("cut%d", cut), func(t *testing.T) {
+			dev := pmem.New(pmem.Config{Size: 128 << 20, Strict: true})
+			opts := DefaultOptions(IC)
+			opts.Arenas = 2
+			h, err := Create(dev, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dev.CrashAfterFlushes(cut)
+			crashWorkload(h)
+			dev.Crash()
+			h2, _, err := Open(dev, DefaultOptions(IC))
+			if err != nil {
+				t.Fatalf("cut=%d: recovery failed: %v", cut, err)
+			}
+			verifyAfterRecovery(t, cut, h2)
+			// Every published root must also appear in the collection...
+			// (verifyAfterRecovery already freed them, so just walk once
+			// for self-consistency: no duplicate addresses.)
+			seen := map[pmem.PAddr]bool{}
+			h2.Objects(func(o Object) bool {
+				if seen[o.Addr] {
+					t.Fatalf("cut=%d: duplicate object %#x", cut, o.Addr)
+				}
+				seen[o.Addr] = true
+				return true
+			})
+		})
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"nvalloc/internal/pmem"
+	"nvalloc/internal/slab"
+)
+
+// conservativeGC implements NVAlloc-GC's failure recovery: a
+// conservative mark-and-sweep from the persistent root slots, as in
+// Makalu. Any 8-byte-aligned word inside a reachable object whose value
+// is the exact start address of a slab block or extent keeps that object
+// alive. Unreachable small blocks have their bitmap bits cleared;
+// unreachable (non-slab) extents are freed. Interior pointers are not
+// chased (objects must be referenced by their start address).
+func (h *Heap) conservativeGC(c *pmem.Ctx) {
+	type object struct {
+		addr pmem.PAddr
+		size uint64
+	}
+
+	// resolve maps a candidate pointer value to the object it starts.
+	resolve := func(p pmem.PAddr) (object, bool) {
+		if p < h.heapBase || uint64(p) >= h.dev.Size() || p%8 != 0 {
+			return object{}, false
+		}
+		base := p &^ (slab.Size - 1)
+		if s := h.slabs[base]; s != nil {
+			if idx := s.BlockIndex(p); idx >= 0 {
+				return object{addr: p, size: uint64(s.BlockSize)}, true
+			}
+			if oldIdx := s.OldBlockIndex(p); oldIdx >= 0 {
+				return object{addr: p, size: uint64(s.BlockSize)}, true
+			}
+			return object{}, false
+		}
+		if v, ok := h.large.Lookup(p); ok && v.Addr == p && !v.Slab {
+			return object{addr: p, size: v.Size}, true
+		}
+		return object{}, false
+	}
+
+	marked := make(map[pmem.PAddr]bool)
+	var work []object
+
+	// Roots: the heap's root pointer slots.
+	for i := 0; i < 64; i++ {
+		p := pmem.PAddr(h.dev.ReadU64(h.RootSlot(i)))
+		if o, ok := resolve(p); ok && !marked[o.addr] {
+			marked[o.addr] = true
+			work = append(work, o)
+		}
+	}
+
+	// Mark: scan every reachable object for further pointers.
+	for len(work) > 0 {
+		o := work[len(work)-1]
+		work = work[:len(work)-1]
+		c.Charge(pmem.CatSearch, int64(o.size)/16+10)
+		for off := uint64(0); off+8 <= o.size; off += 8 {
+			p := pmem.PAddr(h.dev.ReadU64(o.addr + pmem.PAddr(off)))
+			if no, ok := resolve(p); ok && !marked[no.addr] {
+				marked[no.addr] = true
+				work = append(work, no)
+			}
+		}
+	}
+
+	// Sweep slabs: allocation state becomes exactly the marked set.
+	for _, s := range h.slabs {
+		a := h.arenas[s.Owner]
+		wasFree := s.FreeCount() > 0
+		for idx := 0; idx < s.Blocks; idx++ {
+			addr := s.BlockAddr(idx)
+			allocated := s.BlockAllocated(idx)
+			reachable := marked[addr]
+			if s.IsSlabIn() {
+				// Blocks pinned by live old-class data stay allocated.
+				if cnt := s.OverlapCount(idx); cnt > 0 {
+					continue
+				}
+			}
+			switch {
+			case reachable && !allocated:
+				s.AllocBlock(c, idx, true)
+			case !reachable && allocated:
+				s.FreeBlock(c, idx, true)
+			}
+		}
+		// Old-class blocks: sweep via the index table.
+		if s.IsSlabIn() {
+			for _, oldIdx := range s.OldIndices() {
+				if !marked[s.OldBlockAddr(oldIdx)] {
+					_, _ = s.FreeOldBlock(c, oldIdx, true)
+				}
+			}
+		}
+		if !wasFree && s.FreeCount() > 0 && !a.onFreelist(s) {
+			a.freelistPush(s)
+		}
+		c.Charge(pmem.CatSearch, int64(s.Blocks)/8)
+	}
+
+	// Sweep extents: unreachable non-slab extents are leaks; free them.
+	var leaked []pmem.PAddr
+	for addr, v := range h.large.Activated() {
+		if !v.Slab && !marked[addr] {
+			leaked = append(leaked, addr)
+		}
+	}
+	for _, addr := range leaked {
+		_ = h.large.Free(c, addr)
+	}
+}

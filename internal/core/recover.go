@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+
+	"nvalloc/internal/blog"
+	"nvalloc/internal/extent"
+	"nvalloc/internal/pmem"
+	"nvalloc/internal/slab"
+	"nvalloc/internal/walog"
+)
+
+// Open reopens an existing heap after a restart or crash (Section 4.4).
+// It performs the normal-shutdown recovery — recreate arenas, reopen
+// heap/log regions, slow-GC the bookkeeping log, rebuild vslabs and
+// VEHs — and, if the persisted state flag shows the previous run did not
+// shut down cleanly, additionally resolves leaks per the variant's
+// consistency model: WAL replay for NVAlloc-LOG, conservative GC for
+// NVAlloc-GC. It returns the recovery's virtual nanoseconds.
+func Open(dev *pmem.Device, opts Options) (*Heap, int64, error) {
+	if dev.ReadU64(superBase+sbMagic) != superMagic {
+		return nil, 0, fmt.Errorf("core: no heap on device (bad magic)")
+	}
+	if v := dev.ReadU64(superBase + sbVersion); v != superVersion {
+		return nil, 0, fmt.Errorf("core: unsupported heap version %d", v)
+	}
+	opts = opts.withDefaults()
+	// Persistent layout parameters override whatever the caller passed.
+	opts.Arenas = int(dev.ReadU64(superBase + sbArenas))
+	opts.Stripes = int(dev.ReadU64(superBase + sbStripes))
+	opts.Variant = Variant(dev.ReadU64(superBase + sbVariant))
+	opts.LogBookkeeping = dev.ReadU64(superBase+sbBookMode) == 1
+	opts.WALEntries = int(dev.ReadU64(superBase + sbWALEnts))
+	walStripes := int(dev.ReadU64(superBase + sbWALStripes))
+	opts.InterleaveWAL = walStripes > 1
+
+	h := &Heap{dev: dev, opts: opts}
+	h.heapBase = pmem.PAddr(dev.ReadU64(superBase + sbHeapBase))
+	h.initVolatile(dev, opts)
+
+	c := dev.NewCtx()
+	state := dev.ReadU64(superBase + sbState)
+	crashed := state != stateShutdown
+	// Mark recovery in progress so a crash *during* recovery is detected.
+	c.PersistU64(pmem.CatMeta, superBase+sbState, stateRecovery)
+	c.Fence()
+
+	// Reopen the bookkeeper and enumerate live extents.
+	var records []extent.LiveRecord
+	if opts.LogBookkeeping {
+		bl, recs, err := blog.Open(dev, h.blogBase(), h.blogSize(), h.walStripes)
+		if err != nil {
+			return nil, 0, err
+		}
+		if !opts.BlogGC {
+			bl.SlowGCThreshold = ^uint64(0) >> 1
+		} else if opts.BlogGCThreshold > 0 {
+			bl.SlowGCThreshold = opts.BlogGCThreshold
+		}
+		// Normal-shutdown recovery performs a slow GC to drop tombstones
+		// (Section 4.4).
+		if opts.BlogGC {
+			if _, err := bl.SlowGC(c); err != nil {
+				return nil, 0, err
+			}
+		}
+		h.blog = bl
+		h.book = bl
+		for _, r := range recs {
+			records = append(records, extent.LiveRecord{Addr: r.Addr, Size: r.Size, Slab: r.Slab})
+		}
+	} else {
+		ib := extent.NewInPlace(dev, h.heapBase, superBase+sbBreak)
+		h.book = ib
+		records = ib.Recover(c)
+	}
+
+	// Rebuild the large allocator (gaps become reclaimed extents).
+	var live []*extent.VEH
+	h.large, live = extent.Rebuild(dev, h.book, extent.Config{
+		HeapBase:  h.heapBase,
+		HeapEnd:   pmem.PAddr(dev.Size()),
+		BreakPtr:  superBase + sbBreak,
+		MetaBytes: uint64(h.heapBase),
+	}, c, records)
+	h.large.FirstFit = opts.FirstFitExtents
+
+	// Rebuild vslabs; morph undo happens inside slab.Load.
+	next := 0
+	for _, v := range live {
+		if !v.Slab {
+			continue
+		}
+		s, err := slab.Load(dev, c, v.Addr)
+		if err != nil {
+			return nil, 0, err
+		}
+		s.Owner = next % len(h.arenas)
+		next++
+		h.slabs[v.Addr] = s
+		a := h.arenas[s.Owner]
+		if s.FreeCount() > 0 {
+			a.freelistPush(s)
+		}
+		if !s.IsSlabIn() {
+			a.lruPushTail(s)
+		}
+	}
+
+	// Reopen the WALs.
+	for i := range h.arenas {
+		h.arenas[i].wal = h.newWAL(i, false)
+	}
+
+	if crashed {
+		switch opts.Variant {
+		case LOG:
+			h.replayWALs(c)
+		case GC:
+			h.conservativeGC(c)
+		case IC:
+			// Internal collection: the eagerly persisted bitmaps are the
+			// truth; crash-time leaks stay allocated until the application
+			// walks Heap.Objects and frees what it does not recognize.
+		}
+	}
+
+	// Back in business.
+	for i := range h.arenas {
+		c.PersistU64(pmem.CatMeta, arenaFlagsBase+pmem.PAddr(i*8), stateRunning)
+	}
+	c.PersistU64(pmem.CatMeta, superBase+sbState, stateRunning)
+	c.Fence()
+	ns := c.Now
+	c.Merge()
+	return h, ns, nil
+}
+
+// replayWALs applies every un-checkpointed WAL entry idempotently
+// (NVAlloc-LOG failure recovery, "replay WALs as in nvm_malloc").
+func (h *Heap) replayWALs(c *pmem.Ctx) {
+	for _, a := range h.arenas {
+		a.wal.Replay(c, func(e walog.Entry) {
+			switch e.Op {
+			case walog.OpAllocBit:
+				if s := h.slabs[e.Addr]; s != nil {
+					h.forceBit(c, s, int(e.Aux), true)
+				}
+			case walog.OpFreeBit:
+				if s := h.slabs[e.Addr]; s != nil {
+					h.forceBit(c, s, int(e.Aux), false)
+				}
+			case walog.OpMallocTo:
+				// Complete the publish if the slot write was lost.
+				if pmem.PAddr(h.dev.ReadU64(e.Addr)) != pmem.PAddr(e.Aux) {
+					c.PersistU64(pmem.CatMeta, e.Addr, e.Aux)
+				}
+			case walog.OpFreeFrom:
+				// Complete the retraction: clear the slot and free the
+				// block if still marked allocated.
+				if pmem.PAddr(h.dev.ReadU64(e.Addr)) == pmem.PAddr(e.Aux) {
+					c.PersistU64(pmem.CatMeta, e.Addr, 0)
+				}
+				h.forceFreeBlock(c, pmem.PAddr(e.Aux))
+			case walog.OpMorph:
+				// Morph steps are sealed by the slab's own flag field;
+				// slab.Load already undid or kept the transform.
+			}
+		})
+		a.wal.Checkpoint(c)
+	}
+}
+
+// forceBit sets the allocation state of a slab block to val regardless of
+// its current state (idempotent WAL replay helper).
+func (h *Heap) forceBit(c *pmem.Ctx, s *slab.Slab, idx int, val bool) {
+	if idx < 0 || idx >= s.Blocks {
+		return
+	}
+	allocated := s.BlockAllocated(idx)
+	switch {
+	case val && !allocated:
+		s.AllocBlock(c, idx, true)
+	case !val && allocated:
+		s.FreeBlock(c, idx, true)
+	}
+}
+
+// forceFreeBlock frees addr whether it is a slab block or an extent, if
+// it is currently allocated.
+func (h *Heap) forceFreeBlock(c *pmem.Ctx, addr pmem.PAddr) {
+	base := addr &^ (slab.Size - 1)
+	if s := h.slabs[base]; s != nil {
+		if idx := s.BlockIndex(addr); idx >= 0 {
+			h.forceBit(c, s, idx, false)
+		}
+		return
+	}
+	if _, ok := h.large.Lookup(addr); ok {
+		_ = h.large.Free(c, addr)
+	}
+}

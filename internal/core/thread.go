@@ -1,0 +1,290 @@
+package core
+
+import (
+	"nvalloc/internal/alloc"
+	"nvalloc/internal/pmem"
+	"nvalloc/internal/sizeclass"
+	"nvalloc/internal/slab"
+	"nvalloc/internal/tcache"
+	"nvalloc/internal/walog"
+)
+
+// Thread is a per-worker allocation handle: a pmem context (virtual
+// clock) plus one tcache per size class, bound to the least-loaded
+// arena.
+type Thread struct {
+	h      *Heap
+	arena  *arena
+	ctx    *pmem.Ctx
+	caches []*tcache.Cache
+	closed bool
+}
+
+var _ alloc.Thread = (*Thread)(nil)
+
+// NewThread registers a worker with the heap, assigning it to the arena
+// with the fewest threads (Section 4.2).
+func (h *Heap) NewThread() alloc.Thread {
+	h.threadsMu.Lock()
+	// Least-loaded arena, with a rotating starting point so that ties
+	// (e.g. short-lived threads created one after another) still spread
+	// across arenas the way core-pinned threads would.
+	n := len(h.arenas)
+	best := h.arenas[h.nextOwner%n]
+	for i := 1; i < n; i++ {
+		a := h.arenas[(h.nextOwner+i)%n]
+		if a.threads < best.threads {
+			best = a
+		}
+	}
+	h.nextOwner++
+	best.threads++
+	h.threadsMu.Unlock()
+
+	t := &Thread{
+		h:      h,
+		arena:  best,
+		ctx:    h.dev.NewCtx(),
+		caches: make([]*tcache.Cache, sizeclass.NumClasses()),
+	}
+	return t
+}
+
+// Ctx returns the worker's pmem context.
+func (t *Thread) Ctx() *pmem.Ctx { return t.ctx }
+
+func (t *Thread) cache(class int) *tcache.Cache {
+	c := t.caches[class]
+	if c == nil {
+		cap := t.h.opts.TcacheCap
+		// Large classes cache fewer blocks (bounded bytes).
+		if bs := int(sizeclass.Size(class)); bs > 1024 {
+			cap = 8
+		}
+		c = tcache.New(t.h.tcacheStripes, cap)
+		t.caches[class] = c
+	}
+	return c
+}
+
+// opBaseNS is the CPU cost charged per allocator operation outside of
+// explicit search charges (fast-path bookkeeping, size-class lookup).
+const opBaseNS = 18
+
+// Malloc allocates size bytes.
+func (t *Thread) Malloc(size uint64) (pmem.PAddr, error) {
+	if size == 0 {
+		return pmem.Null, alloc.ErrBadSize
+	}
+	t.ctx.Charge(pmem.CatOther, opBaseNS)
+	if !sizeclass.IsSmall(size) {
+		return t.mallocLarge(size)
+	}
+	return t.mallocSmall(sizeclass.Class(uint32(size)))
+}
+
+func (t *Thread) mallocSmall(class int) (pmem.PAddr, error) {
+	tc := t.cache(class)
+	if tc.Empty() {
+		if t.arena.fill(t.ctx, class, tc, tc.Cap()) == 0 {
+			return pmem.Null, alloc.ErrOutOfMemory
+		}
+	}
+	b, ok := tc.Pop()
+	if !ok {
+		return pmem.Null, alloc.ErrOutOfMemory
+	}
+	s := b.Slab.(*slab.Slab)
+	// Persist the allocation: WAL entry (LOG) plus the interleaved bitmap
+	// bit (LOG and IC); the GC variant commits in DRAM only.
+	switch {
+	case t.h.useWAL:
+		a := t.h.arenas[s.Owner]
+		a.res.Acquire(t.ctx)
+		a.wal.Append(t.ctx, walog.Entry{Op: walog.OpAllocBit, Addr: s.Base, Aux: uint64(b.Idx)})
+		s.Mu.Lock()
+		s.CommitAlloc(t.ctx, b.Idx, true)
+		s.Mu.Unlock()
+		a.res.Release(t.ctx)
+	default:
+		s.Mu.Lock()
+		s.CommitAlloc(t.ctx, b.Idx, t.h.persistSmall)
+		s.Mu.Unlock()
+	}
+	return s.BlockAddr(b.Idx), nil
+}
+
+func (t *Thread) mallocLarge(size uint64) (pmem.PAddr, error) {
+	h := t.h
+	h.large.Res.Acquire(t.ctx)
+	defer h.large.Res.Release(t.ctx)
+	addr, err := h.large.Alloc(t.ctx, size, 0, false)
+	if err != nil {
+		return pmem.Null, alloc.ErrOutOfMemory
+	}
+	return addr, nil
+}
+
+// Free releases a block or extent.
+func (t *Thread) Free(addr pmem.PAddr) error {
+	if addr == pmem.Null {
+		return alloc.ErrBadAddress
+	}
+	t.ctx.Charge(pmem.CatOther, opBaseNS)
+	// Resolve the slab by its 64 KiB-aligned base (the address index the
+	// paper implements with an R-tree).
+	base := addr &^ (slab.Size - 1)
+	t.h.slabsMu.RLock()
+	s := t.h.slabs[base]
+	t.h.slabsMu.RUnlock()
+	if s == nil {
+		return t.freeLarge(addr)
+	}
+	return t.freeSmall(s, addr)
+}
+
+func (t *Thread) freeSmall(s *slab.Slab, addr pmem.PAddr) error {
+	owner := t.h.arenas[s.Owner]
+
+	s.Mu.Lock()
+	// A block_before (old size class) bypasses the tcache entirely.
+	if oldIdx := s.OldBlockIndex(addr); oldIdx >= 0 {
+		s.Mu.Unlock()
+		return t.freeOld(owner, s, oldIdx)
+	}
+	idx := s.BlockIndex(addr)
+	if idx < 0 {
+		s.Mu.Unlock()
+		return alloc.ErrBadAddress
+	}
+	class := s.Class
+	s.Mu.Unlock()
+
+	tc := t.cache(class)
+	if tc.Full() {
+		// Bypass: return directly to the slab.
+		owner.freeBypass(t.ctx, s, idx, false)
+		return nil
+	}
+	// Persist the free, then cache the block in this thread's tcache.
+	switch {
+	case t.h.useWAL:
+		owner.res.Acquire(t.ctx)
+		owner.wal.Append(t.ctx, walog.Entry{Op: walog.OpFreeBit, Addr: s.Base, Aux: uint64(idx)})
+		s.Mu.Lock()
+		s.CommitFreeToCache(t.ctx, idx, true)
+		if s.Usage() < t.h.opts.SU {
+			owner.noteCandidate(s)
+		}
+		s.Mu.Unlock()
+		owner.res.Release(t.ctx)
+	default:
+		s.Mu.Lock()
+		s.CommitFreeToCache(t.ctx, idx, t.h.persistSmall)
+		if s.Usage() < t.h.opts.SU {
+			owner.noteCandidate(s)
+		}
+		s.Mu.Unlock()
+	}
+	tc.Push(owner.tcacheStripe(s, idx), tcache.Block{Slab: s, Idx: idx})
+	return nil
+}
+
+func (t *Thread) freeOld(owner *arena, s *slab.Slab, oldIdx int) error {
+	owner.res.Acquire(t.ctx)
+	defer owner.res.Release(t.ctx)
+	s.Mu.Lock()
+	done, err := s.FreeOldBlock(t.ctx, oldIdx, t.h.persistSmall)
+	if err == nil && s.Usage() < t.h.opts.SU {
+		owner.noteCandidate(s)
+	}
+	s.Mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if done {
+		// Fully demoted to a regular slab: it may morph again.
+		owner.lruTouch(s)
+	}
+	if !owner.onFreelist(s) {
+		s.Mu.Lock()
+		hasFree := s.FreeCount() > 0
+		s.Mu.Unlock()
+		if hasFree {
+			owner.freelistPush(s)
+		}
+	}
+	return nil
+}
+
+func (t *Thread) freeLarge(addr pmem.PAddr) error {
+	h := t.h
+	h.large.Res.Acquire(t.ctx)
+	defer h.large.Res.Release(t.ctx)
+	if err := h.large.Free(t.ctx, addr); err != nil {
+		return alloc.ErrBadAddress
+	}
+	return nil
+}
+
+// MallocTo atomically allocates and publishes the result into the
+// persistent pointer slot (the paper's nvalloc_malloc_to): in the LOG
+// variant a WAL record makes the pair {slot, block} recoverable; in the
+// GC variant reachability from the slot is what keeps the block alive.
+func (t *Thread) MallocTo(slot pmem.PAddr, size uint64) (pmem.PAddr, error) {
+	addr, err := t.Malloc(size)
+	if err != nil {
+		return pmem.Null, err
+	}
+	if t.h.useWAL {
+		a := t.arena
+		a.res.Acquire(t.ctx)
+		a.wal.Append(t.ctx, walog.Entry{
+			Op: walog.OpMallocTo, Addr: slot, Aux: uint64(addr), Aux2: uint32(size),
+		})
+		a.res.Release(t.ctx)
+	}
+	t.ctx.PersistU64(pmem.CatOther, slot, uint64(addr))
+	t.ctx.Fence()
+	return addr, nil
+}
+
+// FreeFrom atomically frees the block referenced by the persistent slot
+// and clears the slot.
+func (t *Thread) FreeFrom(slot pmem.PAddr) error {
+	addr := pmem.PAddr(t.h.dev.ReadU64(slot))
+	if addr == pmem.Null {
+		return alloc.ErrBadAddress
+	}
+	if t.h.useWAL {
+		a := t.arena
+		a.res.Acquire(t.ctx)
+		a.wal.Append(t.ctx, walog.Entry{Op: walog.OpFreeFrom, Addr: slot, Aux: uint64(addr)})
+		a.res.Release(t.ctx)
+	}
+	t.ctx.PersistU64(pmem.CatOther, slot, 0)
+	t.ctx.Fence()
+	return t.Free(addr)
+}
+
+// Close drains the thread's tcaches back to their slabs and merges its
+// statistics into the device.
+func (t *Thread) Close() {
+	if t.closed {
+		return
+	}
+	t.closed = true
+	for _, tc := range t.caches {
+		if tc == nil {
+			continue
+		}
+		for _, b := range tc.Drain() {
+			s := b.Slab.(*slab.Slab)
+			t.h.arenas[s.Owner].freeBypass(t.ctx, s, b.Idx, true)
+		}
+	}
+	t.h.threadsMu.Lock()
+	t.arena.threads--
+	t.h.threadsMu.Unlock()
+	t.ctx.Merge()
+}

@@ -1,0 +1,82 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nvalloc/internal/alloc"
+	"nvalloc/internal/phash"
+	"nvalloc/internal/workload"
+)
+
+func init() {
+	register("hashindex", hashIndexExp)
+}
+
+// hashIndexExp is an extension beyond the paper: the persistent hash
+// index (internal/phash, in the spirit of the level-hashing/Dash work the
+// paper cites) as an allocator workload — every insert allocates a value
+// blob and possibly an overflow bucket; every delete frees one.
+func hashIndexExp(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	var tables []*Table
+	for _, set := range []struct {
+		title string
+		names []string
+	}{
+		{"strongly consistent", StrongAllocators},
+		{"weakly consistent", WeakAllocators},
+	} {
+		t := &Table{
+			ID:      "hashindex",
+			Title:   fmt.Sprintf("Persistent hash index 50%% put / 25%% get / 25%% delete, %s allocators (Mops/s) [extension]", set.title),
+			Columns: append([]string{"threads"}, set.names...),
+		}
+		for _, th := range cfg.Threads {
+			row := []string{fmt.Sprint(th)}
+			for _, name := range set.names {
+				row = append(row, f2(hashIndexRun(cfg, name, th)))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+func hashIndexRun(cfg Config, name string, threads int) float64 {
+	h, err := OpenHeap(name, cfg)
+	if err != nil {
+		panic(err)
+	}
+	th0 := h.NewThread()
+	m, err := phash.Create(h, th0, 0, 4096, 64)
+	if err != nil {
+		panic(err)
+	}
+	th0.Close()
+	keys := uint64(cfg.ops(40000))
+	opsPer := cfg.ops(20000)
+	r := workload.Run("hashindex", h, threads, func(w int, th alloc.Thread, rng *rand.Rand) uint64 {
+		ops := uint64(0)
+		for i := 0; i < opsPer; i++ {
+			k := rng.Uint64() % keys
+			switch rng.Intn(4) {
+			case 0, 1:
+				if m.Put(th, k, k) == nil {
+					ops++
+				}
+			case 2:
+				if _, ok := m.Get(th, k); ok || true {
+					ops++
+				}
+			default:
+				if _, err := m.Delete(th, k); err == nil {
+					ops++
+				}
+			}
+		}
+		return ops
+	})
+	return r.MopsPerSec()
+}

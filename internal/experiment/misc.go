@@ -1,0 +1,257 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nvalloc/internal/alloc"
+	"nvalloc/internal/baseline"
+	"nvalloc/internal/core"
+	"nvalloc/internal/fptree"
+	"nvalloc/internal/pmem"
+	"nvalloc/internal/workload"
+)
+
+func init() {
+	register("fig14", fig14)
+	register("fig16a", fig16a)
+	register("fig18", fig18)
+	register("fig19", fig19)
+	register("table2", table2)
+	register("ablation", ablation)
+}
+
+// fig14 reproduces Figure 14: FPTree throughput with a 50% insert / 50%
+// delete workload on every allocator.
+func fig14(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	warm := cfg.ops(20000)
+	opsPer := cfg.ops(20000)
+	var tables []*Table
+	for _, set := range []struct {
+		title string
+		names []string
+	}{
+		{"strongly consistent", StrongAllocators},
+		{"weakly consistent", WeakAllocators},
+	} {
+		t := &Table{
+			ID:      "fig14",
+			Title:   fmt.Sprintf("FPTree 50%% insert / 50%% delete, %s allocators (Mops/s)", set.title),
+			Columns: append([]string{"threads"}, set.names...),
+		}
+		for _, th := range cfg.Threads {
+			row := []string{fmt.Sprint(th)}
+			for _, name := range set.names {
+				row = append(row, f2(fptreeRun(cfg, name, th, warm, opsPer)))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+func fptreeRun(cfg Config, name string, threads, warm, opsPerThread int) float64 {
+	h, err := OpenHeap(name, cfg)
+	if err != nil {
+		panic(err)
+	}
+	th0 := h.NewThread()
+	tr, err := fptree.Create(h, th0, 0)
+	if err != nil {
+		panic(err)
+	}
+	th0.Close()
+	// Warm up with the same thread pool as the measured run (so slab
+	// ownership spreads across arenas, as it would on the testbed).
+	workload.Run("FPTree-warm", h, threads, func(w int, th alloc.Thread, rng *rand.Rand) uint64 {
+		for i := 0; i < warm/threads+1; i++ {
+			if err := tr.Insert(th, rng.Uint64()%uint64(4*warm), 1); err != nil {
+				panic(err)
+			}
+		}
+		return 0
+	})
+	r := workload.Run("FPTree", h, threads, func(w int, th alloc.Thread, rng *rand.Rand) uint64 {
+		ops := uint64(0)
+		for i := 0; i < opsPerThread; i++ {
+			k := rng.Uint64() % uint64(4*warm)
+			if i%2 == 0 {
+				if tr.Insert(th, k, k) == nil {
+					ops++
+				}
+			} else {
+				if _, err := tr.Delete(th, k); err == nil {
+					ops++
+				}
+			}
+		}
+		return ops
+	})
+	return r.MopsPerSec()
+}
+
+// fig16a reproduces Figure 16(a): bit-stripe sweep on Threadtest across
+// thread counts (the XPBuffer pressure makes large stripe counts hurt).
+func fig16a(cfg Config) []*Table {
+	return stripeSweep(cfg.withDefaults(), "fig16a", pmem.ModeADR,
+		"Bit-stripe sweep on Threadtest (virtual ms; ADR)")
+}
+
+// fig19 reproduces Figure 19: the same sweep on eADR, where stripes make
+// no difference because flushes are free.
+func fig19(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	cfg.Threads = []int{4}
+	return stripeSweep(cfg, "fig19", pmem.ModeEADR,
+		"Bit-stripe sweep on Threadtest (virtual ms; emulated eADR)")
+}
+
+func stripeSweep(cfg Config, id string, mode pmem.Mode, title string) []*Table {
+	stripes := []int{1, 2, 3, 4, 5, 6, 7, 8, 12, 16, 24, 32}
+	t := &Table{
+		ID:    id,
+		Title: title,
+		Columns: append([]string{"threads"}, func() []string {
+			var c []string
+			for _, s := range stripes {
+				c = append(c, fmt.Sprint(s))
+			}
+			return c
+		}()...),
+	}
+	for _, th := range cfg.Threads {
+		row := []string{fmt.Sprint(th)}
+		for _, s := range stripes {
+			dev := pmem.New(pmem.Config{Size: cfg.DeviceBytes, Mode: mode})
+			opts := core.DefaultOptions(core.LOG)
+			opts.Stripes = s
+			if s == 1 {
+				opts.InterleaveBitmap = false
+				opts.InterleaveTcache = false
+				opts.InterleaveWAL = false
+			}
+			// Figure 19 measures the raw effect of stripes, so eADR does
+			// NOT auto-disable interleaving here.
+			h, err := core.Create(dev, opts)
+			if err != nil {
+				panic(err)
+			}
+			r := workload.Threadtest(h, th, cfg.ops(10), 1000, 64)
+			row = append(row, msec(r.MakespanNS))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []*Table{t}
+}
+
+// fig18 reproduces Figure 18: single-thread recovery time after a crash
+// with a linked list of nodes (the paper's 10M nodes, scaled).
+func fig18(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	nodes := cfg.ops(100000)
+	t := &Table{
+		ID:      "fig18",
+		Title:   fmt.Sprintf("Recovery time after crash, %d-node linked list (virtual ms)", nodes),
+		Columns: []string{"allocator", "recovery ms"},
+	}
+	for _, name := range []string{"nvm_malloc", "PMDK", "NVAlloc-LOG", "Ralloc", "Makalu", "NVAlloc-GC"} {
+		ns := recoveryRun(cfg, name, nodes)
+		t.Rows = append(t.Rows, []string{name, msec(ns)})
+	}
+	return []*Table{t}
+}
+
+// recoveryRun builds the linked list, crashes the device and reopens the
+// heap, returning the recovery's virtual nanoseconds.
+func recoveryRun(cfg Config, name string, nodes int) int64 {
+	dev := pmem.New(pmem.Config{Size: cfg.DeviceBytes, Strict: true})
+	h, err := openOn(dev, name)
+	if err != nil {
+		panic(err)
+	}
+	th := h.NewThread()
+	rng := rand.New(rand.NewSource(4))
+	var prev pmem.PAddr
+	for i := 0; i < nodes; i++ {
+		size := uint64(64 + rng.Intn(65)) // 64..128 B, as in the paper
+		p, err := th.Malloc(size)
+		if err != nil {
+			panic(err)
+		}
+		dev.WriteU64(p, uint64(prev))
+		th.Ctx().Flush(pmem.CatOther, p, 8)
+		prev = p
+	}
+	th.Ctx().PersistU64(pmem.CatOther, h.RootSlot(0), uint64(prev))
+	th.Ctx().Merge()
+	dev.Crash()
+
+	switch name {
+	case "nvm_malloc":
+		_, ns, err := baseline.Open(dev, baseline.NvmMalloc)
+		must(err)
+		return ns
+	case "PMDK":
+		_, ns, err := baseline.Open(dev, baseline.PMDK)
+		must(err)
+		return ns
+	case "PAllocator":
+		_, ns, err := baseline.Open(dev, baseline.PAllocator)
+		must(err)
+		return ns
+	case "Makalu":
+		_, ns, err := baseline.Open(dev, baseline.Makalu)
+		must(err)
+		return ns
+	case "Ralloc":
+		_, ns, err := baseline.Open(dev, baseline.Ralloc)
+		must(err)
+		return ns
+	default:
+		_, ns, err := core.Open(dev, core.Options{})
+		must(err)
+		return ns
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// table2 prints the technique matrix of Table 2.
+func table2(Config) []*Table {
+	t := &Table{
+		ID:      "table2",
+		Title:   "Techniques used in the two NVAlloc variants (IM = interleaved mapping)",
+		Columns: []string{"allocator", "small allocation", "large allocation"},
+		Rows: [][]string{
+			{"NVAlloc-LOG", "IM(WAL,bitmaps,tcache); slab morphing", "IM(WAL,bookkeeping log); log-structured bookkeeping"},
+			{"NVAlloc-GC", "slab morphing", "IM(WAL,bookkeeping log); log-structured bookkeeping"},
+		},
+	}
+	return []*Table{t}
+}
+
+// ablation benchmarks the design choices DESIGN.md calls out beyond the
+// paper's own ablations: best-fit vs first-fit extent selection.
+func ablation(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:      "ablation",
+		Title:   "Extent selection: best-fit (size tree) vs first-fit (address scan)",
+		Columns: []string{"variant", "DBMStest Mops", "peak MiB"},
+	}
+	for _, name := range []string{"NVAlloc-LOG", "NVAlloc-LOG ff"} {
+		h, err := OpenHeap(name, cfg)
+		if err != nil {
+			panic(err)
+		}
+		r := workload.DBMStest(h, 2, cfg.ops(5), cfg.ops(120))
+		t.Rows = append(t.Rows, []string{name, f2(r.MopsPerSec()), mib(r.PeakBytes)})
+	}
+	return []*Table{t}
+}

@@ -1,0 +1,158 @@
+package experiment
+
+import (
+	"fmt"
+
+	"nvalloc/internal/alloc"
+	"nvalloc/internal/workload"
+)
+
+// smallBenches are the four small-allocation benchmarks of Figures 1(a),
+// 9, 10 and 20, with per-benchmark base operation counts.
+func smallBenches(cfg Config) []struct {
+	name string
+	run  func(h alloc.Heap, threads int) workload.Result
+} {
+	return []struct {
+		name string
+		run  func(h alloc.Heap, threads int) workload.Result
+	}{
+		{"Threadtest", func(h alloc.Heap, t int) workload.Result {
+			return workload.Threadtest(h, t, cfg.ops(10), 1000, 64)
+		}},
+		{"Prod-con", func(h alloc.Heap, t int) workload.Result {
+			return workload.ProdCon(h, t, cfg.ops(10000), 64)
+		}},
+		{"Shbench", func(h alloc.Heap, t int) workload.Result {
+			return workload.Shbench(h, t, cfg.ops(1000))
+		}},
+		{"Larson-small", func(h alloc.Heap, t int) workload.Result {
+			return workload.Larson(h, t, 256, cfg.ops(10000), 64, 256)
+		}},
+	}
+}
+
+func init() {
+	register("fig1a", fig1a)
+	register("fig9", func(cfg Config) []*Table { return smallPerf(cfg, "fig9", StrongAllocators) })
+	register("fig10", func(cfg Config) []*Table { return smallPerf(cfg, "fig10", WeakAllocators) })
+	register("fig11", fig11)
+	register("fig20", fig20)
+}
+
+// fig1a reproduces Figure 1(a): the share of allocator-induced flushes
+// that are cache line reflushes for the WAL/bitmap-based allocators.
+func fig1a(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:      "fig1a",
+		Title:   "Ratio of cache line reflushes vs regular flushes (1 thread)",
+		Columns: []string{"benchmark", "allocator", "reflush%", "flush%"},
+	}
+	for _, b := range smallBenches(cfg) {
+		for _, name := range []string{"PMDK", "nvm_malloc", "PAllocator"} {
+			h, err := OpenHeap(name, cfg)
+			if err != nil {
+				panic(err)
+			}
+			r := b.run(h, 1)
+			ratio := r.Stats.ReflushRatio()
+			t.Rows = append(t.Rows, []string{b.name, name, pct(ratio), pct(1 - ratio)})
+		}
+	}
+	return []*Table{t}
+}
+
+// smallPerf reproduces Figures 9/10: small-allocation throughput across
+// thread counts for the given allocator set.
+func smallPerf(cfg Config, id string, allocators []string) []*Table {
+	cfg = cfg.withDefaults()
+	var tables []*Table
+	for _, b := range smallBenches(cfg) {
+		t := &Table{
+			ID:      id,
+			Title:   fmt.Sprintf("%s small allocations, Mops/s (virtual time)", b.name),
+			Columns: append([]string{"threads"}, allocators...),
+		}
+		for _, th := range cfg.Threads {
+			row := []string{fmt.Sprint(th)}
+			for _, name := range allocators {
+				h, err := OpenHeap(name, cfg)
+				if err != nil {
+					panic(err)
+				}
+				r := b.run(h, th)
+				row = append(row, f2(r.MopsPerSec()))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// fig11 reproduces Figure 11: the execution-time breakdown (FlushMeta,
+// FlushWAL, Search, Other) for the Base / +Interleaved / +Log / full
+// NVAlloc-LOG ablations at 8 threads.
+func fig11(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	versions := []string{"Base", "Base+Interleaved", "Base+Log", "NVAlloc-LOG"}
+	runs := []struct {
+		bench string
+		run   func(h alloc.Heap) workload.Result
+	}{
+		{"Threadtest", func(h alloc.Heap) workload.Result {
+			return workload.Threadtest(h, 8, cfg.ops(10), 1000, 64)
+		}},
+		{"Larson-small", func(h alloc.Heap) workload.Result {
+			return workload.Larson(h, 8, 256, cfg.ops(10000), 64, 256)
+		}},
+		{"DBMS-test", func(h alloc.Heap) workload.Result {
+			return workload.DBMStest(h, 8, cfg.ops(5), cfg.ops(100))
+		}},
+	}
+	var tables []*Table
+	for _, r := range runs {
+		t := &Table{
+			ID:      "fig11",
+			Title:   fmt.Sprintf("%s execution-time breakdown, 8 threads (ms of virtual work)", r.bench),
+			Columns: []string{"version", "FlushMeta", "FlushWAL", "Search", "Other", "total", "vsBase"},
+		}
+		var baseTotal int64
+		for _, v := range versions {
+			h, err := OpenHeap(v, cfg)
+			if err != nil {
+				panic(err)
+			}
+			res := r.run(h)
+			s := res.Stats
+			total := s.TotalNS()
+			if v == "Base" {
+				baseTotal = total
+			}
+			rel := "1.00"
+			if baseTotal > 0 {
+				rel = f2(float64(total) / float64(baseTotal))
+			}
+			t.Rows = append(t.Rows, []string{
+				v,
+				msec(s.CatNS[0]), msec(s.CatNS[1]), msec(s.CatNS[2]), msec(s.CatNS[3]),
+				msec(total), rel,
+			})
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// fig20 reproduces Figure 20: small allocations on the emulated eADR
+// platform (flushes free, interleaving disabled).
+func fig20(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	cfg.Mode = 1 // pmem.ModeEADR
+	tables := smallPerf(cfg, "fig20", StrongAllocators)
+	for _, t := range tables {
+		t.Title = "eADR: " + t.Title
+	}
+	return tables
+}

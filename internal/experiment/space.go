@@ -1,0 +1,197 @@
+package experiment
+
+import (
+	"fmt"
+
+	"nvalloc/internal/core"
+	"nvalloc/internal/pmem"
+	"nvalloc/internal/workload"
+)
+
+func init() {
+	register("fig1b", fig1b)
+	register("fig13", fig13)
+	register("fig15", fig15)
+	register("fig16b", fig16b)
+}
+
+// fragCfg scales Fragbench with the experiment scale factor.
+func fragCfg(cfg Config) workload.FragConfig {
+	live := uint64(float64(24<<20) * cfg.Scale)
+	if live < 4<<20 {
+		live = 4 << 20
+	}
+	return workload.FragConfig{LiveBytes: live, Threads: 1}
+}
+
+// fig1b reproduces Figure 1(b): peak memory under Fragbench for the
+// classic allocators (the paper also shows volatile jemalloc/tcmalloc;
+// this reproduction substitutes the five persistent baselines, whose
+// static slab segregation shows the same blowup).
+func fig1b(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	names := []string{"PMDK", "nvm_malloc", "PAllocator", "Makalu", "Ralloc"}
+	t := &Table{
+		ID:      "fig1b",
+		Title:   "Peak memory consumption under Fragbench (MiB; live set is the bound)",
+		Columns: append([]string{"workload", "live"}, names...),
+	}
+	fc := fragCfg(cfg)
+	for _, spec := range workload.FragSpecs {
+		row := []string{spec.Name, mib(fc.LiveBytes)}
+		for _, name := range names {
+			h, err := OpenHeap(name, cfg)
+			if err != nil {
+				panic(err)
+			}
+			r := workload.Fragbench(h, spec, fc)
+			row = append(row, mib(r.PeakBytes))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []*Table{t}
+}
+
+// fig13 reproduces Figure 13: space consumption across thread counts on
+// Threadtest (small) and DBMStest (large).
+func fig13(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	names := []string{"PMDK", "nvm_malloc", "Makalu", "NVAlloc-LOG"}
+	var tables []*Table
+	for _, b := range []struct {
+		bench string
+		run   func(name string, threads int) uint64
+	}{
+		{"Threadtest", func(name string, th int) uint64 {
+			h, err := OpenHeap(name, cfg)
+			if err != nil {
+				panic(err)
+			}
+			return workload.Threadtest(h, th, cfg.ops(10), 1000, 64).PeakBytes
+		}},
+		{"DBMStest", func(name string, th int) uint64 {
+			h, err := OpenHeap(name, cfg)
+			if err != nil {
+				panic(err)
+			}
+			return workload.DBMStest(h, th, cfg.ops(5), cfg.ops(100)).PeakBytes
+		}},
+	} {
+		t := &Table{
+			ID:      "fig13",
+			Title:   fmt.Sprintf("%s peak space consumption (MiB)", b.bench),
+			Columns: append([]string{"threads"}, names...),
+		}
+		for _, th := range cfg.Threads {
+			row := []string{fmt.Sprint(th)}
+			for _, name := range names {
+				row = append(row, mib(b.run(name, th)))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// fig15 reproduces Figure 15: Fragbench space consumption (a), slab
+// utilization breakdown (b), and performance with and without slab
+// morphing (c, d).
+func fig15(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	fc := fragCfg(cfg)
+
+	space := &Table{
+		ID:      "fig15",
+		Title:   "(a) Fragbench peak space (MiB)",
+		Columns: []string{"workload", "Makalu", "NVAlloc-LOG w/o SM", "NVAlloc-LOG"},
+	}
+	breakdown := &Table{
+		ID:      "fig15",
+		Title:   "(b) slab-utilization breakdown (slab counts, NVAlloc-LOG)",
+		Columns: []string{"workload", "variant", "0-30%", "30-70%", "70-100%"},
+	}
+	perfStrong := &Table{
+		ID:      "fig15",
+		Title:   "(c) strongly consistent allocators, virtual time (ms)",
+		Columns: []string{"workload", "PMDK", "nvm_malloc", "NVAlloc-LOG w/o SM", "NVAlloc-LOG"},
+	}
+	perfWeak := &Table{
+		ID:      "fig15",
+		Title:   "(d) weakly consistent allocators, virtual time (ms)",
+		Columns: []string{"workload", "Makalu", "Ralloc", "NVAlloc-GC w/o SM", "NVAlloc-GC"},
+	}
+
+	runOne := func(name string, spec workload.FragSpec) (workload.FragResult, [3]int) {
+		h, err := OpenHeap(name, cfg)
+		if err != nil {
+			panic(err)
+		}
+		r := workload.Fragbench(h, spec, fc)
+		var buckets [3]int
+		if ch, ok := h.(*core.Heap); ok {
+			buckets = ch.SlabUtilization()
+		}
+		return r, buckets
+	}
+
+	for _, spec := range workload.FragSpecs {
+		var spaceRow = []string{spec.Name}
+		var strongRow = []string{spec.Name}
+		var weakRow = []string{spec.Name}
+		for _, name := range []string{"Makalu", "NVAlloc-LOG w/o SM", "NVAlloc-LOG"} {
+			r, buckets := runOne(name, spec)
+			spaceRow = append(spaceRow, mib(r.PeakBytes))
+			switch name {
+			case "NVAlloc-LOG w/o SM":
+				breakdown.Rows = append(breakdown.Rows, []string{
+					spec.Name, "w/o SM",
+					fmt.Sprint(buckets[0]), fmt.Sprint(buckets[1]), fmt.Sprint(buckets[2]),
+				})
+			case "NVAlloc-LOG":
+				breakdown.Rows = append(breakdown.Rows, []string{
+					spec.Name, "with SM",
+					fmt.Sprint(buckets[0]), fmt.Sprint(buckets[1]), fmt.Sprint(buckets[2]),
+				})
+			}
+		}
+		space.Rows = append(space.Rows, spaceRow)
+		for _, name := range []string{"PMDK", "nvm_malloc", "NVAlloc-LOG w/o SM", "NVAlloc-LOG"} {
+			r, _ := runOne(name, spec)
+			strongRow = append(strongRow, msec(r.MakespanNS))
+		}
+		perfStrong.Rows = append(perfStrong.Rows, strongRow)
+		for _, name := range []string{"Makalu", "Ralloc", "NVAlloc-GC w/o SM", "NVAlloc-GC"} {
+			r, _ := runOne(name, spec)
+			weakRow = append(weakRow, msec(r.MakespanNS))
+		}
+		perfWeak.Rows = append(perfWeak.Rows, weakRow)
+	}
+	return []*Table{space, breakdown, perfStrong, perfWeak}
+}
+
+// fig16b reproduces Figure 16(b): the SU threshold's memory/performance
+// trade-off on workload W4.
+func fig16b(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		ID:      "fig16b",
+		Title:   "Morphing SU threshold sweep on Fragbench W4",
+		Columns: []string{"SU", "peak MiB", "time ms", "morphs"},
+	}
+	fc := fragCfg(cfg)
+	for _, su := range []int{10, 20, 30, 50} {
+		h, err := OpenHeap(fmt.Sprintf("NVAlloc-LOG su%d", su), cfg)
+		if err != nil {
+			panic(err)
+		}
+		r := workload.Fragbench(h, workload.FragSpecs[3], fc)
+		morphs, _ := h.(*core.Heap).MorphStats()
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d%%", su), mib(r.PeakBytes), msec(r.MakespanNS), fmt.Sprint(morphs),
+		})
+	}
+	return []*Table{t}
+}
+
+var _ = pmem.ModeADR

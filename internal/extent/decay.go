@@ -1,0 +1,187 @@
+package extent
+
+import (
+	"sort"
+
+	"nvalloc/internal/pmem"
+)
+
+// Decay parameters: every DecayEpochNS of virtual time the allocator
+// recomputes the smootherstep threshold TH_decay for the reclaimed and
+// retained lists and demotes the oldest free extents above it (the
+// paper's Section 2.2, following jemalloc's 50 ms decay interval).
+const (
+	// DecayEpochNS is the tick interval (50 ms of virtual time).
+	DecayEpochNS = 50 * 1000 * 1000
+	// DecayWindowNS is the time over which a fully idle list decays to
+	// zero allowed bytes.
+	DecayWindowNS = 500 * 1000 * 1000
+)
+
+// Smootherstep is Ken Perlin's 6t^5-15t^4+10t^3, clamped to [0,1]. The
+// decay threshold is base*(1-Smootherstep(elapsed/window)).
+func Smootherstep(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	if t >= 1 {
+		return 1
+	}
+	return t * t * t * (t*(t*6-15) + 10)
+}
+
+type decayState struct {
+	lastTick int64
+}
+
+func (d *decayState) init() {
+	d.lastTick = 0
+}
+
+// maybeDecay runs the decay pass if a full epoch of virtual time has
+// passed. Callers hold Res.
+func (a *Allocator) maybeDecay(c *pmem.Ctx) {
+	if c.Now-a.decay.lastTick < DecayEpochNS {
+		return
+	}
+	a.decay.lastTick = c.Now
+	a.DecayTick(c)
+}
+
+// DecayTick forces one decay pass. The allowed bytes TH_decay of a free
+// list is the sum over its extents of size*(1-Smootherstep(age/window)):
+// freshly freed extents contribute their full size, fully aged extents
+// contribute nothing. While the list holds more than TH_decay, the
+// oldest extents are demoted — reclaimed to retained ("unmap physical"),
+// retained to released ("return to OS").
+func (a *Allocator) DecayTick(c *pmem.Ctx) {
+	now := c.Now
+	// limit computes the allowed bytes and, as a side effect, compacts
+	// the FIFO: entries whose extents were reactivated or merged since
+	// they were queued are dropped, so the queue stays proportional to
+	// the live free-extent population instead of growing with the total
+	// number of frees.
+	limit := func(fifo *[]*VEH, want State) uint64 {
+		var allowed float64
+		q := *fifo
+		kept := q[:0]
+		for _, v := range q {
+			cur, ok := a.byAddr.Get(v.Addr)
+			if !ok || cur != v || v.State != want {
+				continue
+			}
+			kept = append(kept, v)
+			age := float64(now-v.LastFree) / float64(DecayWindowNS)
+			allowed += float64(v.Size) * (1 - Smootherstep(age))
+		}
+		*fifo = kept
+		return uint64(allowed)
+	}
+
+	th := limit(&a.fifoReclaimed, Reclaimed)
+	a.drainFIFO(&a.fifoReclaimed, Reclaimed, func(v *VEH) bool {
+		if a.reclaimedBytes <= th {
+			return false
+		}
+		a.removeFree(v)
+		a.insertFree(v, Retained, now)
+		c.Charge(pmem.CatOther, 40) // madvise-equivalent cost
+		return true
+	})
+
+	th = limit(&a.fifoRetained, Retained)
+	a.drainFIFO(&a.fifoRetained, Retained, func(v *VEH) bool {
+		if a.retainedBytes <= th {
+			return false
+		}
+		a.removeFree(v)
+		a.insertFree(v, Released, now)
+		c.Charge(pmem.CatOther, 60) // munmap-equivalent cost
+		return true
+	})
+}
+
+// drainFIFO pops entries from the front of a free-extent FIFO in
+// insertion (age) order, skipping stale entries (extents that were
+// reactivated or merged since). fn returns false to stop.
+func (a *Allocator) drainFIFO(fifo *[]*VEH, want State, fn func(*VEH) bool) {
+	q := *fifo
+	i := 0
+	for ; i < len(q); i++ {
+		v := q[i]
+		cur, ok := a.byAddr.Get(v.Addr)
+		if !ok || cur != v || v.State != want {
+			continue // stale entry
+		}
+		if !fn(v) {
+			break
+		}
+	}
+	*fifo = q[i:]
+}
+
+// Rebuild reconstructs the allocator's volatile state during recovery:
+// the records are the live extents (from the bookkeeper), and every gap
+// between them inside [heapBase, break) becomes a reclaimed free extent.
+// It returns the VEHs of the live extents in address order.
+func Rebuild(dev *pmem.Device, book Bookkeeper, cfg Config, c *pmem.Ctx, records []LiveRecord) (*Allocator, []*VEH) {
+	a := newAllocator(dev, book, cfg)
+	sort.Slice(records, func(i, j int) bool { return records[i].Addr < records[j].Addr })
+	brk := pmem.PAddr(dev.ReadU64(cfg.BreakPtr))
+	res := a.book.DataOffset()
+	if res > 0 {
+		// Header reservations at the start of every grown chunk are
+		// metadata, not free space.
+		n := uint64(brk-a.heapBase) / ChunkSize
+		a.metaBytes += n * res
+	}
+
+	live := make([]*VEH, 0, len(records))
+	cursor := a.heapBase
+	flushGap := func(from, to pmem.PAddr) {
+		for from < to {
+			// Carve out bookkeeper reservations chunk by chunk.
+			chunkBase := from &^ (ChunkSize - 1)
+			dataStart := chunkBase + pmem.PAddr(res)
+			if from < dataStart {
+				from = dataStart
+				continue
+			}
+			chunkEnd := chunkBase + ChunkSize
+			end := to
+			if end > chunkEnd {
+				end = chunkEnd
+			}
+			if end > from {
+				v := &VEH{Addr: from, Size: uint64(end - from)}
+				a.insertFree(v, Reclaimed, 0)
+				a.coalesce(c, v)
+			}
+			from = end
+		}
+	}
+	for _, r := range records {
+		if r.Addr > cursor {
+			flushGap(cursor, r.Addr)
+		}
+		v := &VEH{Addr: r.Addr, Size: r.Size, State: Activated, Slab: r.Slab}
+		a.activated[r.Addr] = v
+		a.activatedBytes += r.Size
+		live = append(live, v)
+		cursor = v.End()
+		c.Charge(pmem.CatSearch, 30)
+	}
+	if cursor < brk {
+		flushGap(cursor, brk)
+	}
+	a.notePeak()
+	return a, live
+}
+
+// LiveRecord is a live-extent record handed to Rebuild (mirrors
+// blog.Record without importing it, so both bookkeepers can produce it).
+type LiveRecord struct {
+	Addr pmem.PAddr
+	Size uint64
+	Slab bool
+}

@@ -1,0 +1,475 @@
+// Package extent implements NVAlloc's large allocator (Section 4.3):
+// extents from 16 KiB to a few MiB managed through virtual extent headers
+// (VEHs) in DRAM, three lists (activated / reclaimed / retained), best-fit
+// selection over a size-ordered red-black tree, split and coalesce via an
+// address index (the paper's "R-tree"), decay-based demotion of free
+// extents using a smootherstep threshold, and pluggable persistent
+// bookkeeping: the log-structured bookkeeping log (package blog) or the
+// classic in-place region headers the paper's baselines use.
+package extent
+
+import (
+	"fmt"
+
+	"nvalloc/internal/pmem"
+	"nvalloc/internal/rbtree"
+)
+
+// PageSize is the allocation granularity of the large allocator.
+const PageSize = 4096
+
+// ChunkSize is the growth quantum requested from the device ("mmap").
+const ChunkSize = 4 << 20
+
+// State is a VEH's list membership.
+type State int
+
+// VEH states.
+const (
+	// Activated extents hold live data.
+	Activated State = iota
+	// Reclaimed extents are free with physical memory still mapped.
+	Reclaimed
+	// Retained extents are free with physical memory unmapped (virtual
+	// reservation only).
+	Retained
+	// Released extents have been returned to the OS entirely.
+	Released
+)
+
+// VEH is a virtual extent header: the DRAM descriptor of one extent.
+type VEH struct {
+	Addr     pmem.PAddr
+	Size     uint64
+	State    State
+	Slab     bool
+	LastFree int64 // virtual time of the last transition to a free state
+}
+
+// End returns the first address past the extent.
+func (v *VEH) End() pmem.PAddr { return v.Addr + pmem.PAddr(v.Size) }
+
+// Bookkeeper persists which extents are live. Implementations: *blog.Log
+// (NVAlloc's log-structured bookkeeping) and *InPlace (classic region
+// headers).
+type Bookkeeper interface {
+	// RecordAlloc persists that [addr,addr+size) is live.
+	RecordAlloc(c *pmem.Ctx, addr pmem.PAddr, size uint64, slab bool) error
+	// RecordFree persists that addr is no longer live.
+	RecordFree(c *pmem.Ctx, addr pmem.PAddr) error
+	// MaybeGC lets the bookkeeper compact itself.
+	MaybeGC(c *pmem.Ctx)
+	// DataOffset returns how many bytes at the start of each fresh chunk
+	// the bookkeeper reserves for itself (0 for the log; a header table
+	// for in-place bookkeeping).
+	DataOffset() uint64
+}
+
+type sizeKey struct {
+	size uint64
+	addr pmem.PAddr
+}
+
+func sizeLess(a, b sizeKey) bool {
+	if a.size != b.size {
+		return a.size < b.size
+	}
+	return a.addr < b.addr
+}
+
+// Allocator is the large allocator. All methods require the caller to
+// hold Res (the global large-allocation lock).
+type Allocator struct {
+	// Res serializes the large allocator and models its lock in virtual
+	// time.
+	Res pmem.Resource
+
+	dev      *pmem.Device
+	book     Bookkeeper
+	heapBase pmem.PAddr
+	heapEnd  pmem.PAddr
+	brkAddr  pmem.PAddr // persistent cell holding the heap break
+
+	activated map[pmem.PAddr]*VEH
+	bySize    [2]*rbtree.Tree[sizeKey, *VEH] // [Reclaimed-?], indexed by state-1... see idx()
+	byAddr    *rbtree.Tree[pmem.PAddr, *VEH] // all free extents (coalescing)
+	released  *rbtree.Tree[sizeKey, *VEH]    // OS-returned ranges, reusable last
+
+	fifoReclaimed []*VEH
+	fifoRetained  []*VEH
+
+	metaBytes      uint64
+	activatedBytes uint64
+	reclaimedBytes uint64
+	retainedBytes  uint64
+	peak           uint64
+
+	decay decayState
+
+	// FirstFit switches extent selection from best-fit (size-ordered
+	// tree) to address-ordered first-fit (ablation experiments).
+	FirstFit bool
+
+	// Stats
+	Splits, Coalesces, Grows uint64
+}
+
+func (a *Allocator) idx(s State) *rbtree.Tree[sizeKey, *VEH] {
+	switch s {
+	case Reclaimed:
+		return a.bySize[0]
+	case Retained:
+		return a.bySize[1]
+	default:
+		panic("extent: no size index for state")
+	}
+}
+
+// Config configures a large allocator.
+type Config struct {
+	HeapBase pmem.PAddr // first usable heap byte (chunk aligned)
+	HeapEnd  pmem.PAddr // one past the last usable heap byte
+	BreakPtr pmem.PAddr // persistent 8-byte cell storing the heap break
+	// MetaBytes is counted into Used (superblock, WAL and log regions).
+	MetaBytes uint64
+}
+
+// New creates a large allocator over a fresh heap region.
+func New(dev *pmem.Device, book Bookkeeper, cfg Config) *Allocator {
+	a := newAllocator(dev, book, cfg)
+	c := dev.NewCtx()
+	c.PersistU64(pmem.CatMeta, cfg.BreakPtr, uint64(cfg.HeapBase))
+	c.Merge()
+	return a
+}
+
+func newAllocator(dev *pmem.Device, book Bookkeeper, cfg Config) *Allocator {
+	if cfg.HeapBase%ChunkSize != 0 {
+		panic(fmt.Sprintf("extent: heap base %#x must be %d-aligned", cfg.HeapBase, ChunkSize))
+	}
+	a := &Allocator{
+		dev:       dev,
+		book:      book,
+		heapBase:  cfg.HeapBase,
+		heapEnd:   cfg.HeapEnd,
+		brkAddr:   cfg.BreakPtr,
+		activated: make(map[pmem.PAddr]*VEH),
+		byAddr:    rbtree.New[pmem.PAddr, *VEH](func(x, y pmem.PAddr) bool { return x < y }),
+		released:  rbtree.New[sizeKey, *VEH](sizeLess),
+		metaBytes: cfg.MetaBytes,
+	}
+	a.bySize[0] = rbtree.New[sizeKey, *VEH](sizeLess)
+	a.bySize[1] = rbtree.New[sizeKey, *VEH](sizeLess)
+	a.decay.init()
+	a.peak = a.metaBytes
+	return a
+}
+
+// Used returns committed bytes: metadata regions, live extents and dirty
+// (reclaimed) free extents. Retained and released memory is unmapped and
+// not counted.
+func (a *Allocator) Used() uint64 {
+	return a.metaBytes + a.activatedBytes + a.reclaimedBytes
+}
+
+// Peak returns the high-water mark of Used.
+func (a *Allocator) Peak() uint64 { return a.peak }
+
+// ResetPeak restarts peak tracking.
+func (a *Allocator) ResetPeak() { a.peak = a.Used() }
+
+func (a *Allocator) notePeak() {
+	if u := a.Used(); u > a.peak {
+		a.peak = u
+	}
+}
+
+// Lookup returns the activated VEH at addr.
+func (a *Allocator) Lookup(addr pmem.PAddr) (*VEH, bool) {
+	v, ok := a.activated[addr]
+	return v, ok
+}
+
+// Activated exposes the live-extent map for recovery sweeps; callers
+// must hold Res and must not mutate it.
+func (a *Allocator) Activated() map[pmem.PAddr]*VEH { return a.activated }
+
+func align(v, al pmem.PAddr) pmem.PAddr { return (v + al - 1) &^ (al - 1) }
+
+// removeFree detaches a free VEH from the size and address indexes.
+func (a *Allocator) removeFree(v *VEH) {
+	switch v.State {
+	case Reclaimed:
+		a.reclaimedBytes -= v.Size
+	case Retained:
+		a.retainedBytes -= v.Size
+	case Released:
+		a.released.Delete(sizeKey{v.Size, v.Addr})
+		a.byAddr.Delete(v.Addr)
+		return
+	}
+	a.idx(v.State).Delete(sizeKey{v.Size, v.Addr})
+	a.byAddr.Delete(v.Addr)
+}
+
+// insertFree registers a free VEH under the given state.
+func (a *Allocator) insertFree(v *VEH, s State, now int64) {
+	v.State = s
+	v.LastFree = now
+	v.Slab = false
+	switch s {
+	case Reclaimed:
+		a.reclaimedBytes += v.Size
+		a.fifoReclaimed = append(a.fifoReclaimed, v)
+		a.idx(s).Put(sizeKey{v.Size, v.Addr}, v)
+	case Retained:
+		a.retainedBytes += v.Size
+		a.fifoRetained = append(a.fifoRetained, v)
+		a.idx(s).Put(sizeKey{v.Size, v.Addr}, v)
+	case Released:
+		a.released.Put(sizeKey{v.Size, v.Addr}, v)
+	}
+	a.byAddr.Put(v.Addr, v)
+}
+
+// bestFit finds the smallest free extent in the given state that can hold
+// size bytes at the requested alignment. Returns nil if none fits. With
+// FirstFit set it instead scans the address index in order, charging one
+// probe per candidate (the classic algorithm's cost profile).
+func (a *Allocator) bestFit(tree *rbtree.Tree[sizeKey, *VEH], size uint64, al pmem.PAddr, c *pmem.Ctx) *VEH {
+	if a.FirstFit {
+		var hit *VEH
+		wantReclaimed := tree == a.bySize[0]
+		wantRetained := tree == a.bySize[1]
+		a.byAddr.Ascend(func(_ pmem.PAddr, v *VEH) bool {
+			c.Charge(pmem.CatSearch, 20)
+			switch {
+			case wantReclaimed && v.State != Reclaimed:
+				return true
+			case wantRetained && v.State != Retained:
+				return true
+			case !wantReclaimed && !wantRetained && v.State != Released:
+				return true
+			}
+			start := align(v.Addr, al)
+			if uint64(start-v.Addr)+size <= v.Size {
+				hit = v
+				return false
+			}
+			return true
+		})
+		return hit
+	}
+	key := sizeKey{size: size}
+	for {
+		k, v, ok := tree.Ceiling(key)
+		if !ok {
+			return nil
+		}
+		c.Charge(pmem.CatSearch, 25)
+		start := align(v.Addr, al)
+		if uint64(start-v.Addr)+size <= v.Size {
+			return v
+		}
+		// Alignment padding does not fit; try the next larger extent.
+		key = sizeKey{size: k.size, addr: k.addr + 1}
+	}
+}
+
+// carve splits the free extent v so that [start,start+size) becomes an
+// activated extent; any head or tail remainder stays free in v's former
+// state.
+func (a *Allocator) carve(c *pmem.Ctx, v *VEH, start pmem.PAddr, size uint64, now int64) *VEH {
+	state := v.State
+	a.removeFree(v)
+	if start > v.Addr {
+		head := &VEH{Addr: v.Addr, Size: uint64(start - v.Addr)}
+		a.insertFree(head, state, now)
+		a.Splits++
+	}
+	if end := start + pmem.PAddr(size); end < v.End() {
+		tail := &VEH{Addr: end, Size: uint64(v.End() - end)}
+		a.insertFree(tail, state, now)
+		a.Splits++
+	}
+	nv := &VEH{Addr: start, Size: size, State: Activated}
+	a.activated[start] = nv
+	a.activatedBytes += size
+	return nv
+}
+
+// grow extends the heap break by at least `need` bytes (in ChunkSize
+// units) and returns the new free extent covering the data part of the
+// growth.
+func (a *Allocator) grow(c *pmem.Ctx, need uint64, now int64) (*VEH, error) {
+	brk := pmem.PAddr(a.dev.ReadU64(a.brkAddr))
+	res := a.book.DataOffset()
+	g := uint64(ChunkSize)
+	for g < need+res {
+		g += ChunkSize
+	}
+	if uint64(brk)+g > uint64(a.heapEnd) {
+		return nil, fmt.Errorf("extent: heap exhausted (break %#x + %d > %#x)", brk, g, a.heapEnd)
+	}
+	nbrk := brk + pmem.PAddr(g)
+	c.PersistU64(pmem.CatMeta, a.brkAddr, uint64(nbrk))
+	c.Fence()
+	a.Grows++
+	if res > 0 {
+		a.metaBytes += res * (g / ChunkSize)
+	}
+	// Each chunk in the growth may reserve a bookkeeper header.
+	var first *VEH
+	for off := uint64(0); off < g; off += ChunkSize {
+		v := &VEH{Addr: brk + pmem.PAddr(off+res), Size: ChunkSize - res}
+		a.insertFree(v, Reclaimed, now)
+		if first == nil {
+			first = v
+		} else {
+			// Adjacent chunks coalesce unless a header separates them.
+			if res == 0 {
+				a.coalesce(c, v)
+			}
+		}
+	}
+	// Re-fetch: coalescing may have merged `first` away.
+	if res == 0 {
+		if _, v, ok := a.byAddr.Floor(brk); ok && v.State == Reclaimed && v.End() >= nbrk {
+			return v, nil
+		}
+	}
+	return first, nil
+}
+
+// Alloc serves a large allocation: best-fit over the reclaimed list, then
+// the retained list, then OS-released ranges, then heap growth. The
+// caller holds Res.
+func (a *Allocator) Alloc(c *pmem.Ctx, size uint64, alignTo pmem.PAddr, slabExtent bool) (pmem.PAddr, error) {
+	addr, err := a.AllocDeferRecord(c, size, alignTo, slabExtent)
+	if err != nil {
+		return pmem.Null, err
+	}
+	if err := a.Record(c, addr); err != nil {
+		return pmem.Null, err
+	}
+	return addr, nil
+}
+
+// AllocDeferRecord carves an extent without persisting its bookkeeping
+// record. Slab allocation uses it so the persistent record is written
+// only *after* the slab header is formatted and flushed — a crash in
+// between leaves unrecorded (and therefore free) space instead of a
+// recorded slab with a garbage header. Callers must invoke Record once
+// the extent's own initialization is persistent.
+func (a *Allocator) AllocDeferRecord(c *pmem.Ctx, size uint64, alignTo pmem.PAddr, slabExtent bool) (pmem.PAddr, error) {
+	if size == 0 {
+		return pmem.Null, fmt.Errorf("extent: zero-size allocation")
+	}
+	size = (size + PageSize - 1) &^ (PageSize - 1)
+	if alignTo < PageSize {
+		alignTo = PageSize
+	}
+	now := c.Now
+	v := a.bestFit(a.idx(Reclaimed), size, alignTo, c)
+	if v == nil {
+		v = a.bestFit(a.idx(Retained), size, alignTo, c)
+	}
+	if v == nil {
+		v = a.bestFit(a.released, size, alignTo, c)
+	}
+	if v == nil {
+		nv, err := a.grow(c, size+uint64(alignTo), now)
+		if err != nil {
+			return pmem.Null, err
+		}
+		v = nv
+	}
+	start := align(v.Addr, alignTo)
+	nv := a.carve(c, v, start, size, now)
+	nv.Slab = slabExtent
+	a.notePeak()
+	a.maybeDecay(c)
+	return nv.Addr, nil
+}
+
+// Record persists the bookkeeping record of an extent carved with
+// AllocDeferRecord.
+func (a *Allocator) Record(c *pmem.Ctx, addr pmem.PAddr) error {
+	v, ok := a.activated[addr]
+	if !ok {
+		return fmt.Errorf("extent: record of unknown extent %#x", addr)
+	}
+	return a.book.RecordAlloc(c, v.Addr, v.Size, v.Slab)
+}
+
+// Free returns an extent to the reclaimed list and coalesces it with free
+// neighbours. The caller holds Res.
+func (a *Allocator) Free(c *pmem.Ctx, addr pmem.PAddr) error {
+	v, ok := a.activated[addr]
+	if !ok {
+		return fmt.Errorf("extent: free of unknown extent %#x", addr)
+	}
+	if err := a.book.RecordFree(c, addr); err != nil {
+		return err
+	}
+	delete(a.activated, addr)
+	a.activatedBytes -= v.Size
+	a.insertFree(v, Reclaimed, c.Now)
+	a.coalesce(c, v)
+	a.book.MaybeGC(c)
+	a.maybeDecay(c)
+	return nil
+}
+
+// coalesce merges v with its free neighbours of the same state.
+func (a *Allocator) coalesce(c *pmem.Ctx, v *VEH) {
+	for {
+		merged := false
+		if k, left, ok := a.byAddr.Floor(v.Addr - 1); ok && left.End() == v.Addr && left.State == v.State {
+			_ = k
+			a.removeFree(left)
+			a.removeFree(v)
+			left.Size += v.Size
+			a.insertFree(left, v.State, maxI64(left.LastFree, v.LastFree))
+			v = left
+			a.Coalesces++
+			merged = true
+			c.Charge(pmem.CatSearch, 30)
+		}
+		if _, right, ok := a.byAddr.Ceiling(v.End()); ok && right.Addr == v.End() && right.State == v.State {
+			a.removeFree(right)
+			a.removeFree(v)
+			v.Size += right.Size
+			a.insertFree(v, v.State, maxI64(v.LastFree, right.LastFree))
+			a.Coalesces++
+			merged = true
+			c.Charge(pmem.CatSearch, 30)
+		}
+		if !merged {
+			return
+		}
+	}
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// FreeBytes returns (reclaimed, retained) byte totals for tests and
+// space-breakdown experiments.
+func (a *Allocator) FreeBytes() (reclaimed, retained uint64) {
+	return a.reclaimedBytes, a.retainedBytes
+}
+
+// ActivatedBytes returns the bytes of live extents.
+func (a *Allocator) ActivatedBytes() uint64 { return a.activatedBytes }
+
+// AddMetaBytes grows the accounted metadata footprint (used by the heap
+// to charge WAL/log regions).
+func (a *Allocator) AddMetaBytes(n uint64) {
+	a.metaBytes += n
+	a.notePeak()
+}

@@ -1,0 +1,297 @@
+package fptree
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"nvalloc/internal/alloc"
+	"nvalloc/internal/baseline"
+	"nvalloc/internal/core"
+	"nvalloc/internal/pmem"
+)
+
+func newTree(t *testing.T) (*pmem.Device, alloc.Heap, alloc.Thread, *Tree) {
+	t.Helper()
+	dev := pmem.New(pmem.Config{Size: 256 << 20, Strict: true})
+	h, err := core.Create(dev, core.DefaultOptions(core.LOG))
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := h.NewThread()
+	tr, err := Create(h, th, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev, h, th, tr
+}
+
+func TestInsertGetDelete(t *testing.T) {
+	_, _, th, tr := newTree(t)
+	defer th.Close()
+	if err := tr.Insert(th, 42, 4200); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := tr.Get(th, 42)
+	if !ok || v != 4200 {
+		t.Fatalf("get: %d %v", v, ok)
+	}
+	// Overwrite.
+	if err := tr.Insert(th, 42, 4300); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := tr.Get(th, 42); v != 4300 {
+		t.Fatalf("overwrite lost: %d", v)
+	}
+	ok, err := tr.Delete(th, 42)
+	if err != nil || !ok {
+		t.Fatalf("delete: %v %v", ok, err)
+	}
+	if _, ok := tr.Get(th, 42); ok {
+		t.Fatal("deleted key still present")
+	}
+	if ok, _ := tr.Delete(th, 42); ok {
+		t.Fatal("double delete must report false")
+	}
+	if _, ok := tr.Get(th, 7); ok {
+		t.Fatal("missing key found")
+	}
+}
+
+func TestManyKeysWithSplits(t *testing.T) {
+	_, _, th, tr := newTree(t)
+	defer th.Close()
+	const n = 20000
+	rng := rand.New(rand.NewSource(1))
+	keys := rng.Perm(n)
+	for _, k := range keys {
+		if err := tr.Insert(th, uint64(k), uint64(k)*7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("len %d, want %d", tr.Len(), n)
+	}
+	for _, k := range keys {
+		v, ok := tr.Get(th, uint64(k))
+		if !ok || v != uint64(k)*7 {
+			t.Fatalf("key %d: %d %v", k, v, ok)
+		}
+	}
+	// Delete half, verify the rest.
+	for _, k := range keys[:n/2] {
+		ok, err := tr.Delete(th, uint64(k))
+		if err != nil || !ok {
+			t.Fatalf("delete %d: %v %v", k, ok, err)
+		}
+	}
+	for _, k := range keys[:n/2] {
+		if _, ok := tr.Get(th, uint64(k)); ok {
+			t.Fatalf("deleted key %d still present", k)
+		}
+	}
+	for _, k := range keys[n/2:] {
+		if v, ok := tr.Get(th, uint64(k)); !ok || v != uint64(k)*7 {
+			t.Fatalf("survivor %d lost", k)
+		}
+	}
+}
+
+func TestConcurrentMixedWorkload(t *testing.T) {
+	_, h, th0, tr := newTree(t)
+	defer th0.Close()
+	const workers = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := h.NewThread()
+			defer th.Close()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 3000; i++ {
+				k := uint64(w)<<32 | uint64(rng.Intn(2000))
+				switch rng.Intn(3) {
+				case 0:
+					if err := tr.Insert(th, k, k); err != nil {
+						errs <- err
+						return
+					}
+				case 1:
+					if _, err := tr.Delete(th, k); err != nil {
+						errs <- err
+						return
+					}
+				default:
+					if v, ok := tr.Get(th, k); ok && v != k {
+						errs <- errValue
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+var errValue = &valueError{}
+
+type valueError struct{}
+
+func (*valueError) Error() string { return "fptree: wrong value" }
+
+func TestRecoveryRebuildsTree(t *testing.T) {
+	dev, h, th, tr := newTree(t)
+	const n = 5000
+	for k := 0; k < n; k++ {
+		if err := tr.Insert(th, uint64(k), uint64(k)+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	th.Ctx().Merge()
+	dev.Crash()
+
+	h2, _, err := core.Open(dev, core.DefaultOptions(core.LOG))
+	if err != nil {
+		t.Fatal(err)
+	}
+	th2 := h2.NewThread()
+	defer th2.Close()
+	tr2, err := Open(h2, th2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Len() != n {
+		t.Fatalf("recovered %d entries, want %d", tr2.Len(), n)
+	}
+	for k := 0; k < n; k += 97 {
+		v, ok := tr2.Get(th2, uint64(k))
+		if !ok || v != uint64(k)+1 {
+			t.Fatalf("key %d lost after recovery: %d %v", k, v, ok)
+		}
+	}
+	// The recovered tree remains writable.
+	if err := tr2.Insert(th2, 999999, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tr2.Get(th2, 999999); !ok {
+		t.Fatal("insert after recovery lost")
+	}
+	_ = h
+}
+
+func TestFPTreeOnBaselineAllocators(t *testing.T) {
+	// The tree must run on every allocator in the repository.
+	for _, cfg := range []baseline.Config{baseline.PMDK, baseline.Makalu} {
+		t.Run(cfg.Name, func(t *testing.T) {
+			dev := pmem.New(pmem.Config{Size: 128 << 20})
+			h, err := baseline.New(dev, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			th := h.NewThread()
+			defer th.Close()
+			tr, err := Create(h, th, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := 0; k < 3000; k++ {
+				if err := tr.Insert(th, uint64(k), uint64(k)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for k := 0; k < 3000; k += 2 {
+				if ok, err := tr.Delete(th, uint64(k)); err != nil || !ok {
+					t.Fatalf("delete %d: %v %v", k, ok, err)
+				}
+			}
+			if tr.Len() != 1500 {
+				t.Fatalf("len %d", tr.Len())
+			}
+		})
+	}
+}
+
+func TestFingerprintDistribution(t *testing.T) {
+	// Fingerprints must spread keys; a degenerate hash would make the
+	// leaf probe linear.
+	seen := map[byte]int{}
+	for k := uint64(0); k < 4096; k++ {
+		seen[fingerprint(k)]++
+	}
+	if len(seen) < 200 {
+		t.Fatalf("fingerprint too degenerate: %d distinct values", len(seen))
+	}
+}
+
+func TestOpenWithoutTree(t *testing.T) {
+	dev := pmem.New(pmem.Config{Size: 64 << 20})
+	h, err := core.Create(dev, core.DefaultOptions(core.LOG))
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := h.NewThread()
+	defer th.Close()
+	if _, err := Open(h, th, 5); err == nil {
+		t.Fatal("open of empty slot must error")
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	_, _, th, tr := newTree(t)
+	defer th.Close()
+	const n = 10000
+	for k := 0; k < n; k += 2 { // even keys only
+		if err := tr.Insert(th, uint64(k), uint64(k)*10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Full-range scan returns every key in order.
+	var keys []uint64
+	tr.Scan(th, 0, n, func(k, v uint64) bool {
+		if v != k*10 {
+			t.Fatalf("key %d has value %d", k, v)
+		}
+		keys = append(keys, k)
+		return true
+	})
+	if len(keys) != n/2 {
+		t.Fatalf("scan returned %d keys, want %d", len(keys), n/2)
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			t.Fatal("scan out of order")
+		}
+	}
+	// Bounded range.
+	count := 0
+	tr.Scan(th, 1000, 1999, func(k, _ uint64) bool {
+		if k < 1000 || k > 1999 {
+			t.Fatalf("key %d out of range", k)
+		}
+		count++
+		return true
+	})
+	if count != 500 {
+		t.Fatalf("bounded scan returned %d, want 500", count)
+	}
+	// Early stop.
+	count = 0
+	tr.Scan(th, 0, n, func(_, _ uint64) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Fatalf("early stop: %d", count)
+	}
+	// Empty range.
+	tr.Scan(th, 1, 1, func(k, _ uint64) bool {
+		t.Fatalf("unexpected key %d in empty range", k)
+		return false
+	})
+}

@@ -1,0 +1,34 @@
+package interleave
+
+import "testing"
+
+// FuzzMappingBijection checks that any valid mapping configuration is a
+// within-region bijection with aligned offsets and a correct inverse.
+func FuzzMappingBijection(f *testing.F) {
+	f.Add(uint16(100), byte(0), byte(6))
+	f.Add(uint16(8192), byte(0), byte(1))
+	f.Add(uint16(128), byte(6), byte(4))
+	f.Fuzz(func(t *testing.T, countRaw uint16, bitsRaw, stripesRaw byte) {
+		count := int(countRaw)%8192 + 1
+		unitBits := 1 << (int(bitsRaw) % 7) // 1..64
+		stripes := int(stripesRaw)%32 + 1
+		m := New(count, unitBits, stripes, 64)
+		seen := make(map[int]bool, count)
+		for i := 0; i < count; i++ {
+			off := m.BitOffset(i)
+			if off%unitBits != 0 {
+				t.Fatalf("offset %d not aligned to %d", off, unitBits)
+			}
+			if off < 0 || off >= m.SizeBytes()*8 {
+				t.Fatalf("offset %d outside region", off)
+			}
+			if seen[off] {
+				t.Fatalf("offset %d reused", off)
+			}
+			seen[off] = true
+			if i+1 < count && stripes > 1 && m.Line(i) == m.Line(i+1) {
+				t.Fatalf("consecutive units share line %d", m.Line(i))
+			}
+		}
+	})
+}

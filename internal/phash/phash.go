@@ -1,0 +1,281 @@
+// Package phash implements a crash-consistent persistent hash index in
+// the spirit of the persistent hashing schemes the paper cites as
+// allocator consumers (level hashing, Dash): a fixed bucket directory in
+// persistent memory with 8-slot buckets, one-byte fingerprints to avoid
+// probing full keys, allocator-backed value blobs, and overflow buckets
+// chained through the allocator. Every insert allocates (and every delete
+// frees) through the allocator under test, so the index doubles as an
+// allocation workload.
+//
+// Persistent bucket layout (160 B, 2.5 cache lines):
+//
+//	[0,8)    presence bitmap (bits 0..7)
+//	[8,16)   fingerprints, one byte per slot
+//	[16,24)  overflow bucket PAddr (0 = none)
+//	[24,32)  reserved
+//	[32,160) 8 entries x (key u64, blob PAddr)
+//
+// Consistency: blob contents are persisted first, then the entry, then
+// the fingerprint byte, and finally — the commit point — the presence
+// bit (an 8-byte atomic persist). A crash before the commit leaves the
+// slot empty and, under the LOG/IC variants, a recorded-but-unreachable
+// blob that WAL replay or an Objects walk resolves.
+package phash
+
+import (
+	"fmt"
+
+	"nvalloc/internal/alloc"
+	"nvalloc/internal/pmem"
+)
+
+// Slots per bucket.
+const Slots = 8
+
+// BucketBytes is the persistent footprint of one bucket.
+const BucketBytes = 160
+
+// Bucket field offsets.
+const (
+	bPresence = 0
+	bFPs      = 8
+	bOverflow = 16
+	bEntries  = 32
+)
+
+// Header layout (one page, referenced from the root slot).
+const (
+	hMagic    = 0
+	hNBuckets = 8
+	hDir      = 16
+	hBlobSize = 24
+
+	phashMagic = 0x5048415348363421 // "PHASH64!"
+)
+
+const lockStripes = 64
+
+// Map is a persistent hash index bound to a heap.
+type Map struct {
+	heap     alloc.Heap
+	dev      *pmem.Device
+	header   pmem.PAddr
+	dir      pmem.PAddr
+	nBuckets uint64
+	blobSize uint64
+	locks    [lockStripes]pmem.Resource
+}
+
+func hash64(key uint64) uint64 {
+	key ^= key >> 33
+	key *= 0xFF51AFD7ED558CCD
+	key ^= key >> 33
+	key *= 0xC4CEB9FE1A85EC53
+	key ^= key >> 33
+	return key
+}
+
+func fp(h uint64) byte {
+	b := byte(h >> 56)
+	if b == 0 {
+		b = 1
+	}
+	return b
+}
+
+// Create builds an empty index with nBuckets (rounded up to a power of
+// two) whose header address persists in the heap's rootSlot. Each value
+// is stored in a freshly allocated blob of blobSize bytes (>= 16).
+func Create(h alloc.Heap, th alloc.Thread, rootSlot int, nBuckets int, blobSize uint64) (*Map, error) {
+	if blobSize < 16 {
+		blobSize = 16
+	}
+	n := uint64(1)
+	for n < uint64(nBuckets) {
+		n *= 2
+	}
+	c := th.Ctx()
+	dev := h.Device()
+
+	dir, err := th.Malloc(n * BucketBytes)
+	if err != nil {
+		return nil, err
+	}
+	dev.Zero(dir, int(n*BucketBytes))
+	c.Flush(pmem.CatOther, dir, int(n*BucketBytes))
+
+	header, err := th.MallocTo(h.RootSlot(rootSlot), 4096)
+	if err != nil {
+		_ = th.Free(dir)
+		return nil, err
+	}
+	dev.WriteU64(header+hMagic, phashMagic)
+	dev.WriteU64(header+hNBuckets, n)
+	dev.WriteU64(header+hDir, uint64(dir))
+	dev.WriteU64(header+hBlobSize, blobSize)
+	c.Flush(pmem.CatOther, header, 32)
+	c.Fence()
+
+	return &Map{heap: h, dev: dev, header: header, dir: dir, nBuckets: n, blobSize: blobSize}, nil
+}
+
+// Open attaches to an existing index via the heap's root slot.
+func Open(h alloc.Heap, rootSlot int) (*Map, error) {
+	dev := h.Device()
+	header := pmem.PAddr(dev.ReadU64(h.RootSlot(rootSlot)))
+	if header == pmem.Null || dev.ReadU64(header+hMagic) != phashMagic {
+		return nil, fmt.Errorf("phash: no index at root slot %d", rootSlot)
+	}
+	return &Map{
+		heap:     h,
+		dev:      dev,
+		header:   header,
+		dir:      pmem.PAddr(dev.ReadU64(header + hDir)),
+		nBuckets: dev.ReadU64(header + hNBuckets),
+		blobSize: dev.ReadU64(header + hBlobSize),
+	}, nil
+}
+
+func (m *Map) bucketAddr(i uint64) pmem.PAddr {
+	return m.dir + pmem.PAddr(i*BucketBytes)
+}
+
+func (m *Map) lockFor(h uint64) *pmem.Resource {
+	return &m.locks[(h&(m.nBuckets-1))%lockStripes]
+}
+
+// findSlot scans the bucket chain for key; it returns the bucket and slot
+// holding it, or (with found=false) the first free bucket/slot. Caller
+// holds the stripe lock.
+func (m *Map) findSlot(c *pmem.Ctx, key uint64, f byte) (b pmem.PAddr, slot int, found bool, freeB pmem.PAddr, freeSlot int) {
+	freeB, freeSlot = pmem.Null, -1
+	b = m.bucketAddr(hash64(key) & (m.nBuckets - 1))
+	for b != pmem.Null {
+		present := m.dev.ReadU64(b + bPresence)
+		fps := m.dev.ReadU64(b + bFPs)
+		c.Charge(pmem.CatSearch, 10)
+		for s := 0; s < Slots; s++ {
+			if present&(1<<s) == 0 {
+				if freeSlot < 0 {
+					freeB, freeSlot = b, s
+				}
+				continue
+			}
+			if byte(fps>>(8*s)) != f {
+				continue
+			}
+			c.Charge(pmem.CatSearch, 4)
+			if m.dev.ReadU64(b+bEntries+pmem.PAddr(s*16)) == key {
+				return b, s, true, freeB, freeSlot
+			}
+		}
+		next := pmem.PAddr(m.dev.ReadU64(b + bOverflow))
+		if next == pmem.Null {
+			return b, -1, false, freeB, freeSlot
+		}
+		b = next
+	}
+	return pmem.Null, -1, false, freeB, freeSlot
+}
+
+// Put inserts or updates key with value.
+func (m *Map) Put(th alloc.Thread, key, value uint64) error {
+	c := th.Ctx()
+	h := hash64(key)
+	f := fp(h)
+	lk := m.lockFor(h)
+	lk.Acquire(c)
+	defer lk.Release(c)
+
+	lastB, slot, found, freeB, freeSlot := m.findSlot(c, key, f)
+	if found {
+		blob := pmem.PAddr(m.dev.ReadU64(lastB + bEntries + pmem.PAddr(slot*16) + 8))
+		c.PersistU64(pmem.CatOther, blob+8, value)
+		c.Fence()
+		return nil
+	}
+	if freeSlot < 0 {
+		// Chain a fresh overflow bucket; link it only after it is zeroed
+		// and persistent.
+		nb, err := th.Malloc(BucketBytes)
+		if err != nil {
+			return err
+		}
+		m.dev.Zero(nb, BucketBytes)
+		c.Flush(pmem.CatOther, nb, BucketBytes)
+		c.Fence()
+		c.PersistU64(pmem.CatMeta, lastB+bOverflow, uint64(nb))
+		c.Fence()
+		freeB, freeSlot = nb, 0
+	}
+
+	blob, err := th.Malloc(m.blobSize)
+	if err != nil {
+		return err
+	}
+	m.dev.WriteU64(blob, key)
+	m.dev.WriteU64(blob+8, value)
+	c.Flush(pmem.CatOther, blob, 16)
+
+	ea := freeB + bEntries + pmem.PAddr(freeSlot*16)
+	m.dev.WriteU64(ea, key)
+	m.dev.WriteU64(ea+8, uint64(blob))
+	c.Flush(pmem.CatOther, ea, 16)
+	m.dev.WriteU8(freeB+bFPs+pmem.PAddr(freeSlot), f)
+	c.Flush(pmem.CatMeta, freeB+bFPs+pmem.PAddr(freeSlot), 1)
+	c.Fence()
+	// Commit point.
+	present := m.dev.ReadU64(freeB + bPresence)
+	c.PersistU64(pmem.CatMeta, freeB+bPresence, present|1<<freeSlot)
+	c.Fence()
+	return nil
+}
+
+// Get returns the value stored under key.
+func (m *Map) Get(th alloc.Thread, key uint64) (uint64, bool) {
+	c := th.Ctx()
+	h := hash64(key)
+	lk := m.lockFor(h)
+	lk.Acquire(c)
+	defer lk.Release(c)
+	b, slot, found, _, _ := m.findSlot(c, key, fp(h))
+	if !found {
+		return 0, false
+	}
+	blob := pmem.PAddr(m.dev.ReadU64(b + bEntries + pmem.PAddr(slot*16) + 8))
+	return m.dev.ReadU64(blob + 8), true
+}
+
+// Delete removes key, freeing its blob. It reports whether the key was
+// present.
+func (m *Map) Delete(th alloc.Thread, key uint64) (bool, error) {
+	c := th.Ctx()
+	h := hash64(key)
+	lk := m.lockFor(h)
+	lk.Acquire(c)
+	defer lk.Release(c)
+	b, slot, found, _, _ := m.findSlot(c, key, fp(h))
+	if !found {
+		return false, nil
+	}
+	blob := pmem.PAddr(m.dev.ReadU64(b + bEntries + pmem.PAddr(slot*16) + 8))
+	present := m.dev.ReadU64(b + bPresence)
+	// Clearing the presence bit is the atomic delete.
+	c.PersistU64(pmem.CatMeta, b+bPresence, present&^(1<<slot))
+	c.Fence()
+	return true, th.Free(blob)
+}
+
+// Len counts live entries by walking every bucket chain (test helper).
+func (m *Map) Len() int {
+	n := 0
+	for i := uint64(0); i < m.nBuckets; i++ {
+		for b := m.bucketAddr(i); b != pmem.Null; b = pmem.PAddr(m.dev.ReadU64(b + bOverflow)) {
+			present := m.dev.ReadU64(b + bPresence)
+			for ; present != 0; present &= present - 1 {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,275 @@
+package pmem
+
+import "sync"
+
+// Category classifies the work a worker is doing when it charges virtual
+// time or flushes a line. The categories match the paper's Figure 11
+// breakdown (FlushMeta, FlushWAL, Search, Other).
+type Category int
+
+const (
+	// CatMeta is persistence of heap metadata (bitmaps, slab headers,
+	// extent headers, bookkeeping log entries).
+	CatMeta Category = iota
+	// CatWAL is persistence of write-ahead log entries.
+	CatWAL
+	// CatSearch is CPU time spent searching, splitting and coalescing.
+	CatSearch
+	// CatOther is everything else (list maintenance, user copies, ...).
+	CatOther
+	// NumCategories is the number of charge categories.
+	NumCategories
+)
+
+func (c Category) String() string {
+	switch c {
+	case CatMeta:
+		return "FlushMeta"
+	case CatWAL:
+		return "FlushWAL"
+	case CatSearch:
+		return "Search"
+	default:
+		return "Other"
+	}
+}
+
+// Ctx is a per-worker execution context: a virtual clock plus the local
+// state needed to classify flushes (reflush window, sequential-write
+// detector) and per-category accounting. A Ctx must not be shared between
+// goroutines.
+type Ctx struct {
+	dev *Device
+
+	// Now is the worker's virtual clock in nanoseconds.
+	Now int64
+
+	// recent is the worker's reflush window: the last ReflushWindow unique
+	// line numbers flushed, most recent first. Values are line+1 so the
+	// zero value means "empty slot".
+	recent [ReflushWindow]uint64
+
+	// lastLine+1 of the previous flush, for sequential-write detection.
+	lastLine uint64
+
+	local Stats
+}
+
+// NewCtx creates a worker context for the device.
+func (d *Device) NewCtx() *Ctx {
+	return &Ctx{dev: d}
+}
+
+// Device returns the device this context operates on.
+func (c *Ctx) Device() *Device { return c.dev }
+
+// Charge advances the virtual clock by ns, attributing it to cat.
+func (c *Ctx) Charge(cat Category, ns int64) {
+	c.Now += ns
+	c.local.CatNS[cat] += ns
+}
+
+// Fence orders preceding flushes. Each flush is already charged its full
+// latency, so a fence only costs the small fixed fence latency.
+func (c *Ctx) Fence() {
+	c.local.Fences++
+	c.Charge(CatOther, FenceNS)
+}
+
+// Flush persists every cache line overlapping [addr, addr+size),
+// attributing its cost to cat. In eADR mode this is (nearly) free.
+func (c *Ctx) Flush(cat Category, addr PAddr, size int) {
+	if size <= 0 {
+		return
+	}
+	first := uint64(addr) / LineSize
+	last := (uint64(addr) + uint64(size) - 1) / LineSize
+	for line := first; line <= last; line++ {
+		c.flushLine(cat, line)
+	}
+}
+
+// FlushU64 is the common case: persist the single line holding an 8-byte
+// store at addr.
+func (c *Ctx) FlushU64(cat Category, addr PAddr) {
+	c.flushLine(cat, uint64(addr)/LineSize)
+}
+
+// PersistU64 stores v at addr and flushes its line: the canonical
+// 8-byte-atomic persistent write.
+func (c *Ctx) PersistU64(cat Category, addr PAddr, v uint64) {
+	c.dev.WriteU64(addr, v)
+	c.FlushU64(cat, addr)
+}
+
+func (c *Ctx) flushLine(cat Category, line uint64) {
+	d := c.dev
+	d.flushTotal.Add(1)
+
+	// Fault injection: once armed and expired, nothing persists any more.
+	if d.crashed.Load() {
+		return
+	}
+	if d.crashAfter.Load() >= 0 {
+		if d.crashAfter.Add(-1) < 0 {
+			d.crashed.Store(true)
+			return
+		}
+	}
+
+	if d.traceCap > 0 {
+		d.traceMu.Lock()
+		if len(d.trace) < d.traceCap {
+			d.trace = append(d.trace, FlushRecord{Seq: len(d.trace), Addr: PAddr(line * LineSize), Cat: cat})
+		}
+		d.traceMu.Unlock()
+	}
+
+	if d.mode == ModeEADR {
+		c.local.Flushes++
+		c.local.CatFlush[cat]++
+		c.Charge(cat, EADRFlushNS)
+		return
+	}
+
+	// Classify: reflush (line seen within the last ReflushWindow unique
+	// flushed lines) vs. regular sequential/random flush.
+	key := line + 1
+	var ns int64
+	dist := -1
+	for i, v := range c.recent {
+		if v == key {
+			dist = i
+			break
+		}
+	}
+	if dist >= 0 {
+		step := dist
+		if step > 3 {
+			step = 3
+		}
+		ns = ReflushBaseNS - int64(step)*ReflushStepNS
+		c.local.Reflushes++
+	} else if c.lastLine != 0 && line == c.lastLine {
+		// lastLine holds previous-line+1, so equality means "adjacent".
+		ns = SeqFlushNS
+		c.local.SeqFlushes++
+	} else {
+		ns = RandFlushNS
+		c.local.RandFlushes++
+	}
+	c.lastLine = line + 1
+
+	// Move line to the front of the reflush window.
+	if dist != 0 {
+		if dist < 0 {
+			dist = len(c.recent) - 1
+		}
+		copy(c.recent[1:dist+1], c.recent[0:dist])
+		c.recent[0] = key
+	}
+
+	// Serialize on the media bank and consult its write-combining buffer.
+	b := &d.banks[line%uint64(len(d.banks))]
+	xp := uint64(line*LineSize)/XPLineSize + 1
+	b.mu.Lock()
+	hit := false
+	for i, v := range b.xplines {
+		if v == xp {
+			hit = true
+			if i != 0 {
+				copy(b.xplines[1:i+1], b.xplines[0:i])
+				b.xplines[0] = xp
+			}
+			break
+		}
+	}
+	if !hit {
+		copy(b.xplines[1:], b.xplines[0:len(b.xplines)-1])
+		b.xplines[0] = xp
+		ns += XPMissNS
+	}
+	// Banks are fluid servers too (see Resource): a flush queues behind
+	// the bank's accumulated service load, occupies it for the media
+	// service time, and the issuer additionally observes the full flush
+	// round-trip latency.
+	start := c.Now
+	if b.clock > start {
+		c.local.BankWaitNS += b.clock - start
+		start = b.clock
+	}
+	svc := int64(BankServiceNS)
+	if ns < svc {
+		svc = ns
+	}
+	b.clock += svc
+	c.Now = start + ns
+	b.mu.Unlock()
+
+	c.local.CatNS[cat] += ns
+	c.local.Flushes++
+	c.local.CatFlush[cat]++
+
+	if d.strict {
+		off := line * LineSize
+		copy(d.media[off:off+LineSize], d.mem[off:off+LineSize])
+	}
+}
+
+// Merge folds this context's local statistics into the device totals and
+// resets the local counters. Call it when a worker finishes.
+func (c *Ctx) Merge() {
+	d := c.dev
+	d.statsMu.Lock()
+	d.stats.add(&c.local)
+	if c.Now > d.stats.MaxClockNS {
+		d.stats.MaxClockNS = c.Now
+	}
+	d.statsMu.Unlock()
+	c.local = Stats{}
+}
+
+// Local returns a copy of the context's unmerged statistics.
+func (c *Ctx) Local() Stats { return c.local }
+
+// Resource models a shared structure (an arena, a log, a global list) as
+// both a real mutex and a virtual-time serialization point. The virtual
+// model is a fluid server: the resource accumulates the virtual duration
+// of every critical section executed under it, and a worker arriving at
+// virtual time t waits until the accumulated load has drained (start =
+// max(t, load)). Crucially this is independent of the *real* order in
+// which goroutines take the mutex, so single-core test machines produce
+// the same virtual contention as a 40-core testbed: an uncontended
+// resource never delays anyone, and a saturated one serializes its users.
+type Resource struct {
+	mu    sync.Mutex
+	load  int64 // cumulative critical-section virtual ns served
+	start int64 // current holder's section start (valid while locked)
+}
+
+// Acquire locks the resource and queues the worker behind its accumulated
+// virtual load.
+func (r *Resource) Acquire(c *Ctx) {
+	r.mu.Lock()
+	if r.load > c.Now {
+		c.local.LockWaitNS += r.load - c.Now
+		c.Now = r.load
+	}
+	r.start = c.Now
+}
+
+// Release adds the critical section's virtual duration to the resource's
+// load and unlocks it.
+func (r *Resource) Release(c *Ctx) {
+	if cs := c.Now - r.start; cs > 0 {
+		r.load += cs
+	}
+	r.mu.Unlock()
+}
+
+// Load returns the resource's accumulated virtual load (diagnostics).
+func (r *Resource) Load() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.load
+}

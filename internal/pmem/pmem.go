@@ -1,0 +1,339 @@
+// Package pmem simulates a byte-addressable persistent memory device with
+// the performance characteristics that drive the NVAlloc paper's evaluation:
+// cache-line flushes, reflush-distance penalties, sequential vs. random
+// write latency, XPBuffer (write-combining buffer) pressure, and an
+// ADR/eADR persistence domain.
+//
+// The device keeps two images of memory. The "cache" image is what CPU
+// loads and stores observe. In strict mode a second "media" image holds
+// only data that has been explicitly flushed; simulated crashes discard
+// the cache image, so unflushed stores are lost exactly as they would be
+// on ADR hardware. On an eADR device the cache is inside the persistence
+// domain, flushes are free, and crashes lose nothing.
+//
+// Time is virtual. Every worker owns a Ctx with a monotonically advancing
+// nanosecond clock; flushes charge the paper's measured latencies to that
+// clock, and shared structures (device banks, allocator arenas, logs) are
+// modelled as resource clocks so contention serializes virtual time the
+// way a real lock serializes real time. Benchmark throughput is computed
+// from the maximum clock over all workers, which makes every experiment
+// deterministic and machine-independent.
+package pmem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// PAddr is a persistent address: a byte offset into the device. Offset 0 is
+// reserved as the null address so that zeroed persistent memory reads as
+// "no pointer".
+type PAddr uint64
+
+// Null is the zero PAddr.
+const Null PAddr = 0
+
+// LineSize is the CPU cache line size in bytes. All flush accounting is
+// line-granular.
+const LineSize = 64
+
+// XPLineSize is the internal write granularity of the simulated media
+// (Optane writes 256 B XPLines); the write-combining buffer tracks these.
+const XPLineSize = 256
+
+// Mode selects the persistence domain of the device.
+type Mode int
+
+const (
+	// ModeADR: only flushed cache lines reach the persistence domain.
+	ModeADR Mode = iota
+	// ModeEADR: CPU caches are inside the persistence domain; flushes are
+	// free and unflushed stores survive a crash.
+	ModeEADR
+)
+
+func (m Mode) String() string {
+	if m == ModeEADR {
+		return "eADR"
+	}
+	return "ADR"
+}
+
+// Latency model constants, in virtual nanoseconds. The reflush curve
+// (800 ns at distance 0 falling to 500 ns at distance 3) and the 3x/7x
+// ratios against random/sequential writes come from Section 3.1 of the
+// paper and its citations [7,40].
+const (
+	SeqFlushNS    = 115 // sequential regular flush
+	RandFlushNS   = 265 // random regular flush
+	ReflushBaseNS = 800 // reflush at distance 0
+	ReflushStepNS = 100 // improvement per unit of reflush distance
+	ReflushWindow = 4   // distance >= window counts as a regular flush
+	XPMissNS      = 60  // extra media write when write-combining misses
+	FenceNS       = 10  // store fence
+	EADRFlushNS   = 2   // residual cost of a (no-op) flush call on eADR
+	// BankServiceNS is the media-bank occupancy per line write; the rest
+	// of a flush's latency is round-trip time that overlaps across
+	// concurrent flushers, so the aggregate flush bandwidth is
+	// banks/BankServiceNS.
+	BankServiceNS  = 60
+	xpLinesPerBank = 4 // write-combining entries per bank
+	defaultBanks   = 8 // media banks (parallelism limit)
+)
+
+// Config configures a Device.
+type Config struct {
+	// Size is the device capacity in bytes. Rounded up to a 4 KiB multiple.
+	Size uint64
+	// Mode selects ADR (default) or eADR.
+	Mode Mode
+	// Strict maintains a separate persisted image so crashes can be
+	// simulated faithfully. It roughly doubles memory use and adds a copy
+	// per flush, so benchmarks leave it off.
+	Strict bool
+	// Banks overrides the number of media banks (default 8).
+	Banks int
+	// TraceFlushes, when > 0, records the address and category of the
+	// first N flushed lines (used to reproduce Figure 2).
+	TraceFlushes int
+}
+
+// Device is a simulated persistent memory DIMM.
+type Device struct {
+	mode   Mode
+	strict bool
+	size   uint64
+
+	mem   []byte // cache image: what loads and stores observe
+	media []byte // persisted image (strict mode only)
+
+	banks []bank
+
+	crashed    atomic.Bool
+	crashAfter atomic.Int64 // flush countdown; <0 means disabled
+
+	flushTotal atomic.Uint64
+
+	traceMu  sync.Mutex
+	trace    []FlushRecord
+	traceCap int
+
+	statsMu sync.Mutex
+	stats   Stats
+}
+
+// bank models one internal media bank: a resource clock plus a tiny LRU of
+// recently written XPLines standing in for the shared write-combining
+// buffer (XPBuffer).
+type bank struct {
+	mu      sync.Mutex
+	clock   int64
+	xplines [xpLinesPerBank]uint64 // +1 encoded, 0 = empty; index 0 is MRU
+}
+
+// FlushRecord is one traced flush (for Figure 2's address scatter).
+type FlushRecord struct {
+	Seq  int      // global flush order
+	Addr PAddr    // line-aligned address
+	Cat  Category // what kind of metadata was being flushed
+}
+
+// New creates a device of the given configuration.
+func New(cfg Config) *Device {
+	if cfg.Size == 0 {
+		cfg.Size = 64 << 20
+	}
+	cfg.Size = (cfg.Size + 4095) &^ 4095
+	nb := cfg.Banks
+	if nb <= 0 {
+		nb = defaultBanks
+	}
+	d := &Device{
+		mode:     cfg.Mode,
+		strict:   cfg.Strict,
+		size:     cfg.Size,
+		mem:      make([]byte, cfg.Size),
+		banks:    make([]bank, nb),
+		traceCap: cfg.TraceFlushes,
+	}
+	if cfg.Strict {
+		d.media = make([]byte, cfg.Size)
+	}
+	d.crashAfter.Store(-1)
+	return d
+}
+
+// Size returns the device capacity in bytes.
+func (d *Device) Size() uint64 { return d.size }
+
+// Mode returns the persistence mode of the device.
+func (d *Device) Mode() Mode { return d.mode }
+
+// Strict reports whether crash simulation (shadow media image) is enabled.
+func (d *Device) Strict() bool { return d.strict }
+
+// EADR reports whether the device persistence domain includes the caches.
+func (d *Device) EADR() bool { return d.mode == ModeEADR }
+
+func (d *Device) check(addr PAddr, n int) {
+	if uint64(addr)+uint64(n) > d.size {
+		panic(fmt.Sprintf("pmem: access [%#x,+%d) out of device bounds %#x", addr, n, d.size))
+	}
+}
+
+// Bytes returns a mutable view of [addr, addr+n) in the cache image. The
+// caller is responsible for flushing any stores it performs through the
+// view. This is the bulk-access escape hatch; prefer the typed accessors.
+func (d *Device) Bytes(addr PAddr, n int) []byte {
+	d.check(addr, n)
+	return d.mem[addr : uint64(addr)+uint64(n) : uint64(addr)+uint64(n)]
+}
+
+// ReadU64 loads a little-endian uint64.
+func (d *Device) ReadU64(addr PAddr) uint64 {
+	d.check(addr, 8)
+	return binary.LittleEndian.Uint64(d.mem[addr:])
+}
+
+// WriteU64 stores a little-endian uint64 to the cache image.
+func (d *Device) WriteU64(addr PAddr, v uint64) {
+	d.check(addr, 8)
+	binary.LittleEndian.PutUint64(d.mem[addr:], v)
+}
+
+// ReadU32 loads a little-endian uint32.
+func (d *Device) ReadU32(addr PAddr) uint32 {
+	d.check(addr, 4)
+	return binary.LittleEndian.Uint32(d.mem[addr:])
+}
+
+// WriteU32 stores a little-endian uint32.
+func (d *Device) WriteU32(addr PAddr, v uint32) {
+	d.check(addr, 4)
+	binary.LittleEndian.PutUint32(d.mem[addr:], v)
+}
+
+// ReadU16 loads a little-endian uint16.
+func (d *Device) ReadU16(addr PAddr) uint16 {
+	d.check(addr, 2)
+	return binary.LittleEndian.Uint16(d.mem[addr:])
+}
+
+// WriteU16 stores a little-endian uint16.
+func (d *Device) WriteU16(addr PAddr, v uint16) {
+	d.check(addr, 2)
+	binary.LittleEndian.PutUint16(d.mem[addr:], v)
+}
+
+// ReadU8 loads one byte.
+func (d *Device) ReadU8(addr PAddr) byte {
+	d.check(addr, 1)
+	return d.mem[addr]
+}
+
+// WriteU8 stores one byte.
+func (d *Device) WriteU8(addr PAddr, v byte) {
+	d.check(addr, 1)
+	d.mem[addr] = v
+}
+
+// Write copies p into the cache image at addr.
+func (d *Device) Write(addr PAddr, p []byte) {
+	d.check(addr, len(p))
+	copy(d.mem[addr:], p)
+}
+
+// Read copies n bytes at addr into a fresh slice.
+func (d *Device) Read(addr PAddr, n int) []byte {
+	d.check(addr, n)
+	out := make([]byte, n)
+	copy(out, d.mem[addr:])
+	return out
+}
+
+// Zero clears [addr, addr+n) in the cache image.
+func (d *Device) Zero(addr PAddr, n int) {
+	d.check(addr, n)
+	b := d.mem[addr : uint64(addr)+uint64(n)]
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// CrashAfterFlushes arms fault injection: after n more successful line
+// flushes the device "loses power" — subsequent flushes stop persisting and
+// the device reports itself crashed. Combine with Crash to test recovery at
+// an arbitrary persistence boundary. n < 0 disarms.
+func (d *Device) CrashAfterFlushes(n int64) {
+	d.crashAfter.Store(n)
+}
+
+// Crashed reports whether armed fault injection has triggered.
+func (d *Device) Crashed() bool { return d.crashed.Load() }
+
+// Crash simulates power loss: in strict ADR mode the cache image is
+// replaced by the persisted image, discarding every unflushed store. On
+// eADR the cache image *is* persistent, so nothing is lost. The device
+// remains usable afterwards (as if the machine rebooted and remapped the
+// heap file).
+func (d *Device) Crash() {
+	if !d.strict {
+		panic("pmem: Crash requires a strict-mode device")
+	}
+	if d.mode == ModeEADR {
+		// Whole cache is in the persistence domain.
+		copy(d.media, d.mem)
+	} else {
+		copy(d.mem, d.media)
+	}
+	d.crashed.Store(false)
+	d.crashAfter.Store(-1)
+	// A reboot starts a fresh timeline: bank clocks and the
+	// write-combining buffer do not survive power loss.
+	for i := range d.banks {
+		d.banks[i].mu.Lock()
+		d.banks[i].clock = 0
+		d.banks[i].xplines = [xpLinesPerBank]uint64{}
+		d.banks[i].mu.Unlock()
+	}
+}
+
+// SaveImage writes the persisted image (strict mode) or the cache image to
+// path, emulating the DAX heap file surviving a process exit.
+func (d *Device) SaveImage(path string) error {
+	src := d.mem
+	if d.strict {
+		src = d.media
+	}
+	return os.WriteFile(path, src, 0o644)
+}
+
+// LoadImage replaces both images with the contents of path. The file must
+// be exactly the device size.
+func (d *Device) LoadImage(path string) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if uint64(len(b)) != d.size {
+		return fmt.Errorf("pmem: image size %d does not match device size %d", len(b), d.size)
+	}
+	copy(d.mem, b)
+	if d.strict {
+		copy(d.media, b)
+	}
+	return nil
+}
+
+// FlushTrace returns the recorded flush trace (nil unless TraceFlushes was
+// set).
+func (d *Device) FlushTrace() []FlushRecord {
+	d.traceMu.Lock()
+	defer d.traceMu.Unlock()
+	out := make([]FlushRecord, len(d.trace))
+	copy(out, d.trace)
+	return out
+}

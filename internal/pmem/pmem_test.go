@@ -1,0 +1,383 @@
+package pmem
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeviceSizing(t *testing.T) {
+	d := New(Config{Size: 4097})
+	if d.Size() != 8192 {
+		t.Fatalf("size not rounded to 4K: %d", d.Size())
+	}
+	if New(Config{}).Size() == 0 {
+		t.Fatal("default size must be nonzero")
+	}
+}
+
+func TestTypedAccessors(t *testing.T) {
+	d := New(Config{Size: 1 << 16})
+	d.WriteU64(64, 0xdeadbeefcafef00d)
+	if got := d.ReadU64(64); got != 0xdeadbeefcafef00d {
+		t.Fatalf("u64 roundtrip: %#x", got)
+	}
+	d.WriteU32(128, 0x12345678)
+	if got := d.ReadU32(128); got != 0x12345678 {
+		t.Fatalf("u32 roundtrip: %#x", got)
+	}
+	d.WriteU16(256, 0xbeef)
+	if got := d.ReadU16(256); got != 0xbeef {
+		t.Fatalf("u16 roundtrip: %#x", got)
+	}
+	d.WriteU8(300, 0x7f)
+	if got := d.ReadU8(300); got != 0x7f {
+		t.Fatalf("u8 roundtrip: %#x", got)
+	}
+	d.Write(512, []byte("hello"))
+	if string(d.Read(512, 5)) != "hello" {
+		t.Fatal("bulk roundtrip failed")
+	}
+	d.Zero(512, 5)
+	for _, b := range d.Read(512, 5) {
+		if b != 0 {
+			t.Fatal("zero did not clear")
+		}
+	}
+}
+
+func TestOutOfBoundsPanics(t *testing.T) {
+	d := New(Config{Size: 4096})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-bounds access")
+		}
+	}()
+	d.ReadU64(PAddr(d.Size() - 4))
+}
+
+func TestU64RoundtripProperty(t *testing.T) {
+	d := New(Config{Size: 1 << 16})
+	f := func(off uint16, v uint64) bool {
+		addr := PAddr(uint64(off) % (d.Size() - 8))
+		d.WriteU64(addr, v)
+		return d.ReadU64(addr) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReflushDetection(t *testing.T) {
+	d := New(Config{Size: 1 << 16})
+	c := d.NewCtx()
+	// Flush A, B, C, D, A: the second A has reflush distance 3.
+	lines := []PAddr{0, 64, 128, 192, 0}
+	for _, a := range lines {
+		c.FlushU64(CatMeta, a)
+	}
+	if c.local.Reflushes != 1 {
+		t.Fatalf("want 1 reflush, got %d", c.local.Reflushes)
+	}
+	// Flush the same line twice in a row: distance 0, also a reflush.
+	c2 := d.NewCtx()
+	c2.FlushU64(CatMeta, 0)
+	c2.FlushU64(CatMeta, 0)
+	if c2.local.Reflushes != 1 {
+		t.Fatalf("want 1 reflush at distance 0, got %d", c2.local.Reflushes)
+	}
+}
+
+func TestReflushDistanceLatency(t *testing.T) {
+	// Distance 0 must cost more than distance 3, which must cost more than
+	// a regular flush.
+	cost := func(pattern []PAddr) int64 {
+		d := New(Config{Size: 1 << 16})
+		c := d.NewCtx()
+		// Prime so XPBuffer misses do not dominate the comparison.
+		for _, a := range pattern {
+			c.FlushU64(CatMeta, a)
+		}
+		start := c.Now
+		c.FlushU64(CatMeta, pattern[0])
+		return c.Now - start
+	}
+	d0 := cost([]PAddr{0})                     // immediate reflush
+	d3 := cost([]PAddr{0, 64, 128, 192})       // distance 3
+	far := cost([]PAddr{0, 64, 128, 192, 256}) // distance 4: regular
+	if !(d0 > d3 && d3 > far) {
+		t.Fatalf("latency ordering violated: d0=%d d3=%d far=%d", d0, d3, far)
+	}
+	if d0 != ReflushBaseNS && d0 != ReflushBaseNS+XPMissNS {
+		t.Fatalf("distance-0 reflush latency unexpected: %d", d0)
+	}
+}
+
+func TestBeyondWindowIsRegularFlush(t *testing.T) {
+	d := New(Config{Size: 1 << 16})
+	c := d.NewCtx()
+	c.FlushU64(CatMeta, 0)
+	for i := 1; i <= ReflushWindow; i++ {
+		c.FlushU64(CatMeta, PAddr(i*64))
+	}
+	before := c.local.Reflushes
+	c.FlushU64(CatMeta, 0) // distance == window: not a reflush
+	if c.local.Reflushes != before {
+		t.Fatal("flush beyond the reflush window must be regular")
+	}
+}
+
+func TestSequentialVsRandomClassification(t *testing.T) {
+	d := New(Config{Size: 1 << 20})
+	c := d.NewCtx()
+	for i := 0; i < 10; i++ {
+		c.FlushU64(CatMeta, PAddr(i*64))
+	}
+	if c.local.SeqFlushes != 9 { // first one has no predecessor
+		t.Fatalf("want 9 sequential flushes, got %d", c.local.SeqFlushes)
+	}
+	c2 := d.NewCtx()
+	for i := 0; i < 10; i++ {
+		c2.FlushU64(CatMeta, PAddr((i*7919%512)*64))
+	}
+	if c2.local.RandFlushes < 8 {
+		t.Fatalf("scattered flushes should be random, got rand=%d seq=%d", c2.local.RandFlushes, c2.local.SeqFlushes)
+	}
+}
+
+func TestSequentialCheaperThanRandom(t *testing.T) {
+	run := func(stride int) int64 {
+		d := New(Config{Size: 1 << 22})
+		c := d.NewCtx()
+		for i := 0; i < 1000; i++ {
+			c.FlushU64(CatMeta, PAddr(i*stride))
+		}
+		return c.Now
+	}
+	if seq, rnd := run(64), run(64*37); seq >= rnd {
+		t.Fatalf("sequential flushes must be cheaper: seq=%d rand=%d", seq, rnd)
+	}
+}
+
+func TestCategoryAccounting(t *testing.T) {
+	d := New(Config{Size: 1 << 16})
+	c := d.NewCtx()
+	c.FlushU64(CatWAL, 0)
+	c.FlushU64(CatMeta, 64)
+	c.Charge(CatSearch, 100)
+	if c.local.CatFlush[CatWAL] != 1 || c.local.CatFlush[CatMeta] != 1 {
+		t.Fatal("per-category flush counts wrong")
+	}
+	if c.local.CatNS[CatSearch] != 100 {
+		t.Fatal("charge not attributed")
+	}
+	c.Merge()
+	s := d.Stats()
+	if s.Flushes != 2 || s.CatFlush[CatWAL] != 1 {
+		t.Fatalf("merge lost counters: %+v", s)
+	}
+	if s.MaxClockNS == 0 {
+		t.Fatal("makespan not recorded")
+	}
+	if c.Local().Flushes != 0 {
+		t.Fatal("merge must reset local stats")
+	}
+}
+
+func TestCrashDiscardsUnflushedStores(t *testing.T) {
+	d := New(Config{Size: 1 << 16, Strict: true})
+	c := d.NewCtx()
+	d.WriteU64(64, 111)
+	c.PersistU64(CatMeta, 128, 222) // store+flush
+	d.WriteU64(192, 333)            // never flushed
+	d.Crash()
+	if d.ReadU64(64) != 0 || d.ReadU64(192) != 0 {
+		t.Fatal("unflushed stores survived an ADR crash")
+	}
+	if d.ReadU64(128) != 222 {
+		t.Fatal("flushed store lost in crash")
+	}
+}
+
+func TestEADRCrashKeepsEverything(t *testing.T) {
+	d := New(Config{Size: 1 << 16, Strict: true, Mode: ModeEADR})
+	d.WriteU64(64, 42)
+	d.Crash()
+	if d.ReadU64(64) != 42 {
+		t.Fatal("eADR crash must keep unflushed stores")
+	}
+}
+
+func TestEADRFlushIsCheap(t *testing.T) {
+	adr := New(Config{Size: 1 << 16})
+	eadr := New(Config{Size: 1 << 16, Mode: ModeEADR})
+	ca, ce := adr.NewCtx(), eadr.NewCtx()
+	for i := 0; i < 100; i++ {
+		ca.FlushU64(CatMeta, 0)
+		ce.FlushU64(CatMeta, 0)
+	}
+	if ce.Now*10 > ca.Now {
+		t.Fatalf("eADR flushes should be ~free: adr=%d eadr=%d", ca.Now, ce.Now)
+	}
+	if ce.local.Flushes != 100 {
+		t.Fatal("eADR flush calls must still be counted")
+	}
+}
+
+func TestCrashAfterFlushes(t *testing.T) {
+	d := New(Config{Size: 1 << 16, Strict: true})
+	c := d.NewCtx()
+	d.CrashAfterFlushes(2)
+	c.PersistU64(CatMeta, 0, 1)
+	c.PersistU64(CatMeta, 64, 2)
+	c.PersistU64(CatMeta, 128, 3) // power already lost
+	if !d.Crashed() {
+		t.Fatal("device should report crashed")
+	}
+	d.Crash()
+	if d.ReadU64(0) != 1 || d.ReadU64(64) != 2 {
+		t.Fatal("pre-cut flushes must persist")
+	}
+	if d.ReadU64(128) != 0 {
+		t.Fatal("post-cut flush must not persist")
+	}
+	// After Crash the device is usable again.
+	c2 := d.NewCtx()
+	c2.PersistU64(CatMeta, 128, 9)
+	d.Crash()
+	if d.ReadU64(128) != 9 {
+		t.Fatal("device must persist normally after recovery")
+	}
+}
+
+func TestSaveLoadImage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "heap.img")
+	d := New(Config{Size: 1 << 16, Strict: true})
+	c := d.NewCtx()
+	c.PersistU64(CatMeta, 4096, 77)
+	if err := d.SaveImage(path); err != nil {
+		t.Fatal(err)
+	}
+	d2 := New(Config{Size: 1 << 16, Strict: true})
+	if err := d2.LoadImage(path); err != nil {
+		t.Fatal(err)
+	}
+	if d2.ReadU64(4096) != 77 {
+		t.Fatal("image roundtrip lost data")
+	}
+	// Size mismatch must error.
+	if err := os.WriteFile(path, []byte("short"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.LoadImage(path); err == nil {
+		t.Fatal("want error on size mismatch")
+	}
+}
+
+func TestFlushTrace(t *testing.T) {
+	d := New(Config{Size: 1 << 16, TraceFlushes: 3})
+	c := d.NewCtx()
+	for i := 0; i < 5; i++ {
+		c.FlushU64(CatMeta, PAddr(i*64))
+	}
+	tr := d.FlushTrace()
+	if len(tr) != 3 {
+		t.Fatalf("trace capped at 3, got %d", len(tr))
+	}
+	if tr[1].Seq != 1 || tr[1].Addr != 64 || tr[1].Cat != CatMeta {
+		t.Fatalf("trace record wrong: %+v", tr[1])
+	}
+}
+
+func TestResourceSerializesVirtualTime(t *testing.T) {
+	d := New(Config{Size: 1 << 16})
+	var r Resource
+	a, b := d.NewCtx(), d.NewCtx()
+	r.Acquire(a)
+	a.Charge(CatOther, 1000)
+	r.Release(a)
+	r.Acquire(b) // b must be dragged to a's release time
+	if b.Now != 1000 {
+		t.Fatalf("resource clock not propagated: %d", b.Now)
+	}
+	if b.local.LockWaitNS != 1000 {
+		t.Fatalf("lock wait not accounted: %d", b.local.LockWaitNS)
+	}
+	r.Release(b)
+}
+
+func TestBankQueueingLimitsParallelism(t *testing.T) {
+	// A bank serves BankServiceNS of media work per flush; two workers
+	// hammering one line are latency-bound (reflushes), not bandwidth
+	// bound, so they must NOT serialize...
+	d := New(Config{Size: 1 << 20})
+	a, b := d.NewCtx(), d.NewCtx()
+	for i := 0; i < 100; i++ {
+		a.FlushU64(CatMeta, 0)
+		b.FlushU64(CatMeta, 0)
+	}
+	solo := func() int64 {
+		dd := New(Config{Size: 1 << 20})
+		c := dd.NewCtx()
+		for i := 0; i < 100; i++ {
+			c.FlushU64(CatMeta, 0)
+		}
+		return c.Now
+	}()
+	if a.Now > 2*solo {
+		t.Fatalf("latency-bound workers over-serialized: a=%d solo=%d", a.Now, solo)
+	}
+	// ...but 24 workers all flushing lines of the same bank exceed its
+	// service bandwidth and must queue.
+	d2 := New(Config{Size: 1 << 20, Banks: 1})
+	var worst int64
+	for w := 0; w < 24; w++ {
+		c := d2.NewCtx()
+		for i := 0; i < 100; i++ {
+			c.FlushU64(CatMeta, PAddr((i%8)*64)) // distinct lines, one bank
+		}
+		if c.Now > worst {
+			worst = c.Now
+		}
+		if c.Local().BankWaitNS > 0 && w > 8 {
+			// queueing observed; good
+		}
+	}
+	if worst <= solo {
+		t.Fatalf("bandwidth saturation invisible: worst=%d solo=%d", worst, solo)
+	}
+}
+
+func TestStatsReset(t *testing.T) {
+	d := New(Config{Size: 1 << 16, TraceFlushes: 8})
+	c := d.NewCtx()
+	c.FlushU64(CatMeta, 0)
+	c.Merge()
+	d.ResetStats()
+	if s := d.Stats(); s.Flushes != 0 || len(d.FlushTrace()) != 0 {
+		t.Fatal("reset did not clear stats/trace")
+	}
+}
+
+func TestReflushRatio(t *testing.T) {
+	s := Stats{Flushes: 10, Reflushes: 4}
+	if s.ReflushRatio() != 0.4 {
+		t.Fatal("ratio wrong")
+	}
+	var z Stats
+	if z.ReflushRatio() != 0 {
+		t.Fatal("empty ratio must be 0")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeADR.String() != "ADR" || ModeEADR.String() != "eADR" {
+		t.Fatal("mode strings")
+	}
+	if CatMeta.String() != "FlushMeta" || CatWAL.String() != "FlushWAL" ||
+		CatSearch.String() != "Search" || CatOther.String() != "Other" {
+		t.Fatal("category strings")
+	}
+}

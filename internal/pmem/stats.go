@@ -1,0 +1,84 @@
+package pmem
+
+// Stats aggregates flush and timing counters. Each Ctx accumulates a local
+// Stats and folds it into the device with Merge.
+type Stats struct {
+	// Flushes is the number of line flushes that reached the device
+	// (including eADR no-op flushes, which are still counted so flush-call
+	// ratios remain comparable across modes).
+	Flushes uint64
+	// Reflushes is the subset of flushes whose reflush distance was below
+	// ReflushWindow.
+	Reflushes uint64
+	// SeqFlushes and RandFlushes partition the regular (non-re-) flushes
+	// by access pattern.
+	SeqFlushes  uint64
+	RandFlushes uint64
+	// Fences counts store fences.
+	Fences uint64
+
+	// CatNS is virtual time charged per category.
+	CatNS [NumCategories]int64
+	// CatFlush is flush count per category.
+	CatFlush [NumCategories]uint64
+
+	// LockWaitNS is time the worker's clock was dragged forward by
+	// Resource acquisition (virtual lock contention).
+	LockWaitNS int64
+	// BankWaitNS is time spent queueing on media banks.
+	BankWaitNS int64
+
+	// MaxClockNS is the maximum worker clock merged so far; for a
+	// multi-threaded run it is the run's virtual makespan.
+	MaxClockNS int64
+}
+
+func (s *Stats) add(o *Stats) {
+	s.Flushes += o.Flushes
+	s.Reflushes += o.Reflushes
+	s.SeqFlushes += o.SeqFlushes
+	s.RandFlushes += o.RandFlushes
+	s.Fences += o.Fences
+	for i := range s.CatNS {
+		s.CatNS[i] += o.CatNS[i]
+	}
+	for i := range s.CatFlush {
+		s.CatFlush[i] += o.CatFlush[i]
+	}
+	s.LockWaitNS += o.LockWaitNS
+	s.BankWaitNS += o.BankWaitNS
+}
+
+// TotalNS is the summed per-category virtual time (work, not makespan).
+func (s *Stats) TotalNS() int64 {
+	var t int64
+	for _, v := range s.CatNS {
+		t += v
+	}
+	return t
+}
+
+// ReflushRatio is the fraction of flushes that were reflushes.
+func (s *Stats) ReflushRatio() float64 {
+	if s.Flushes == 0 {
+		return 0
+	}
+	return float64(s.Reflushes) / float64(s.Flushes)
+}
+
+// Stats returns a snapshot of the merged device statistics.
+func (d *Device) Stats() Stats {
+	d.statsMu.Lock()
+	defer d.statsMu.Unlock()
+	return d.stats
+}
+
+// ResetStats clears merged statistics (trace included).
+func (d *Device) ResetStats() {
+	d.statsMu.Lock()
+	d.stats = Stats{}
+	d.statsMu.Unlock()
+	d.traceMu.Lock()
+	d.trace = nil
+	d.traceMu.Unlock()
+}

@@ -1,0 +1,74 @@
+// Package sizeclass implements the jemalloc-style size-class table used by
+// every small allocator in this repository. Classes cover 8 B through the
+// small-allocation limit (16 KiB); within each power-of-two "group" there
+// are four classes spaced a quarter of the group apart, which bounds
+// internal fragmentation at 25%.
+package sizeclass
+
+// SmallMax is the largest size served by slabs; anything bigger goes to
+// the large allocator, matching the paper's 16 KB threshold.
+const SmallMax = 16 << 10
+
+// Quantum is the minimum allocation granularity and alignment.
+const Quantum = 8
+
+var (
+	classes []uint32 // class index -> block size
+	lookup  []uint8  // ceil(size/Quantum) -> class index, for size <= 2048
+)
+
+func init() {
+	// 8, 16, 24, 32, then groups of four: 40..64, 80..128, 160..256, ...
+	sizes := []uint32{8, 16, 24, 32}
+	for base := uint32(32); base < SmallMax; base *= 2 {
+		step := base / 4
+		for i := 1; i <= 4; i++ {
+			sizes = append(sizes, base+step*uint32(i))
+		}
+	}
+	classes = sizes
+
+	lookup = make([]uint8, 2048/Quantum+1)
+	ci := 0
+	for q := 1; q <= 2048/Quantum; q++ {
+		sz := uint32(q * Quantum)
+		for classes[ci] < sz {
+			ci++
+		}
+		lookup[q] = uint8(ci)
+	}
+}
+
+// NumClasses is the number of small size classes.
+func NumClasses() int { return len(classes) }
+
+// Size returns the block size of class c.
+func Size(c int) uint32 { return classes[c] }
+
+// Class returns the smallest size class whose block size is >= size.
+// size must be in (0, SmallMax].
+func Class(size uint32) int {
+	if size == 0 {
+		size = 1
+	}
+	if size <= 2048 {
+		return int(lookup[(size+Quantum-1)/Quantum])
+	}
+	// Binary search the tail; it is short (a few groups).
+	lo, hi := 0, len(classes)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if classes[mid] < size {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Round returns size rounded up to its size-class block size.
+func Round(size uint32) uint32 { return classes[Class(size)] }
+
+// IsSmall reports whether size is served by the small allocator.
+func IsSmall(size uint64) bool { return size > 0 && size <= SmallMax }

@@ -1,0 +1,84 @@
+package sizeclass
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTableIsSortedAndBounded(t *testing.T) {
+	if NumClasses() == 0 {
+		t.Fatal("no classes")
+	}
+	if Size(0) != 8 {
+		t.Fatalf("first class must be 8, got %d", Size(0))
+	}
+	for c := 1; c < NumClasses(); c++ {
+		if Size(c) <= Size(c-1) {
+			t.Fatalf("classes not strictly increasing at %d", c)
+		}
+	}
+	if Size(NumClasses()-1) != SmallMax {
+		t.Fatalf("last class must be SmallMax, got %d", Size(NumClasses()-1))
+	}
+}
+
+func TestClassRoundsUpTightly(t *testing.T) {
+	for size := uint32(1); size <= SmallMax; size++ {
+		c := Class(size)
+		if Size(c) < size {
+			t.Fatalf("class %d (%d B) too small for %d", c, Size(c), size)
+		}
+		if c > 0 && Size(c-1) >= size {
+			t.Fatalf("class for %d not minimal: class %d=%d, prev=%d", size, c, Size(c), Size(c-1))
+		}
+	}
+}
+
+func TestInternalFragmentationBound(t *testing.T) {
+	// Waste must never exceed 25% for sizes >= 32.
+	for size := uint32(32); size <= SmallMax; size++ {
+		r := Round(size)
+		if float64(r-size) > 0.25*float64(size)+0.0001 {
+			t.Fatalf("size %d rounds to %d: waste > 25%%", size, r)
+		}
+	}
+}
+
+func TestRoundProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		size := uint32(raw)%SmallMax + 1
+		r := Round(size)
+		return r >= size && Class(r) == Class(size)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroSize(t *testing.T) {
+	if Class(0) != 0 {
+		t.Fatal("zero size must map to the smallest class")
+	}
+}
+
+func TestIsSmall(t *testing.T) {
+	if !IsSmall(1) || !IsSmall(SmallMax) {
+		t.Fatal("small sizes misclassified")
+	}
+	if IsSmall(0) || IsSmall(SmallMax+1) {
+		t.Fatal("non-small sizes misclassified")
+	}
+}
+
+func TestKnownClasses(t *testing.T) {
+	// Spot-check jemalloc-style spacing: 40,48,56,64 then 80,96,112,128.
+	want := map[uint32]uint32{
+		33: 40, 41: 48, 64: 64, 65: 80, 100: 112, 129: 160,
+		257: 320, 1025: 1280, 8193: 10240,
+	}
+	for in, out := range want {
+		if got := Round(in); got != out {
+			t.Errorf("Round(%d) = %d, want %d", in, got, out)
+		}
+	}
+}

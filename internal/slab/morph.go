@@ -1,0 +1,379 @@
+package slab
+
+import (
+	"fmt"
+	"sort"
+
+	"nvalloc/internal/interleave"
+	"nvalloc/internal/pmem"
+	"nvalloc/internal/sizeclass"
+)
+
+// CanMorphTo reports whether the slab can be transformed to newClass
+// without the new metadata region (header + index table + new bitmap)
+// overlapping any live block, and without exceeding the index table's
+// 15-bit block-index capacity.
+func (s *Slab) CanMorphTo(newClass int) bool {
+	if s.OldClass >= 0 || newClass == s.Class {
+		return false
+	}
+	// Blocks sitting in tcaches are volatile-reserved; morphing would
+	// reassign them, so a slab with cached blocks is not a candidate.
+	if s.Reserved > 0 {
+		return false
+	}
+	live := s.liveIndices()
+	if len(live) > IdxCapEntries {
+		return false
+	}
+	_, _, newDataOff := geometry(newClass, s.m.Stripes())
+	for _, idx := range live {
+		if idx > int(idxIndexMask) {
+			return false
+		}
+		if uint32(idx)*s.BlockSize+s.DataOff < newDataOff {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Slab) liveIndices() []int {
+	live := make([]int, 0, s.Allocated)
+	for idx := 0; idx < s.Blocks; idx++ {
+		if s.bitTest(idx) {
+			live = append(live, idx)
+		}
+	}
+	return live
+}
+
+func (s *Slab) persistFlag(c *pmem.Ctx, flag uint32, persist bool) {
+	s.dev.WriteU32(s.Base+hFlag, flag)
+	if persist {
+		c.Flush(pmem.CatMeta, s.Base+hFlag, 4)
+		c.Fence()
+	}
+}
+
+// MorphTo transforms the slab to newClass following the paper's three
+// crash-consistent steps, each sealed by an atomic flag increment:
+//
+//	step 1: persist old_size_class and old_data_offset
+//	step 2: persist the index table of live old blocks
+//	step 3: persist the new size_class, data_offset and bitmap, then
+//	        reset the flag to 0 (a slab_in has flag 0 and a valid
+//	        old_size_class)
+//
+// A crash with flag 1 or 2 is undone by Load.
+func (s *Slab) MorphTo(c *pmem.Ctx, newClass int, persist bool) error {
+	if !s.CanMorphTo(newClass) {
+		return fmt.Errorf("slab %#x: cannot morph class %d -> %d", s.Base, s.Class, newClass)
+	}
+	live := s.liveIndices()
+	oldClass, oldDataOff, oldSize := s.Class, s.DataOff, s.BlockSize
+
+	// Step 1: stash the original geometry.
+	s.dev.WriteU32(s.Base+hOldClass, uint32(oldClass))
+	s.dev.WriteU32(s.Base+hOldDataOff, oldDataOff)
+	s.dev.WriteU32(s.Base+hOldLive, uint32(len(live)))
+	if persist {
+		c.Flush(pmem.CatMeta, s.Base, pmem.LineSize)
+	}
+	s.persistFlag(c, 1, persist)
+
+	// Step 2: write the index table (live old blocks, state allocated).
+	for slot, idx := range live {
+		s.dev.WriteU16(s.Base+pmem.PAddr(idxBase+2*slot), uint16(idx)|idxAllocated)
+	}
+	if persist && len(live) > 0 {
+		c.Flush(pmem.CatMeta, s.Base+idxBase, 2*len(live))
+	}
+	s.persistFlag(c, 2, persist)
+
+	// Step 3: install the new geometry and bitmap.
+	blocks, bitmapBase, dataOff := geometry(newClass, s.m.Stripes())
+	newBlockSize := sizeclass.Size(newClass)
+	m := interleave.New(blocks, 1, s.m.Stripes(), pmem.LineSize)
+	s.dev.Zero(s.Base+pmem.PAddr(bitmapBase), int(dataOff-bitmapBase))
+
+	cntBlock := make([]uint16, blocks)
+	oldIdx := make(map[int]int, len(live))
+	freeBits := make([]uint64, (blocks+63)/64)
+	allocated := 0
+	for slot, idx := range live {
+		oldIdx[idx] = slot
+		lo := int64(oldDataOff) + int64(idx)*int64(oldSize)
+		hi := lo + int64(oldSize) - 1
+		nbLo := (lo - int64(dataOff)) / int64(newBlockSize)
+		nbHi := (hi - int64(dataOff)) / int64(newBlockSize)
+		for nb := nbLo; nb <= nbHi && nb < int64(blocks); nb++ {
+			if nb < 0 {
+				continue
+			}
+			if cntBlock[nb] == 0 {
+				freeBits[nb/64] |= 1 << (nb % 64)
+				allocated++
+			}
+			cntBlock[nb]++
+		}
+	}
+	// Persist the new bitmap image from the volatile bits.
+	for nb := 0; nb < blocks; nb++ {
+		if freeBits[nb/64]&(1<<(nb%64)) != 0 {
+			off := m.BitOffset(nb)
+			a := s.Base + pmem.PAddr(bitmapBase) + pmem.PAddr(off/8)
+			s.dev.WriteU8(a, s.dev.ReadU8(a)|1<<(off%8))
+		}
+	}
+	s.dev.WriteU32(s.Base+hClass, uint32(newClass))
+	s.dev.WriteU32(s.Base+hDataOff, dataOff)
+	if persist {
+		c.Flush(pmem.CatMeta, s.Base+pmem.PAddr(bitmapBase), int(dataOff-bitmapBase))
+		c.Flush(pmem.CatMeta, s.Base, pmem.LineSize)
+	}
+	s.persistFlag(c, 0, persist) // transformation complete: now a slab_in
+
+	// Install the volatile view.
+	s.Class = newClass
+	s.BlockSize = newBlockSize
+	s.Blocks = blocks
+	s.DataOff = dataOff
+	s.bitmapBase = bitmapBase
+	s.m = m
+	s.freeBits = freeBits
+	s.resBits = make([]uint64, (blocks+63)/64)
+	s.Allocated = allocated
+	s.OldClass = oldClass
+	s.OldDataOff = oldDataOff
+	s.CntSlab = len(live)
+	s.oldIdx = oldIdx
+	s.cntBlock = cntBlock
+	return nil
+}
+
+// OldBlockIndex maps addr to a live old-class block index, or -1.
+func (s *Slab) OldBlockIndex(addr pmem.PAddr) int {
+	if s.OldClass < 0 {
+		return -1
+	}
+	oldSize := int64(sizeclass.Size(s.OldClass))
+	off := int64(addr) - int64(s.Base) - int64(s.OldDataOff)
+	if off < 0 || off%oldSize != 0 {
+		return -1
+	}
+	idx := int(off / oldSize)
+	if _, ok := s.oldIdx[idx]; !ok {
+		return -1
+	}
+	return idx
+}
+
+// OverlapCount returns how many live old-class blocks occupy new-class
+// block idx (0 for regular slabs).
+func (s *Slab) OverlapCount(idx int) int {
+	if s.cntBlock == nil || idx < 0 || idx >= len(s.cntBlock) {
+		return 0
+	}
+	return int(s.cntBlock[idx])
+}
+
+// OldIndices returns the live old-class block indices of a slab_in.
+func (s *Slab) OldIndices() []int {
+	out := make([]int, 0, len(s.oldIdx))
+	for idx := range s.oldIdx {
+		out = append(out, idx)
+	}
+	return out
+}
+
+// OldBlockSize returns the block size of the slab's old class (0 when
+// the slab is not a slab_in).
+func (s *Slab) OldBlockSize() uint64 {
+	if s.OldClass < 0 {
+		return 0
+	}
+	return uint64(sizeclass.Size(s.OldClass))
+}
+
+// OldBlockAddr returns the address of old-class block idx.
+func (s *Slab) OldBlockAddr(idx int) pmem.PAddr {
+	return s.Base + pmem.PAddr(s.OldDataOff) + pmem.PAddr(idx)*pmem.PAddr(sizeclass.Size(s.OldClass))
+}
+
+// FreeOldBlock releases a block_before: its index-table state is set to
+// free and persisted, occupancy counters are updated, and any new-class
+// block it exclusively occupied becomes allocatable. It reports whether
+// the slab just finished morphing (no old blocks remain), in which case
+// the caller reinserts it into the LRU list as a regular slab.
+func (s *Slab) FreeOldBlock(c *pmem.Ctx, idx int, persist bool) (done bool, err error) {
+	slot, ok := s.oldIdx[idx]
+	if !ok {
+		return false, fmt.Errorf("slab %#x: free of unknown old block %d", s.Base, idx)
+	}
+	a := s.Base + pmem.PAddr(idxBase+2*slot)
+	s.dev.WriteU16(a, uint16(idx)) // allocated bit cleared
+	if persist {
+		c.Flush(pmem.CatMeta, a, 2)
+		c.Fence()
+	}
+	delete(s.oldIdx, idx)
+	s.CntSlab--
+
+	oldSize := int64(sizeclass.Size(s.OldClass))
+	lo := int64(s.OldDataOff) + int64(idx)*oldSize
+	hi := lo + oldSize - 1
+	nbLo := (lo - int64(s.DataOff)) / int64(s.BlockSize)
+	nbHi := (hi - int64(s.DataOff)) / int64(s.BlockSize)
+	for nb := nbLo; nb <= nbHi && nb < int64(s.Blocks); nb++ {
+		if nb < 0 {
+			continue
+		}
+		s.cntBlock[nb]--
+		if s.cntBlock[nb] == 0 {
+			s.FreeBlock(c, int(nb), persist)
+		}
+	}
+	if s.CntSlab == 0 {
+		// The slab_in becomes a regular slab_after.
+		s.dev.WriteU32(s.Base+hOldClass, ClassNone)
+		s.dev.WriteU32(s.Base+hOldLive, 0)
+		if persist {
+			c.Flush(pmem.CatMeta, s.Base, pmem.LineSize)
+			c.Fence()
+		}
+		s.OldClass = -1
+		s.OldDataOff = 0
+		s.oldIdx = nil
+		s.cntBlock = nil
+		return true, nil
+	}
+	return false, nil
+}
+
+// Load rebuilds a vslab from the persistent image at base, undoing any
+// partially completed morph (flag 1 or 2) first. Recovery costs are
+// charged to c.
+func Load(dev *pmem.Device, c *pmem.Ctx, base pmem.PAddr) (*Slab, error) {
+	if dev.ReadU32(base+hMagic) != Magic {
+		return nil, fmt.Errorf("slab: bad magic at %#x", base)
+	}
+	flag := dev.ReadU32(base + hFlag)
+	stripes := int(dev.ReadU32(base + hStripes))
+	if flag == 1 || flag == 2 {
+		undoMorph(dev, c, base, flag, stripes)
+	}
+
+	class := int(dev.ReadU32(base + hClass))
+	dataOff := dev.ReadU32(base + hDataOff)
+	oldClassRaw := dev.ReadU32(base + hOldClass)
+	oldLive := int(dev.ReadU32(base + hOldLive))
+
+	blocks, bitmapBase, wantDataOff := geometry(class, stripes)
+	if wantDataOff != dataOff {
+		return nil, fmt.Errorf("slab %#x: inconsistent geometry (dataOff %d want %d)", base, dataOff, wantDataOff)
+	}
+	s := &Slab{
+		Base:       base,
+		Class:      class,
+		BlockSize:  sizeclass.Size(class),
+		Blocks:     blocks,
+		DataOff:    dataOff,
+		dev:        dev,
+		m:          interleave.New(blocks, 1, stripes, pmem.LineSize),
+		bitmapBase: bitmapBase,
+		freeBits:   make([]uint64, (blocks+63)/64),
+		resBits:    make([]uint64, (blocks+63)/64),
+		OldClass:   -1,
+	}
+	// Rebuild the volatile bitmap from the persistent interleaved one.
+	for idx := 0; idx < blocks; idx++ {
+		off := s.m.BitOffset(idx)
+		if dev.ReadU8(base+pmem.PAddr(bitmapBase)+pmem.PAddr(off/8))&(1<<(off%8)) != 0 {
+			s.freeBits[idx/64] |= 1 << (idx % 64)
+			s.Allocated++
+		}
+	}
+	c.Charge(pmem.CatSearch, int64(blocks)/8+20)
+
+	if oldClassRaw != ClassNone {
+		// Reconstruct cnt_slab and cnt_block from the index table.
+		s.OldClass = int(oldClassRaw)
+		s.OldDataOff = dev.ReadU32(base + hOldDataOff)
+		s.oldIdx = make(map[int]int)
+		s.cntBlock = make([]uint16, blocks)
+		oldSize := int64(sizeclass.Size(s.OldClass))
+		for slot := 0; slot < oldLive; slot++ {
+			e := dev.ReadU16(base + pmem.PAddr(idxBase+2*slot))
+			if e&idxAllocated == 0 {
+				continue
+			}
+			idx := int(e & idxIndexMask)
+			s.oldIdx[idx] = slot
+			s.CntSlab++
+			lo := int64(s.OldDataOff) + int64(idx)*oldSize
+			hi := lo + oldSize - 1
+			nbLo := (lo - int64(dataOff)) / int64(s.BlockSize)
+			nbHi := (hi - int64(dataOff)) / int64(s.BlockSize)
+			for nb := nbLo; nb <= nbHi && nb < int64(blocks); nb++ {
+				if nb >= 0 {
+					s.cntBlock[nb]++
+				}
+			}
+		}
+		if s.CntSlab == 0 {
+			// All old blocks were already freed; finish the demotion that
+			// may have been cut short by the crash.
+			dev.WriteU32(base+hOldClass, ClassNone)
+			dev.WriteU32(base+hOldLive, 0)
+			c.Flush(pmem.CatMeta, base, pmem.LineSize)
+			c.Fence()
+			s.OldClass = -1
+			s.oldIdx = nil
+			s.cntBlock = nil
+		}
+	}
+	return s, nil
+}
+
+// undoMorph rolls back a morph interrupted at flag 1 or 2. At flag 1 the
+// original bitmap and geometry are untouched. At flag 2 the new bitmap
+// may be partially written, so the old bitmap is reconstructed from the
+// index table (which is exactly why the index table exists).
+func undoMorph(dev *pmem.Device, c *pmem.Ctx, base pmem.PAddr, flag uint32, stripes int) {
+	oldClass := int(dev.ReadU32(base + hOldClass))
+	oldDataOff := dev.ReadU32(base + hOldDataOff)
+	oldLive := int(dev.ReadU32(base + hOldLive))
+
+	if flag == 2 {
+		// Restore geometry and bitmap of the original class.
+		blocks, bitmapBase, dataOff := geometry(oldClass, stripes)
+		if dataOff != oldDataOff {
+			panic(fmt.Sprintf("slab %#x: undo geometry mismatch", base))
+		}
+		var live []int
+		for slot := 0; slot < oldLive; slot++ {
+			e := dev.ReadU16(base + pmem.PAddr(idxBase+2*slot))
+			if e&idxAllocated != 0 {
+				live = append(live, int(e&idxIndexMask))
+			}
+		}
+		sort.Ints(live)
+		m := interleave.New(blocks, 1, stripes, pmem.LineSize)
+		dev.Zero(base+pmem.PAddr(bitmapBase), int(dataOff-bitmapBase))
+		for _, idx := range live {
+			off := m.BitOffset(idx)
+			a := base + pmem.PAddr(bitmapBase) + pmem.PAddr(off/8)
+			dev.WriteU8(a, dev.ReadU8(a)|1<<(off%8))
+		}
+		dev.WriteU32(base+hClass, uint32(oldClass))
+		dev.WriteU32(base+hDataOff, oldDataOff)
+		c.Flush(pmem.CatMeta, base+pmem.PAddr(bitmapBase), int(dataOff-bitmapBase))
+	}
+	dev.WriteU32(base+hOldClass, ClassNone)
+	dev.WriteU32(base+hOldDataOff, 0)
+	dev.WriteU32(base+hOldLive, 0)
+	dev.WriteU32(base+hFlag, 0)
+	c.Flush(pmem.CatMeta, base, pmem.LineSize)
+	c.Fence()
+}

@@ -1,0 +1,337 @@
+// Package slab implements NVAlloc's slab structure for small allocations:
+// 64 KiB slab extents with a persistent header, an interleaved block
+// bitmap (Section 5.1 of the paper), a volatile vslab mirror for fast
+// free-block search, and the slab morphing state machine (Section 5.2)
+// that crash-consistently transforms a mostly-empty slab into another
+// size class while old live blocks remain co-located.
+//
+// Persistent layout of a slab (offsets relative to the slab base, which
+// is always Size-aligned):
+//
+//	[0,64)                fixed header (one cache line)
+//	[64,64+idxBytes)      index table region (fixed reservation, used
+//	                      only while the slab is a slab_in)
+//	[64+idxBytes,dataOff) block bitmap, interleaved over `stripes` stripes
+//	[dataOff, Size)       blocks
+//
+// The index-table region is a fixed reservation in every slab so that
+// morph step 2 (writing the table) never overlaps the previous bitmap:
+// that is what makes the undo from a crash at flag 1 sound — the old
+// bitmap is still intact. The reservation costs 1 KiB of a 64 KiB slab.
+package slab
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"nvalloc/internal/interleave"
+	"nvalloc/internal/pmem"
+	"nvalloc/internal/sizeclass"
+)
+
+// Size is the slab size used throughout the paper.
+const Size = 64 << 10
+
+// Header field offsets within the fixed header line.
+const (
+	hMagic      = 0  // u32
+	hClass      = 4  // u32 size class index
+	hDataOff    = 8  // u32
+	hFlag       = 12 // u32 morph step flag (0 stable, 1..2 in transform)
+	hOldClass   = 16 // u32 (ClassNone when not a slab_in)
+	hOldDataOff = 20 // u32
+	hOldLive    = 24 // u32 index table entry count
+	hStripes    = 28 // u32 bitmap stripe count
+)
+
+// IdxCapEntries is the fixed index-table capacity: the maximum number of
+// live old blocks a slab may carry into a morph.
+const IdxCapEntries = 512
+
+// idxBase/idxBytes locate the fixed index-table region.
+const (
+	idxBase  = pmem.LineSize
+	idxBytes = IdxCapEntries * 2
+)
+
+// Magic identifies a formatted slab header.
+const Magic = 0x42414C53 // "SLAB"
+
+// ClassNone marks the old-class header fields as unset.
+const ClassNone = 0xFFFFFFFF
+
+// Index table entry: bit 15 = allocated, bits 0..14 = old block index.
+const (
+	idxAllocated = 1 << 15
+	idxIndexMask = idxAllocated - 1
+)
+
+// Slab is the volatile vslab: the in-DRAM mirror of one persistent slab.
+// It is reconstructed from the persistent header during recovery.
+//
+// A block can be in three states: free, reserved (sitting in some
+// thread's tcache: unavailable to others but still free in the
+// persistent bitmap), or allocated (persistent bit set). Allocated
+// counts persistent allocations; Reserved counts tcache residents; the
+// volatile bitmap marks both as unavailable.
+type Slab struct {
+	Base      pmem.PAddr
+	Class     int
+	BlockSize uint32
+	Blocks    int
+	DataOff   uint32
+	Allocated int
+	Reserved  int
+
+	// Mu serializes slab-internal state (counters, volatile bits,
+	// persistent bitmap read-modify-writes) across threads. Lock order:
+	// arena resource before slab Mu.
+	Mu sync.Mutex
+
+	dev        *pmem.Device
+	m          interleave.Mapping
+	bitmapBase uint32
+	freeBits   []uint64 // logical-index bitmap: 1 = allocated or reserved
+	resBits    []uint64 // logical-index bitmap: 1 = reserved in a tcache
+
+	// Morphing state (slab_in only).
+	OldClass   int // -1 when not morphed
+	OldDataOff uint32
+	CntSlab    int         // live old blocks remaining
+	oldIdx     map[int]int // old block index -> index table slot
+	cntBlock   []uint16    // per new block: old blocks occupying it
+
+	// Intrusive links managed by the owning arena.
+	LRUPrev, LRUNext   *Slab // arena LRU list (morph candidates)
+	FreePrev, FreeNext *Slab // per-class freelist of partially full slabs
+	Owner              int   // arena index owning this slab
+	MorphCand          bool  // queued in the arena's morph-candidate list
+	Dead               bool  // released back to the large allocator
+}
+
+// geometry computes the block count, bitmap base and data offset for a
+// slab of the given class. The fixed index-table reservation makes the
+// layout independent of morph history.
+func geometry(class, stripes int) (blocks int, bitmapBase, dataOff uint32) {
+	bsize := int(sizeclass.Size(class))
+	bitmapBase = uint32(idxBase + idxBytes)
+	// Fixpoint: more blocks need a bigger bitmap, which lowers the data
+	// offset capacity; two iterations always converge for 64 KiB slabs.
+	blocks = (Size - int(bitmapBase)) / bsize
+	for i := 0; i < 4; i++ {
+		bm := interleave.New(blocks, 1, stripes, pmem.LineSize)
+		d := (int(bitmapBase) + bm.SizeBytes() + pmem.LineSize - 1) &^ (pmem.LineSize - 1)
+		nb := (Size - d) / bsize
+		if nb == blocks {
+			dataOff = uint32(d)
+			return blocks, bitmapBase, dataOff
+		}
+		blocks = nb
+	}
+	bm := interleave.New(blocks, 1, stripes, pmem.LineSize)
+	dataOff = uint32((int(bitmapBase) + bm.SizeBytes() + pmem.LineSize - 1) &^ (pmem.LineSize - 1))
+	return blocks, bitmapBase, dataOff
+}
+
+// BlocksPerSlab returns how many blocks a freshly formatted slab of the
+// class holds with the given stripe count.
+func BlocksPerSlab(class, stripes int) int {
+	b, _, _ := geometry(class, stripes)
+	return b
+}
+
+// Format initializes a fresh slab of the given class over a Size-aligned
+// extent at base. When persist is true the header and bitmap are flushed
+// (LOG variant); the GC variant persists the header only, leaving bitmap
+// persistence to post-crash GC.
+func Format(dev *pmem.Device, c *pmem.Ctx, base pmem.PAddr, class, stripes int, persist bool) *Slab {
+	if base%Size != 0 {
+		panic(fmt.Sprintf("slab: base %#x not %d-aligned", base, Size))
+	}
+	blocks, bitmapBase, dataOff := geometry(class, stripes)
+	s := &Slab{
+		Base:       base,
+		Class:      class,
+		BlockSize:  sizeclass.Size(class),
+		Blocks:     blocks,
+		DataOff:    dataOff,
+		dev:        dev,
+		m:          interleave.New(blocks, 1, stripes, pmem.LineSize),
+		bitmapBase: bitmapBase,
+		freeBits:   make([]uint64, (blocks+63)/64),
+		resBits:    make([]uint64, (blocks+63)/64),
+		OldClass:   -1,
+	}
+	dev.WriteU32(base+hMagic, Magic)
+	dev.WriteU32(base+hClass, uint32(class))
+	dev.WriteU32(base+hDataOff, dataOff)
+	dev.WriteU32(base+hFlag, 0)
+	dev.WriteU32(base+hOldClass, ClassNone)
+	dev.WriteU32(base+hOldDataOff, 0)
+	dev.WriteU32(base+hOldLive, 0)
+	dev.WriteU32(base+hStripes, uint32(stripes))
+	dev.Zero(base+pmem.PAddr(bitmapBase), int(dataOff-bitmapBase))
+	c.Flush(pmem.CatMeta, base, pmem.LineSize)
+	if persist {
+		c.Flush(pmem.CatMeta, base+pmem.PAddr(bitmapBase), int(dataOff-bitmapBase))
+	}
+	c.Fence()
+	return s
+}
+
+// Stripes returns the bitmap stripe count.
+func (s *Slab) Stripes() int { return s.m.Stripes() }
+
+// Stripe returns the bit stripe (and thus metadata cache line group) of
+// logical block idx; the tcache uses it to pick a sub-tcache.
+func (s *Slab) Stripe(idx int) int { return s.m.Stripe(idx) }
+
+// BlockAddr returns the persistent address of block idx.
+func (s *Slab) BlockAddr(idx int) pmem.PAddr {
+	return s.Base + pmem.PAddr(s.DataOff) + pmem.PAddr(idx)*pmem.PAddr(s.BlockSize)
+}
+
+// BlockIndex maps an address inside the slab's data region to its logical
+// block index, or -1 if it is not a block start.
+func (s *Slab) BlockIndex(addr pmem.PAddr) int {
+	off := int64(addr) - int64(s.Base) - int64(s.DataOff)
+	if off < 0 || off%int64(s.BlockSize) != 0 {
+		return -1
+	}
+	idx := int(off / int64(s.BlockSize))
+	if idx >= s.Blocks {
+		return -1
+	}
+	return idx
+}
+
+func (s *Slab) bitTest(idx int) bool { return s.freeBits[idx/64]&(1<<(idx%64)) != 0 }
+
+// BlockAllocated reports whether block idx is marked unavailable in the
+// volatile bitmap (allocated, or reserved in a tcache).
+func (s *Slab) BlockAllocated(idx int) bool { return s.bitTest(idx) }
+
+// BlockReserved reports whether block idx currently sits in a tcache
+// (unavailable but not a live object).
+func (s *Slab) BlockReserved(idx int) bool {
+	return s.resBits[idx/64]&(1<<(idx%64)) != 0
+}
+
+// setPersistentBit updates one interleaved bitmap bit in PM and optionally
+// flushes its cache line (attributed to FlushMeta).
+func (s *Slab) setPersistentBit(c *pmem.Ctx, idx int, val, persist bool) {
+	off := s.m.BitOffset(idx)
+	addr := s.Base + pmem.PAddr(s.bitmapBase) + pmem.PAddr(off/8)
+	b := s.dev.ReadU8(addr)
+	if val {
+		b |= 1 << (off % 8)
+	} else {
+		b &^= 1 << (off % 8)
+	}
+	s.dev.WriteU8(addr, b)
+	if persist {
+		c.Flush(pmem.CatMeta, addr, 1)
+		c.Fence()
+	}
+}
+
+// AllocBlock marks block idx allocated (volatile + persistent bit).
+// persist controls whether the bitmap line is flushed (LOG) or deferred
+// to post-crash GC.
+func (s *Slab) AllocBlock(c *pmem.Ctx, idx int, persist bool) {
+	if s.bitTest(idx) {
+		panic(fmt.Sprintf("slab %#x: double allocation of block %d", s.Base, idx))
+	}
+	s.freeBits[idx/64] |= 1 << (idx % 64)
+	s.Allocated++
+	s.setPersistentBit(c, idx, true, persist)
+}
+
+// FreeBlock marks block idx free (volatile + persistent bit).
+func (s *Slab) FreeBlock(c *pmem.Ctx, idx int, persist bool) {
+	if !s.bitTest(idx) {
+		panic(fmt.Sprintf("slab %#x: double free of block %d", s.Base, idx))
+	}
+	s.freeBits[idx/64] &^= 1 << (idx % 64)
+	s.Allocated--
+	s.setPersistentBit(c, idx, false, persist)
+}
+
+// Reserve takes up to n free blocks out of the volatile bitmap without
+// touching persistent state, appending their indices to out. Reserved
+// blocks live in a tcache: unavailable to other threads, still free on
+// media (a crash loses nothing — they were never handed to the user).
+func (s *Slab) Reserve(n int, out []int) []int {
+	for w := 0; w < len(s.freeBits) && n > 0; w++ {
+		m := ^s.freeBits[w]
+		if w == len(s.freeBits)-1 && s.Blocks%64 != 0 {
+			m &= 1<<(s.Blocks%64) - 1
+		}
+		for m != 0 && n > 0 {
+			bit := bits.TrailingZeros64(m)
+			m &^= 1 << bit
+			idx := w*64 + bit
+			s.freeBits[idx/64] |= 1 << (idx % 64)
+			s.resBits[idx/64] |= 1 << (idx % 64)
+			s.Reserved++
+			out = append(out, idx)
+			n--
+		}
+	}
+	return out
+}
+
+// Unreserve returns a reserved block to the free state (tcache drain).
+func (s *Slab) Unreserve(idx int) {
+	s.freeBits[idx/64] &^= 1 << (idx % 64)
+	s.resBits[idx/64] &^= 1 << (idx % 64)
+	s.Reserved--
+}
+
+// CommitAlloc turns a reserved block into an allocated one: the
+// persistent bitmap bit is set and, when persist is true, flushed. This
+// is the per-malloc metadata write whose cache line the interleaved
+// mapping varies.
+func (s *Slab) CommitAlloc(c *pmem.Ctx, idx int, persist bool) {
+	s.resBits[idx/64] &^= 1 << (idx % 64)
+	s.Reserved--
+	s.Allocated++
+	s.setPersistentBit(c, idx, true, persist)
+}
+
+// CommitFreeToCache clears the persistent bit of an allocated block that
+// moves into a tcache (it stays volatile-reserved).
+func (s *Slab) CommitFreeToCache(c *pmem.Ctx, idx int, persist bool) {
+	s.resBits[idx/64] |= 1 << (idx % 64)
+	s.Allocated--
+	s.Reserved++
+	s.setPersistentBit(c, idx, false, persist)
+}
+
+// SyncBitmap rewrites the whole persistent bitmap from the volatile one
+// and flushes it (used at clean shutdown by the GC variant, whose
+// runtime path never flushes bitmap updates). Reserved blocks must have
+// been drained first.
+func (s *Slab) SyncBitmap(c *pmem.Ctx) {
+	for idx := 0; idx < s.Blocks; idx++ {
+		s.setPersistentBit(c, idx, s.bitTest(idx), false)
+	}
+	c.Flush(pmem.CatMeta, s.Base+pmem.PAddr(s.bitmapBase), int(s.DataOff-s.bitmapBase))
+	c.Fence()
+}
+
+// FreeCount returns the number of blocks neither allocated nor reserved.
+func (s *Slab) FreeCount() int { return s.Blocks - s.Allocated - s.Reserved }
+
+// Usage returns the occupancy ratio used by the morphing policy
+// (reserved blocks count as occupied).
+func (s *Slab) Usage() float64 {
+	if s.Blocks == 0 {
+		return 1
+	}
+	return float64(s.Allocated+s.Reserved) / float64(s.Blocks)
+}
+
+// IsSlabIn reports whether the slab still holds old-class blocks.
+func (s *Slab) IsSlabIn() bool { return s.OldClass >= 0 && s.CntSlab > 0 }

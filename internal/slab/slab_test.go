@@ -1,0 +1,517 @@
+package slab
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nvalloc/internal/pmem"
+	"nvalloc/internal/sizeclass"
+)
+
+const slabBase = pmem.PAddr(Size) // second 64K of the device
+
+func newSlab(t *testing.T, class, stripes int) (*pmem.Device, *pmem.Ctx, *Slab) {
+	t.Helper()
+	dev := pmem.New(pmem.Config{Size: 4 * Size, Strict: true})
+	c := dev.NewCtx()
+	s := Format(dev, c, slabBase, class, stripes, true)
+	return dev, c, s
+}
+
+func TestGeometrySanity(t *testing.T) {
+	for class := 0; class < sizeclass.NumClasses(); class++ {
+		for _, stripes := range []int{1, 4, 6, 8} {
+			blocks, bitmapBase, dataOff := geometry(class, stripes)
+			if blocks <= 0 {
+				t.Fatalf("class %d: no blocks", class)
+			}
+			bsize := int(sizeclass.Size(class))
+			if int(dataOff)+blocks*bsize > Size {
+				t.Fatalf("class %d stripes %d: blocks overflow the slab", class, stripes)
+			}
+			if bitmapBase < pmem.LineSize || dataOff <= bitmapBase {
+				t.Fatalf("class %d: bad layout bm=%d data=%d", class, bitmapBase, dataOff)
+			}
+			// Space efficiency: for small classes the metadata overhead
+			// must stay low.
+			if bsize <= 256 && float64(dataOff) > 0.08*Size {
+				t.Fatalf("class %d (%dB): metadata overhead %d too large", class, bsize, dataOff)
+			}
+		}
+	}
+}
+
+func TestFormatAllocFree(t *testing.T) {
+	_, c, s := newSlab(t, sizeclass.Class(64), 6)
+	if s.Allocated != 0 || s.FreeCount() != s.Blocks {
+		t.Fatal("fresh slab must be empty")
+	}
+	s.AllocBlock(c, 0, true)
+	s.AllocBlock(c, 5, true)
+	if s.Allocated != 2 {
+		t.Fatal("alloc count wrong")
+	}
+	s.FreeBlock(c, 0, true)
+	if s.Allocated != 1 || s.bitTest(0) || !s.bitTest(5) {
+		t.Fatal("free bookkeeping wrong")
+	}
+}
+
+func TestDoubleAllocAndFreePanic(t *testing.T) {
+	_, c, s := newSlab(t, 0, 6)
+	s.AllocBlock(c, 3, true)
+	for name, fn := range map[string]func(){
+		"double alloc": func() { s.AllocBlock(c, 3, true) },
+		"double free":  func() { s.FreeBlock(c, 4, true) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s must panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBlockAddrIndexRoundtrip(t *testing.T) {
+	_, _, s := newSlab(t, sizeclass.Class(100), 6)
+	f := func(raw uint16) bool {
+		idx := int(raw) % s.Blocks
+		return s.BlockIndex(s.BlockAddr(idx)) == idx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.BlockIndex(s.Base) != -1 || s.BlockIndex(s.BlockAddr(0)+1) != -1 {
+		t.Fatal("non-block addresses must map to -1")
+	}
+}
+
+func TestConsecutiveAllocsAvoidReflush(t *testing.T) {
+	reflushes := func(stripes int) uint64 {
+		dev := pmem.New(pmem.Config{Size: 4 * Size})
+		c := dev.NewCtx()
+		s := Format(dev, c, slabBase, sizeclass.Class(64), stripes, true)
+		start := c.Local().Reflushes
+		for i := 0; i < 64; i++ {
+			s.AllocBlock(c, i, true)
+		}
+		return c.Local().Reflushes - start
+	}
+	if r := reflushes(6); r != 0 {
+		t.Fatalf("interleaved bitmap reflushed %d times", r)
+	}
+	if r := reflushes(1); r < 50 {
+		t.Fatalf("sequential bitmap should reflush nearly every alloc, got %d", r)
+	}
+}
+
+func TestTakeFree(t *testing.T) {
+	_, c, s := newSlab(t, sizeclass.Class(128), 6)
+	got := s.Reserve(10, nil)
+	if len(got) != 10 || s.Reserved != 10 {
+		t.Fatalf("Reserve returned %d blocks", len(got))
+	}
+	for _, idx := range got {
+		s.CommitAlloc(c, idx, true)
+	}
+	if s.Allocated != 10 || s.Reserved != 0 {
+		t.Fatalf("commit bookkeeping wrong: a=%d r=%d", s.Allocated, s.Reserved)
+	}
+	seen := map[int]bool{}
+	for _, idx := range got {
+		if seen[idx] {
+			t.Fatal("duplicate block from TakeFree")
+		}
+		seen[idx] = true
+	}
+	// Exhaustion: ask for more than remain.
+	rest := s.Reserve(s.Blocks, nil)
+	if len(rest) != s.Blocks-10 || s.FreeCount() != 0 {
+		t.Fatalf("Reserve exhaustion wrong: %d", len(rest))
+	}
+	if more := s.Reserve(1, nil); len(more) != 0 {
+		t.Fatal("full slab must yield no blocks")
+	}
+	// Unreserve returns blocks to the free pool.
+	s.Unreserve(rest[0])
+	if s.FreeCount() != 1 {
+		t.Fatal("unreserve did not free")
+	}
+}
+
+func TestLoadRebuildsVslab(t *testing.T) {
+	dev, c, s := newSlab(t, sizeclass.Class(64), 6)
+	want := map[int]bool{}
+	for _, idx := range []int{0, 7, 13, 100, s.Blocks - 1} {
+		s.AllocBlock(c, idx, true)
+		want[idx] = true
+	}
+	dev.Crash()
+	s2, err := Load(dev, dev.NewCtx(), slabBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Class != s.Class || s2.Blocks != s.Blocks || s2.DataOff != s.DataOff {
+		t.Fatal("reloaded geometry differs")
+	}
+	if s2.Allocated != len(want) {
+		t.Fatalf("reloaded alloc count %d, want %d", s2.Allocated, len(want))
+	}
+	for idx := range want {
+		if !s2.bitTest(idx) {
+			t.Fatalf("bit %d lost", idx)
+		}
+	}
+}
+
+func TestLoadBadMagic(t *testing.T) {
+	dev := pmem.New(pmem.Config{Size: 4 * Size})
+	if _, err := Load(dev, dev.NewCtx(), slabBase); err == nil {
+		t.Fatal("expected bad-magic error")
+	}
+}
+
+func TestMorphBasicSmallToLarge(t *testing.T) {
+	dev, c, s := newSlab(t, sizeclass.Class(64), 6)
+	// Allocate a few scattered blocks near the end (clear of the new
+	// metadata region), emulating low occupancy.
+	liveIdx := []int{s.Blocks - 1, s.Blocks - 10, s.Blocks - 33}
+	for _, idx := range liveIdx {
+		s.AllocBlock(c, idx, true)
+	}
+	oldAddrs := make([]pmem.PAddr, len(liveIdx))
+	for i, idx := range liveIdx {
+		oldAddrs[i] = s.BlockAddr(idx)
+	}
+	newClass := sizeclass.Class(256)
+	if !s.CanMorphTo(newClass) {
+		t.Fatal("slab should be morphable")
+	}
+	if err := s.MorphTo(c, newClass, true); err != nil {
+		t.Fatal(err)
+	}
+	if s.Class != newClass || !s.IsSlabIn() || s.CntSlab != 3 {
+		t.Fatalf("morph state wrong: class=%d cntSlab=%d", s.Class, s.CntSlab)
+	}
+	// Old blocks remain addressable and identified as old.
+	for i, a := range oldAddrs {
+		if got := s.OldBlockIndex(a); got != liveIdx[i] {
+			t.Fatalf("old block %#x: index %d, want %d", a, got, liveIdx[i])
+		}
+	}
+	// New blocks overlapping old live data must be marked allocated.
+	for _, a := range oldAddrs {
+		nb := int((int64(a) - int64(s.Base) - int64(s.DataOff)) / int64(s.BlockSize))
+		if nb >= 0 && nb < s.Blocks && !s.bitTest(nb) {
+			t.Fatalf("overlapped new block %d not allocated", nb)
+		}
+	}
+	// Allocating from the morphed slab never returns overlapped space.
+	taken := s.Reserve(s.Blocks, nil)
+	for _, nb := range taken {
+		lo := s.BlockAddr(nb)
+		hi := lo + pmem.PAddr(s.BlockSize)
+		for _, a := range oldAddrs {
+			if a >= lo && a < hi {
+				t.Fatalf("handed out block %d overlapping live old data", nb)
+			}
+		}
+	}
+	dev.Crash() // morph must be fully persistent
+	s2, err := Load(dev, dev.NewCtx(), slabBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Class != newClass || s2.CntSlab != 3 || s2.OldClass != sizeclass.Class(64) {
+		t.Fatalf("morph lost in crash: %+v", s2)
+	}
+}
+
+func TestMorphLargeToSmall(t *testing.T) {
+	_, c, s := newSlab(t, sizeclass.Class(1024), 6)
+	idx := s.Blocks - 2
+	s.AllocBlock(c, idx, true)
+	oldAddr := s.BlockAddr(idx)
+	newClass := sizeclass.Class(64)
+	if err := s.MorphTo(c, newClass, true); err != nil {
+		t.Fatal(err)
+	}
+	// The 1024 B old block now spans many 64 B new blocks; all of them
+	// must be unavailable.
+	span := int(1024 / s.BlockSize)
+	nb0 := int((int64(oldAddr) - int64(s.Base) - int64(s.DataOff)) / int64(s.BlockSize))
+	cnt := 0
+	for nb := nb0; nb < nb0+span+1 && nb < s.Blocks; nb++ {
+		if nb >= 0 && s.bitTest(nb) {
+			cnt++
+		}
+	}
+	if cnt < span {
+		t.Fatalf("only %d of ~%d overlapped blocks protected", cnt, span)
+	}
+	// Freeing the old block releases the overlapped new blocks.
+	done, err := s.FreeOldBlock(c, idx, true)
+	if err != nil || !done {
+		t.Fatalf("FreeOldBlock: done=%v err=%v", done, err)
+	}
+	if s.IsSlabIn() || s.Allocated != 0 {
+		t.Fatalf("slab_after should be fully free, allocated=%d", s.Allocated)
+	}
+}
+
+func TestMorphRefusals(t *testing.T) {
+	_, c, s := newSlab(t, sizeclass.Class(64), 6)
+	// Block 0 lives at the data start, inside any plausible new header
+	// region for a larger index table? Actually block 0 sits exactly at
+	// DataOff; morphing to a class whose metadata needs more space than
+	// DataOff must be refused.
+	s.AllocBlock(c, 0, true)
+	if s.CanMorphTo(sizeclass.Class(8)) {
+		// The 8 B class has a much larger bitmap; its dataOff exceeds the
+		// 64 B class's, so block 0 overlaps the new metadata.
+		t.Fatal("morph over live data must be refused")
+	}
+	if s.CanMorphTo(s.Class) {
+		t.Fatal("morph to the same class must be refused")
+	}
+	if err := s.MorphTo(c, sizeclass.Class(8), true); err == nil {
+		t.Fatal("MorphTo must fail when CanMorphTo is false")
+	}
+	// Already-morphed slabs cannot morph again.
+	s.FreeBlock(c, 0, true)
+	if err := s.MorphTo(c, sizeclass.Class(256), true); err != nil {
+		t.Fatal(err)
+	}
+	// Note: CntSlab == 0 because no live blocks, so it is a regular slab
+	// immediately; but OldClass persists until demotion. For a slab with
+	// zero live old blocks the morph yields CntSlab=0; treat as regular.
+	if s.CanMorphTo(sizeclass.Class(512)) && s.OldClass >= 0 {
+		t.Fatal("slab_in must not morph again")
+	}
+}
+
+func TestFreeOldBlockUnknown(t *testing.T) {
+	_, c, s := newSlab(t, sizeclass.Class(64), 6)
+	s.AllocBlock(c, s.Blocks-1, true)
+	if err := s.MorphTo(c, sizeclass.Class(256), true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.FreeOldBlock(c, 1, true); err == nil {
+		t.Fatal("freeing unknown old block must error")
+	}
+}
+
+func TestMorphCrashUndoAtEachStep(t *testing.T) {
+	// Crash after each flush during a morph; recovery must either undo
+	// the morph entirely (flag 1/2) or land in the completed state.
+	for cut := int64(1); cut < 20; cut++ {
+		dev := pmem.New(pmem.Config{Size: 4 * Size, Strict: true})
+		c := dev.NewCtx()
+		s := Format(dev, c, slabBase, sizeclass.Class(64), 6, true)
+		liveIdx := []int{s.Blocks - 1, s.Blocks - 5}
+		for _, idx := range liveIdx {
+			s.AllocBlock(c, idx, true)
+		}
+		oldClass := s.Class
+		dev.CrashAfterFlushes(cut)
+		_ = s.MorphTo(c, sizeclass.Class(256), true)
+		completed := !dev.Crashed()
+		dev.Crash()
+		s2, err := Load(dev, dev.NewCtx(), slabBase)
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		if completed {
+			if s2.Class != sizeclass.Class(256) || s2.CntSlab != 2 {
+				t.Fatalf("cut=%d: completed morph not recovered: %+v", cut, s2)
+			}
+		} else if s2.Class == oldClass {
+			// Undone: the original allocation state must be intact.
+			if s2.Allocated != 2 || !s2.bitTest(liveIdx[0]) || !s2.bitTest(liveIdx[1]) {
+				t.Fatalf("cut=%d: undo lost blocks: allocated=%d", cut, s2.Allocated)
+			}
+			if s2.OldClass >= 0 || dev.ReadU32(slabBase+hFlag) != 0 {
+				t.Fatalf("cut=%d: undo left morph residue", cut)
+			}
+		} else {
+			// Landed in the new class despite the cut: must be complete.
+			if s2.CntSlab != 2 {
+				t.Fatalf("cut=%d: torn morph visible: %+v", cut, s2)
+			}
+		}
+	}
+}
+
+func TestMorphedSlabAllocFreeRandomized(t *testing.T) {
+	dev, c, s := newSlab(t, sizeclass.Class(64), 6)
+	rng := rand.New(rand.NewSource(11))
+	liveIdx := []int{s.Blocks - 1, s.Blocks - 7, s.Blocks - 20}
+	for _, idx := range liveIdx {
+		s.AllocBlock(c, idx, true)
+	}
+	if err := s.MorphTo(c, sizeclass.Class(320), true); err != nil {
+		t.Fatal(err)
+	}
+	held := map[int]bool{}
+	for op := 0; op < 2000; op++ {
+		if rng.Intn(2) == 0 {
+			got := s.Reserve(1, nil)
+			if len(got) == 1 {
+				if held[got[0]] {
+					t.Fatal("block handed out twice")
+				}
+				s.CommitAlloc(c, got[0], true)
+				held[got[0]] = true
+			}
+		} else if len(held) > 0 {
+			for idx := range held {
+				s.FreeBlock(c, idx, true)
+				delete(held, idx)
+				break
+			}
+		}
+	}
+	// Invariant: allocated == held + overlapped-by-old
+	overlapped := 0
+	for nb := 0; nb < s.Blocks; nb++ {
+		if s.cntBlock[nb] > 0 {
+			overlapped++
+		}
+	}
+	if s.Allocated != len(held)+overlapped {
+		t.Fatalf("allocated=%d held=%d overlapped=%d", s.Allocated, len(held), overlapped)
+	}
+	// Crash + reload preserves everything.
+	dev.Crash()
+	s2, err := Load(dev, dev.NewCtx(), slabBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Allocated != s.Allocated || s2.CntSlab != 3 {
+		t.Fatalf("reload mismatch: %d vs %d", s2.Allocated, s.Allocated)
+	}
+	// Free old blocks one by one; last one demotes the slab.
+	for i, idx := range liveIdx {
+		done, err := s2.FreeOldBlock(c, idx, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (i == len(liveIdx)-1) != done {
+			t.Fatalf("demotion at wrong point: i=%d done=%v", i, done)
+		}
+	}
+	if s2.OldClass != -1 {
+		t.Fatal("slab_after must clear old class")
+	}
+	// And the demotion is persistent.
+	dev.Crash()
+	s3, err := Load(dev, dev.NewCtx(), slabBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.OldClass != -1 || s3.IsSlabIn() {
+		t.Fatal("demotion lost in crash")
+	}
+}
+
+func TestSecondMorphAfterDemotion(t *testing.T) {
+	// slab_after (with an index-table hole) must be able to morph again.
+	dev, c, s := newSlab(t, sizeclass.Class(64), 6)
+	idx := s.Blocks - 1
+	s.AllocBlock(c, idx, true)
+	if err := s.MorphTo(c, sizeclass.Class(256), true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.FreeOldBlock(c, idx, true); err != nil {
+		t.Fatal(err)
+	}
+	// Now a regular 256 B slab with an idxCap hole; allocate one block
+	// high and morph once more.
+	s.AllocBlock(c, s.Blocks-1, true)
+	if err := s.MorphTo(c, sizeclass.Class(512), true); err != nil {
+		t.Fatal(err)
+	}
+	dev.Crash()
+	s2, err := Load(dev, dev.NewCtx(), slabBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Class != sizeclass.Class(512) || s2.CntSlab != 1 {
+		t.Fatalf("second morph lost: %+v", s2)
+	}
+}
+
+func TestGCVariantSkipsBitmapFlushes(t *testing.T) {
+	dev := pmem.New(pmem.Config{Size: 4 * Size})
+	c := dev.NewCtx()
+	s := Format(dev, c, slabBase, sizeclass.Class(64), 6, false)
+	before := c.Local().Flushes
+	for i := 0; i < 100; i++ {
+		s.AllocBlock(c, i, false)
+	}
+	if c.Local().Flushes != before {
+		t.Fatal("GC variant must not flush bitmap updates")
+	}
+}
+
+func TestStripeAssignmentMatchesMapping(t *testing.T) {
+	_, _, s := newSlab(t, sizeclass.Class(64), 6)
+	for i := 0; i < 32; i++ {
+		if s.Stripe(i) != i%6 {
+			t.Fatalf("stripe of %d = %d", i, s.Stripe(i))
+		}
+	}
+}
+
+func TestSyncBitmapPersistsVolatileTruth(t *testing.T) {
+	// GC-variant shutdown: runtime never flushed bitmap updates; SyncBitmap
+	// must make the persistent image match the volatile one.
+	dev := pmem.New(pmem.Config{Size: 4 * Size, Strict: true})
+	c := dev.NewCtx()
+	s := Format(dev, c, slabBase, sizeclass.Class(64), 6, false)
+	want := map[int]bool{}
+	for _, idx := range []int{1, 5, 99, s.Blocks - 1} {
+		s.AllocBlock(c, idx, false) // no flush
+		want[idx] = true
+	}
+	s.SyncBitmap(c)
+	dev.Crash()
+	s2, err := Load(dev, dev.NewCtx(), slabBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Allocated != len(want) {
+		t.Fatalf("synced bitmap lost state: %d vs %d", s2.Allocated, len(want))
+	}
+	for idx := range want {
+		if !s2.BlockAllocated(idx) {
+			t.Fatalf("bit %d lost", idx)
+		}
+	}
+}
+
+func TestReservedBitsTracking(t *testing.T) {
+	_, c, s := newSlab(t, sizeclass.Class(64), 6)
+	got := s.Reserve(3, nil)
+	for _, idx := range got {
+		if !s.BlockReserved(idx) || !s.BlockAllocated(idx) {
+			t.Fatalf("reserved block %d not tracked", idx)
+		}
+	}
+	s.CommitAlloc(c, got[0], true)
+	if s.BlockReserved(got[0]) {
+		t.Fatal("committed block still marked reserved")
+	}
+	s.Unreserve(got[1])
+	if s.BlockReserved(got[1]) || s.BlockAllocated(got[1]) {
+		t.Fatal("unreserved block still marked")
+	}
+	s.CommitFreeToCache(c, got[0], true)
+	if !s.BlockReserved(got[0]) {
+		t.Fatal("freed-to-cache block must be reserved")
+	}
+}

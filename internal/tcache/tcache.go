@@ -1,0 +1,90 @@
+// Package tcache implements NVAlloc's thread-local cache with the
+// interleaved layout of Section 5.1: per size class the cache is split
+// into one sub-tcache per bit stripe, and a cursor round-robins across
+// sub-tcaches so that consecutive allocations come from blocks whose
+// bitmap bits live in different cache lines. With interleaving disabled
+// the cache degenerates to a single LIFO list (the paper's baseline).
+package tcache
+
+// Block is a cached block reference: its slab-local logical index plus an
+// opaque slab handle managed by the caller (the arena layer stores the
+// *slab.Slab there).
+type Block struct {
+	Slab any
+	Idx  int
+}
+
+// Cache is one thread's cache for one size class.
+type Cache struct {
+	subs   [][]Block // one LIFO stack per stripe
+	cursor int
+	count  int
+	cap    int
+}
+
+// New creates a cache with the given number of sub-tcaches (stripes; 1
+// disables interleaving) and total block capacity.
+func New(stripes, capacity int) *Cache {
+	if stripes < 1 {
+		stripes = 1
+	}
+	if capacity < stripes {
+		capacity = stripes
+	}
+	return &Cache{subs: make([][]Block, stripes), cap: capacity}
+}
+
+// Len returns the number of cached blocks.
+func (c *Cache) Len() int { return c.count }
+
+// Cap returns the cache capacity.
+func (c *Cache) Cap() int { return c.cap }
+
+// Full reports whether a freed block should bypass the cache.
+func (c *Cache) Full() bool { return c.count >= c.cap }
+
+// Empty reports whether the cache needs a refill.
+func (c *Cache) Empty() bool { return c.count == 0 }
+
+// Push caches a block under the sub-tcache of its stripe (LIFO).
+func (c *Cache) Push(stripe int, b Block) {
+	s := stripe % len(c.subs)
+	c.subs[s] = append(c.subs[s], b)
+	c.count++
+}
+
+// Pop removes a block, rotating the cursor across sub-tcaches so
+// consecutive allocations use bits in different cache lines. If the
+// cursor's sub-tcache is empty the next non-empty one is used.
+func (c *Cache) Pop() (Block, bool) {
+	if c.count == 0 {
+		return Block{}, false
+	}
+	n := len(c.subs)
+	for i := 0; i < n; i++ {
+		s := (c.cursor + i) % n
+		if l := len(c.subs[s]); l > 0 {
+			b := c.subs[s][l-1]
+			c.subs[s] = c.subs[s][:l-1]
+			c.count--
+			c.cursor = (s + 1) % n
+			return b, true
+		}
+	}
+	return Block{}, false
+}
+
+// Drain removes and returns every cached block (used on thread exit to
+// return blocks to their slabs).
+func (c *Cache) Drain() []Block {
+	out := make([]Block, 0, c.count)
+	for s := range c.subs {
+		out = append(out, c.subs[s]...)
+		c.subs[s] = c.subs[s][:0]
+	}
+	c.count = 0
+	return out
+}
+
+// Stripes returns the number of sub-tcaches.
+func (c *Cache) Stripes() int { return len(c.subs) }

@@ -1,0 +1,122 @@
+package tcache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPushPopLIFOWithinStripe(t *testing.T) {
+	c := New(1, 16)
+	c.Push(0, Block{Idx: 1})
+	c.Push(0, Block{Idx: 2})
+	b, ok := c.Pop()
+	if !ok || b.Idx != 2 {
+		t.Fatalf("want LIFO order, got %v", b)
+	}
+	b, _ = c.Pop()
+	if b.Idx != 1 {
+		t.Fatal("LIFO violated")
+	}
+	if _, ok := c.Pop(); ok {
+		t.Fatal("empty cache must report no block")
+	}
+}
+
+func TestRoundRobinAcrossStripes(t *testing.T) {
+	c := New(4, 64)
+	for stripe := 0; stripe < 4; stripe++ {
+		for i := 0; i < 4; i++ {
+			c.Push(stripe, Block{Idx: stripe*100 + i})
+		}
+	}
+	// Sixteen pops must alternate stripes: 0,1,2,3,0,1,2,3,...
+	for i := 0; i < 16; i++ {
+		b, ok := c.Pop()
+		if !ok {
+			t.Fatal("pop failed")
+		}
+		if b.Idx/100 != i%4 {
+			t.Fatalf("pop %d came from stripe %d, want %d", i, b.Idx/100, i%4)
+		}
+	}
+}
+
+func TestCursorSkipsEmptySubTcaches(t *testing.T) {
+	c := New(4, 64)
+	c.Push(2, Block{Idx: 42})
+	b, ok := c.Pop()
+	if !ok || b.Idx != 42 {
+		t.Fatal("pop must find the only block")
+	}
+}
+
+func TestCountersAndFull(t *testing.T) {
+	c := New(2, 4)
+	if !c.Empty() || c.Full() {
+		t.Fatal("fresh cache state wrong")
+	}
+	for i := 0; i < 4; i++ {
+		c.Push(i, Block{Idx: i})
+	}
+	if !c.Full() || c.Len() != 4 || c.Empty() {
+		t.Fatal("full cache state wrong")
+	}
+	c.Pop()
+	if c.Full() || c.Len() != 3 {
+		t.Fatal("post-pop state wrong")
+	}
+}
+
+func TestDrain(t *testing.T) {
+	c := New(3, 16)
+	for i := 0; i < 7; i++ {
+		c.Push(i, Block{Idx: i})
+	}
+	got := c.Drain()
+	if len(got) != 7 || c.Len() != 0 || !c.Empty() {
+		t.Fatalf("drain returned %d blocks", len(got))
+	}
+	seen := map[int]bool{}
+	for _, b := range got {
+		if seen[b.Idx] {
+			t.Fatal("duplicate in drain")
+		}
+		seen[b.Idx] = true
+	}
+}
+
+func TestConservationProperty(t *testing.T) {
+	// Whatever is pushed is popped exactly once, regardless of stripe mix.
+	f := func(stripeSeq []uint8) bool {
+		c := New(6, 1024)
+		for i, s := range stripeSeq {
+			c.Push(int(s), Block{Idx: i})
+		}
+		seen := map[int]bool{}
+		for {
+			b, ok := c.Pop()
+			if !ok {
+				break
+			}
+			if seen[b.Idx] {
+				return false
+			}
+			seen[b.Idx] = true
+		}
+		return len(seen) == len(stripeSeq)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegenerateConfigs(t *testing.T) {
+	c := New(0, 0) // clamped to 1 stripe, capacity >= stripes
+	c.Push(5, Block{Idx: 9})
+	if b, ok := c.Pop(); !ok || b.Idx != 9 {
+		t.Fatal("degenerate cache broken")
+	}
+	if c.Stripes() != 1 || c.Cap() < 1 {
+		t.Fatal("clamping wrong")
+	}
+}

@@ -1,0 +1,171 @@
+// Package walog implements the per-arena write-ahead log used by the
+// strongly consistent allocator variants. Entries are fixed-size 32 B
+// records placed in the log region with the same interleaved mapping as
+// slab bitmaps (Section 5.1 of the paper, applied to WALs), so that
+// consecutive transactions flush different cache lines.
+//
+// The log is a ring. Every entry carries a monotonically increasing
+// sequence number; a persisted checkpoint sequence bounds replay: entries
+// with Seq <= checkpoint have fully persisted effects and are skipped.
+// Entry application must be idempotent (all users re-apply absolute
+// states, not deltas).
+package walog
+
+import (
+	"sort"
+
+	"nvalloc/internal/interleave"
+	"nvalloc/internal/pmem"
+)
+
+// EntrySize is the on-PM footprint of one WAL entry.
+const EntrySize = 32
+
+// headerSize reserves the first cache line of the region for the log
+// header (checkpoint sequence).
+const headerSize = pmem.LineSize
+
+// Op identifies what a WAL entry records.
+type Op uint8
+
+// WAL operation codes.
+const (
+	OpNone     Op = iota
+	OpAllocBit    // small block allocated: set bitmap bit
+	OpFreeBit     // small block freed: clear bitmap bit
+	OpMallocTo    // atomic malloc_to: Addr=user slot, Aux=block, Aux2=size
+	OpFreeFrom    // atomic free_from: Addr=user slot, Aux=block
+	OpMorph       // slab morph step: Addr=slab, Aux=step
+)
+
+// Entry is one decoded WAL record.
+type Entry struct {
+	Seq  uint64
+	Addr pmem.PAddr
+	Aux  uint64
+	Aux2 uint32
+	Op   Op
+}
+
+// Log is a write-ahead log over a fixed PM region. It is not
+// goroutine-safe; callers hold the owning arena's resource lock.
+type Log struct {
+	dev    *pmem.Device
+	base   pmem.PAddr
+	m      interleave.Mapping
+	n      int
+	seq    uint64 // next sequence number to assign
+	ckpt   uint64 // last persisted checkpoint
+	cursor int    // next slot to write
+}
+
+// RegionSize returns the PM bytes needed for a log of n entries.
+func RegionSize(n, stripes int) int {
+	return headerSize + interleave.New(n, EntrySize*8, stripes, pmem.LineSize).SizeBytes()
+}
+
+// New creates (or reopens for appending after recovery) a WAL over the
+// region at base. n is the entry capacity; stripes=1 disables
+// interleaving (the paper's baseline layout).
+func New(dev *pmem.Device, base pmem.PAddr, n, stripes int) *Log {
+	l := &Log{
+		dev:  dev,
+		base: base,
+		m:    interleave.New(n, EntrySize*8, stripes, pmem.LineSize),
+		n:    n,
+	}
+	l.ckpt = dev.ReadU64(base)
+	l.seq = l.ckpt + 1
+	return l
+}
+
+func (l *Log) slotAddr(slot int) pmem.PAddr {
+	return l.base + headerSize + pmem.PAddr(l.m.ByteOffset(slot))
+}
+
+// Append persists a WAL entry (one interleaved slot write + flush) and
+// returns its sequence number. The flush is attributed to CatWAL.
+func (l *Log) Append(c *pmem.Ctx, e Entry) uint64 {
+	e.Seq = l.seq
+	l.seq++
+	slot := l.cursor
+	l.cursor = (l.cursor + 1) % l.n
+
+	// Before overwriting an old slot, make sure the checkpoint has moved
+	// past it. Any entry that has rotated all the way around the ring
+	// completed long ago; advancing the checkpoint costs one flush per
+	// half-ring of appends.
+	if e.Seq > uint64(l.n) && l.ckpt < e.Seq-uint64(l.n) {
+		l.setCheckpoint(c, e.Seq-uint64(l.n/2))
+	}
+
+	a := l.slotAddr(slot)
+	l.dev.WriteU64(a, e.Seq)
+	l.dev.WriteU64(a+8, uint64(e.Addr))
+	l.dev.WriteU64(a+16, e.Aux)
+	l.dev.WriteU32(a+24, e.Aux2)
+	l.dev.WriteU8(a+28, byte(e.Op))
+	c.Flush(pmem.CatWAL, a, EntrySize)
+	c.Fence()
+	return e.Seq
+}
+
+// setCheckpoint persists the replay lower bound.
+func (l *Log) setCheckpoint(c *pmem.Ctx, seq uint64) {
+	if seq <= l.ckpt {
+		return
+	}
+	l.ckpt = seq
+	c.PersistU64(pmem.CatWAL, l.base, seq)
+	c.Fence()
+}
+
+// Checkpoint marks every entry appended so far as fully applied. Called at
+// clean shutdown so recovery after a normal exit replays nothing.
+func (l *Log) Checkpoint(c *pmem.Ctx) {
+	if l.seq > 0 {
+		l.setCheckpoint(c, l.seq-1)
+	}
+}
+
+// Replay scans the ring and invokes fn on every entry with
+// Seq > checkpoint, in sequence order. It returns the number of entries
+// replayed. Recovery costs are charged to c as metadata reads.
+func (l *Log) Replay(c *pmem.Ctx, fn func(Entry)) int {
+	ckpt := l.dev.ReadU64(l.base)
+	var live []Entry
+	maxSeq := ckpt
+	for slot := 0; slot < l.n; slot++ {
+		a := l.slotAddr(slot)
+		seq := l.dev.ReadU64(a)
+		c.Charge(pmem.CatSearch, 5) // scan cost
+		if seq <= ckpt {
+			continue
+		}
+		live = append(live, Entry{
+			Seq:  seq,
+			Addr: pmem.PAddr(l.dev.ReadU64(a + 8)),
+			Aux:  l.dev.ReadU64(a + 16),
+			Aux2: l.dev.ReadU32(a + 24),
+			Op:   Op(l.dev.ReadU8(a + 28)),
+		})
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].Seq < live[j].Seq })
+	for _, e := range live {
+		fn(e)
+	}
+	// Resume appending after the highest sequence seen.
+	l.seq = maxSeq + 1
+	l.ckpt = ckpt
+	l.cursor = int(maxSeq % uint64(l.n))
+	return len(live)
+}
+
+// Seq returns the next sequence number (for tests).
+func (l *Log) Seq() uint64 { return l.seq }
+
+// Capacity returns the ring size in entries.
+func (l *Log) Capacity() int { return l.n }

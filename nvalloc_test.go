@@ -1,0 +1,111 @@
+package nvalloc
+
+import (
+	"testing"
+
+	"nvalloc/internal/pmem"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	dev := NewDevice(DeviceConfig{Size: 64 << 20, Strict: true})
+	heap, err := Create(dev, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := heap.NewThread()
+	p, err := th.Malloc(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.WriteU64(p, 42)
+	if err := th.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	th.Close()
+	if err := heap.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicCrashRecoveryFlow(t *testing.T) {
+	dev := NewDevice(DeviceConfig{Size: 64 << 20, Strict: true})
+	heap, err := Create(dev, Options{Variant: LOG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := heap.NewThread()
+	p, err := th.MallocTo(heap.RootSlot(0), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.WriteU64(p, 777)
+	th.Ctx().Flush(pmem.CatOther, p, 8)
+	th.Ctx().Merge()
+	dev.Crash()
+
+	heap2, ns, err := Open(dev, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns <= 0 {
+		t.Fatal("recovery time not reported")
+	}
+	got := PAddr(dev.ReadU64(heap2.RootSlot(0)))
+	if got != p || dev.ReadU64(got) != 777 {
+		t.Fatal("published object lost across crash")
+	}
+}
+
+func TestEADRDisablesInterleavingAutomatically(t *testing.T) {
+	dev := NewDevice(DeviceConfig{Size: 64 << 20, Mode: ModeEADR})
+	opts := Options{}.toCore(dev)
+	if opts.InterleaveBitmap || opts.InterleaveTcache || opts.InterleaveWAL {
+		t.Fatal("interleaving must auto-disable on eADR")
+	}
+	forced := Options{ForceInterleaving: true}.toCore(dev)
+	if !forced.InterleaveBitmap {
+		t.Fatal("ForceInterleaving ignored")
+	}
+	adr := NewDevice(DeviceConfig{Size: 64 << 20})
+	if o := (Options{}).toCore(adr); !o.InterleaveBitmap {
+		t.Fatal("interleaving must default on for ADR")
+	}
+}
+
+func TestOptionKnobsReachCore(t *testing.T) {
+	dev := NewDevice(DeviceConfig{Size: 64 << 20})
+	o := Options{Variant: GC, Arenas: 3, Stripes: 4, SU: 0.3, DisableMorphing: true}.toCore(dev)
+	if o.Variant != GC || o.Arenas != 3 || o.Stripes != 4 || o.SU != 0.3 || o.Morphing {
+		t.Fatalf("options not forwarded: %+v", o)
+	}
+}
+
+func TestICVariantPublicSurface(t *testing.T) {
+	dev := NewDevice(DeviceConfig{Size: 64 << 20, Strict: true})
+	heap, err := Create(dev, Options{Variant: IC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := heap.NewThread()
+	p, err := th.Malloc(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th.Ctx().Merge()
+	dev.Crash()
+	heap2, _, err := Open(dev, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	heap2.Objects(func(o Object) bool {
+		if o.Addr == p {
+			found = true
+			return false
+		}
+		return true
+	})
+	if !found {
+		t.Fatal("IC crash survivor not enumerable via Objects")
+	}
+}
