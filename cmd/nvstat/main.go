@@ -8,6 +8,8 @@
 //
 //	nvstat -demo                # build a demo heap and inspect it
 //	nvstat -image heap.img -size 268435456
+//	nvstat -image heap.img -check     # report corruption, modify nothing
+//	nvstat -image heap.img -repair    # scavenge in place, rewrite image
 package main
 
 import (
@@ -23,9 +25,11 @@ import (
 
 func main() {
 	var (
-		image = flag.String("image", "", "heap image file written by Device.SaveImage")
-		size  = flag.Uint64("size", 256<<20, "device size in bytes (must match the image)")
-		demo  = flag.Bool("demo", false, "generate a demo heap instead of loading an image")
+		image  = flag.String("image", "", "heap image file written by Device.SaveImage")
+		size   = flag.Uint64("size", 256<<20, "device size in bytes (must match the image)")
+		demo   = flag.Bool("demo", false, "generate a demo heap instead of loading an image")
+		check  = flag.Bool("check", false, "report corruption in the image without modifying it")
+		repair = flag.Bool("repair", false, "scavenge the image in place and rewrite it")
 	)
 	flag.Parse()
 
@@ -38,18 +42,61 @@ func main() {
 		if err := dev.LoadImage(*image); err != nil {
 			fatal(err)
 		}
-		h, ns, err := nvalloc.Open(dev, nvalloc.Options{})
-		if err != nil {
-			fatal(err)
+		switch {
+		case *check:
+			os.Exit(runCheck(dev))
+		case *repair:
+			heap = runRepair(dev, *image)
+		default:
+			h, ns, err := nvalloc.Open(dev, nvalloc.Options{})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("opened image %s (recovery: %.2f ms virtual)\n\n", *image, float64(ns)/1e6)
+			heap = h
 		}
-		fmt.Printf("opened image %s (recovery: %.2f ms virtual)\n\n", *image, float64(ns)/1e6)
-		heap = h
 	default:
 		fmt.Fprintln(os.Stderr, "nvstat: need -demo or -image <file>")
 		os.Exit(2)
 	}
 
 	inspect(heap)
+}
+
+// runCheck reports every problem a scavenge would repair (on a clone of
+// the device — the loaded image is never modified). Exit status 0 means
+// the image opens cleanly, 1 means it needs repair.
+func runCheck(dev *nvalloc.Device) int {
+	issues := nvalloc.Check(dev, nvalloc.Options{})
+	if len(issues) == 0 {
+		fmt.Println("image is clean")
+		return 0
+	}
+	fmt.Printf("image is damaged (%d issue(s)):\n", len(issues))
+	for _, s := range issues {
+		fmt.Println("  -", s)
+	}
+	return 1
+}
+
+// runRepair scavenges the device in place and rewrites the image file,
+// then returns the repaired heap for inspection.
+func runRepair(dev *nvalloc.Device, image string) *nvalloc.Heap {
+	h, repairs, err := nvalloc.Scavenge(dev, nvalloc.Options{})
+	for _, s := range repairs {
+		fmt.Println("repair:", s)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if len(repairs) == 0 {
+		fmt.Println("image was clean; nothing repaired")
+	} else if err := dev.SaveImage(image); err != nil {
+		fatal(err)
+	} else {
+		fmt.Printf("repaired image rewritten to %s\n\n", image)
+	}
+	return h
 }
 
 func buildDemo(dev *nvalloc.Device) *nvalloc.Heap {

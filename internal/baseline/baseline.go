@@ -12,6 +12,8 @@
 package baseline
 
 import (
+	"hash/crc32"
+
 	"nvalloc/internal/pmem"
 )
 
@@ -159,7 +161,30 @@ const (
 	sbWALBase  = 80
 	sbWALSize  = 88
 	sbHeapBase = 96
+	sbChecksum = 104 // CRC-32C over [0,104) with state and break zeroed
 	sbRoots    = 128
 
 	baseMagic = 0x424153454C4F4331 // "BASELOC1"
+
+	stateRunning  = 1
+	stateShutdown = 2
 )
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// superCRC computes the baseline superblock checksum: CRC-32C over its
+// first 104 bytes with the run-state word [16,24) and the heap break
+// [56,64) zeroed — both change at runtime without a checksum update
+// (the state word is sealed instead, the break self-heals in
+// extent.Rebuild).
+func superCRC(dev *pmem.Device) uint32 {
+	var buf [sbChecksum]byte
+	copy(buf[:], dev.Bytes(superBase, sbChecksum))
+	for i := sbState; i < sbState+8; i++ {
+		buf[i] = 0
+	}
+	for i := sbBreak; i < sbBreak+8; i++ {
+		buf[i] = 0
+	}
+	return crc32.Checksum(buf[:], crcTable)
+}

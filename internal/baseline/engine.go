@@ -180,14 +180,17 @@ func New(dev *pmem.Device, cfg Config) (*Heap, error) {
 	c := dev.NewCtx()
 	defer c.Merge()
 	dev.WriteU64(superBase+sbMagic, baseMagic)
-	dev.WriteU64(superBase+sbState, 1)
+	dev.WriteU64(superBase+sbState, pmem.SealU64(stateRunning))
 	dev.WriteU64(superBase+sbArenas, uint64(cfg.Arenas))
 	dev.WriteU64(superBase+sbWALBase, walBase)
 	dev.WriteU64(superBase+sbWALSize, uint64(walRegion))
 	dev.WriteU64(superBase+sbHeapBase, heapBase)
+	dev.WriteU64(superBase+sbChecksum, uint64(superCRC(dev)))
 	dev.Zero(superBase+sbRoots, alloc.NumRootSlots*8)
 	c.Flush(pmem.CatMeta, superBase, 4096)
 	c.Fence()
+	// A reformatted device may carry WAL rings from a previous heap.
+	dev.Zero(pmem.PAddr(walBase), (maxArenas+1)*walRegion)
 
 	h.book = extent.NewInPlace(dev, pmem.PAddr(heapBase), superBase+sbBreak)
 	h.large = extent.New(dev, h.book, extent.Config{
@@ -196,7 +199,11 @@ func New(dev *pmem.Device, cfg Config) (*Heap, error) {
 		BreakPtr:  superBase + sbBreak,
 		MetaBytes: heapBase,
 	})
-	h.largeWAL = walog.New(dev, pmem.PAddr(walBase), walEntriesPerArena, 1)
+	largeWAL, err := walog.New(dev, pmem.PAddr(walBase), walEntriesPerArena, 1)
+	if err != nil {
+		return nil, err
+	}
+	h.largeWAL = largeWAL
 	h.nextWAL = 1
 	if cfg.Model != ArenaPerThread {
 		n := cfg.Arenas
@@ -218,9 +225,19 @@ func (h *Heap) newArena() *barena {
 		slot = 1 + (slot-1)%maxArenas // wrap: share WAL regions beyond the cap
 	}
 	h.nextWAL++
+	base := walBase + pmem.PAddr(slot)*walRegion
+	wal, err := walog.New(h.dev, base, walEntriesPerArena, 1)
+	if err != nil {
+		// The slot's checkpoint word is damaged. Open has already
+		// replayed (or rejected) every WAL region by the time runtime
+		// arena creation reaches here, so nothing unconsumed is lost by
+		// resetting the ring.
+		h.dev.Zero(base, walog.RegionSize(walEntriesPerArena, 1))
+		wal, _ = walog.New(h.dev, base, walEntriesPerArena, 1)
+	}
 	a := &barena{
 		index: slot,
-		wal:   walog.New(h.dev, walBase+pmem.PAddr(slot)*walRegion, walEntriesPerArena, 1),
+		wal:   wal,
 		free:  make([]*bslab, sizeclass.NumClasses()),
 	}
 	return a
@@ -290,7 +307,7 @@ func (h *Heap) Close() error {
 		a.wal.Checkpoint(c)
 		a.res.Release(c)
 	}
-	c.PersistU64(pmem.CatMeta, superBase+sbState, 2)
+	c.PersistU64(pmem.CatMeta, superBase+sbState, pmem.SealU64(stateShutdown))
 	c.Fence()
 	return nil
 }

@@ -1,8 +1,6 @@
 package baseline
 
 import (
-	"fmt"
-
 	"nvalloc/internal/alloc"
 	"nvalloc/internal/extent"
 	"nvalloc/internal/pmem"
@@ -10,11 +8,60 @@ import (
 	"nvalloc/internal/walog"
 )
 
+// validateSuper checks the baseline superblock before any of its fields
+// are trusted: magic, checksum and the region layout. A zeroed,
+// truncated or bit-flipped image yields a typed CorruptError here
+// instead of a panic deeper into recovery.
+func validateSuper(dev *pmem.Device) error {
+	if dev.Size() < uint64(superBase)+4096 {
+		return pmem.Corrupt("superblock", superBase, "device too small (%d bytes) for a superblock page", dev.Size())
+	}
+	if m := dev.ReadU64(superBase + sbMagic); m != baseMagic {
+		return pmem.Corrupt("superblock", superBase+sbMagic, "bad magic %#x (no heap on device)", m)
+	}
+	if got, want := dev.ReadU64(superBase+sbChecksum), uint64(superCRC(dev)); got != want {
+		return pmem.Corrupt("superblock", superBase+sbChecksum, "checksum %#x, want %#x", got, want)
+	}
+	walBase := dev.ReadU64(superBase + sbWALBase)
+	walSize := dev.ReadU64(superBase + sbWALSize)
+	heapBase := dev.ReadU64(superBase + sbHeapBase)
+	switch {
+	case walSize != uint64(walog.RegionSize(walEntriesPerArena, 1)):
+		return pmem.Corrupt("superblock", superBase+sbWALSize, "WAL region size %d, want %d", walSize, walog.RegionSize(walEntriesPerArena, 1))
+	case walBase < uint64(superBase)+4096 || walBase%8 != 0 || walBase+uint64(maxArenas+1)*walSize > heapBase:
+		return pmem.Corrupt("superblock", superBase+sbWALBase, "WAL region [%#x,%#x) overlaps neighbours", walBase, walBase+uint64(maxArenas+1)*walSize)
+	case heapBase%extent.ChunkSize != 0 || heapBase+extent.ChunkSize > dev.Size():
+		return pmem.Corrupt("superblock", superBase+sbHeapBase, "heap base %#x misaligned or past device end", heapBase)
+	}
+	return nil
+}
+
+// MetaRanges returns the device regions holding checksummed or sealed
+// baseline metadata — superblock fields, the WAL rings and the header
+// lines of the first slabs — for fault-injection harnesses that
+// restrict bit flips to allocator metadata. The device must hold a
+// valid superblock.
+func MetaRanges(dev *pmem.Device) []pmem.Range {
+	rs := []pmem.Range{{Start: superBase, End: superBase + sbRoots}}
+	walBase := pmem.PAddr(dev.ReadU64(superBase + sbWALBase))
+	walSize := pmem.PAddr(dev.ReadU64(superBase + sbWALSize))
+	rs = append(rs, pmem.Range{Start: walBase, End: walBase + (maxArenas+1)*walSize})
+	heapBase := pmem.PAddr(dev.ReadU64(superBase + sbHeapBase))
+	for k := pmem.PAddr(0); k < 32; k++ {
+		base := heapBase + k*SlabSize
+		if uint64(base)+pmem.LineSize > dev.Size() {
+			break
+		}
+		rs = append(rs, pmem.Range{Start: base, End: base + pmem.LineSize})
+	}
+	return rs
+}
+
 // Open reopens a baseline heap, rebuilding volatile state and charging
 // the recovery cost profile of the configured allocator (Figure 18).
 func Open(dev *pmem.Device, cfg Config) (*Heap, int64, error) {
-	if dev.ReadU64(superBase+sbMagic) != baseMagic {
-		return nil, 0, fmt.Errorf("baseline: no heap on device")
+	if err := validateSuper(dev); err != nil {
+		return nil, 0, err
 	}
 	if cfg.Arenas <= 0 {
 		cfg.Arenas = 8
@@ -22,20 +69,95 @@ func Open(dev *pmem.Device, cfg Config) (*Heap, int64, error) {
 	h := &Heap{cfg: cfg, dev: dev, slabs: make(map[pmem.PAddr]*bslab)}
 	heapBase := pmem.PAddr(dev.ReadU64(superBase + sbHeapBase))
 	walBase := pmem.PAddr(dev.ReadU64(superBase + sbWALBase))
-	crashed := dev.ReadU64(superBase+sbState) != 2
+	walRegion := pmem.PAddr(dev.ReadU64(superBase + sbWALSize))
+	state, ok := pmem.UnsealU64(dev.ReadU64(superBase + sbState))
+	if !ok {
+		return nil, 0, pmem.Corrupt("superblock", superBase+sbState, "run-state word fails seal check")
+	}
+	crashed := state != stateShutdown
 
 	c := dev.NewCtx()
 
 	h.book = extent.NewInPlace(dev, heapBase, superBase+sbBreak)
 	records := h.book.Recover(c)
-	var live []*extent.VEH
-	h.large, live = extent.Rebuild(dev, h.book, extent.Config{
+	large, live, err := extent.Rebuild(dev, h.book, extent.Config{
 		HeapBase:  heapBase,
 		HeapEnd:   pmem.PAddr(dev.Size()),
 		BreakPtr:  superBase + sbBreak,
 		MetaBytes: uint64(heapBase),
 	}, c, records)
-	h.largeWAL = walog.New(dev, walBase, walEntriesPerArena, 1)
+	if err != nil {
+		return nil, 0, err
+	}
+	h.large = large
+
+	// Rebuild slabs from their persistent metadata images. Owners are
+	// assigned below, once crashed WAL replay has settled each slab's
+	// allocation counts.
+	var slabs []*bslab
+	for _, v := range live {
+		if !v.Slab {
+			continue
+		}
+		if uint64(v.Addr)%SlabSize != 0 || v.Size != SlabSize {
+			return nil, 0, pmem.Corrupt("slab", v.Addr, "slab record misaligned or sized %d, want %d", v.Size, uint64(SlabSize))
+		}
+		s, err := h.loadSlab(c, v.Addr)
+		if err != nil {
+			return nil, 0, err
+		}
+		h.slabs[v.Addr] = s
+		slabs = append(slabs, s)
+	}
+
+	if crashed && cfg.Persist != PersistNone {
+		// A WAL-bearing style must consume its logs after a crash no
+		// matter what its recovery style advertises: an in-flight root
+		// publish (OpMallocTo) or retraction (OpFreeFrom) is recorded
+		// nowhere else, so skipping replay would lose it. Every region is
+		// swept — per-thread arenas of the crashed run are not
+		// instantiated here, but their rings still hold entries.
+		// Only the rings the configuration actually uses are charged —
+		// the rest of the fixed 65-slot reservation is a layout artifact
+		// this Go model shares across arena models, and nvm_malloc's
+		// deferred profile keeps its nearly-free open. The uncharged
+		// sweep runs on a side context that is never merged.
+		side := dev.NewCtx()
+		charged := func(slot int) bool {
+			switch {
+			case cfg.Recovery == RecoverDeferred:
+				return false
+			case cfg.Model == ArenaGlobal:
+				return slot <= 1
+			case cfg.Model == ArenaPerCore:
+				return slot <= cfg.Arenas
+			default:
+				// Per-thread: any slot may belong to a crashed thread.
+				return true
+			}
+		}
+		for slot := 0; slot <= maxArenas; slot++ {
+			rc := side
+			if charged(slot) {
+				rc = c
+			}
+			w, err := walog.New(dev, walBase+pmem.PAddr(slot)*walRegion, walEntriesPerArena, 1)
+			if err != nil {
+				return nil, 0, err
+			}
+			if _, err := w.Replay(rc, func(e walog.Entry) { h.applyWAL(rc, e) }); err != nil {
+				return nil, 0, err
+			}
+			w.Checkpoint(rc)
+		}
+		h.rebuildFreelists()
+	}
+
+	largeWAL, err := walog.New(dev, walBase, walEntriesPerArena, 1)
+	if err != nil {
+		return nil, 0, err
+	}
+	h.largeWAL = largeWAL
 	h.nextWAL = 1
 	if cfg.Model != ArenaPerThread {
 		n := cfg.Arenas
@@ -47,16 +169,9 @@ func Open(dev *pmem.Device, cfg Config) (*Heap, int64, error) {
 		}
 	}
 
-	// Rebuild slabs from their persistent metadata images.
+	// Assign slab owners round-robin, in discovery (address) order.
 	next := 0
-	for _, v := range live {
-		if !v.Slab {
-			continue
-		}
-		s, err := h.loadSlab(c, v.Addr)
-		if err != nil {
-			return nil, 0, err
-		}
+	for _, s := range slabs {
 		var owner *barena
 		if len(h.arenas) > 0 {
 			owner = h.arenas[next%len(h.arenas)]
@@ -68,7 +183,6 @@ func Open(dev *pmem.Device, cfg Config) (*Heap, int64, error) {
 		}
 		next++
 		s.owner = owner
-		h.slabs[v.Addr] = s
 		if s.allocated < s.blocks {
 			owner.freelistPush(s)
 		}
@@ -80,11 +194,18 @@ func Open(dev *pmem.Device, cfg Config) (*Heap, int64, error) {
 		// deallocation; opening is nearly free.
 		c.Charge(pmem.CatSearch, 2000)
 	case RecoverWALScan:
-		// PMDK/PAllocator: travel every WAL region and slab header.
-		for _, a := range h.arenas {
-			a.wal.Replay(c, func(e walog.Entry) { h.applyWAL(c, e) })
+		// PMDK/PAllocator: travel every WAL region and slab header (the
+		// crashed sweep above already paid the WAL travel after a crash).
+		if !crashed {
+			for _, a := range h.arenas {
+				if _, err := a.wal.Replay(c, func(e walog.Entry) { h.applyWAL(c, e) }); err != nil {
+					return nil, 0, err
+				}
+			}
+			if _, err := h.largeWAL.Replay(c, func(walog.Entry) {}); err != nil {
+				return nil, 0, err
+			}
 		}
-		h.largeWAL.Replay(c, func(walog.Entry) {})
 		for _, s := range h.slabs {
 			c.Charge(pmem.CatSearch, int64(s.blocks)/4+50)
 		}
@@ -106,12 +227,8 @@ func Open(dev *pmem.Device, cfg Config) (*Heap, int64, error) {
 			}
 		}
 	}
-	if crashed && cfg.Recovery == RecoverWALScan {
-		// WAL replay fixed the bitmaps; re-derive volatile freelists.
-		h.rebuildFreelists()
-	}
 
-	c.PersistU64(pmem.CatMeta, superBase+sbState, 1)
+	c.PersistU64(pmem.CatMeta, superBase+sbState, pmem.SealU64(stateRunning))
 	c.Fence()
 	ns := c.Now
 	c.Merge()
@@ -120,10 +237,13 @@ func Open(dev *pmem.Device, cfg Config) (*Heap, int64, error) {
 
 // loadSlab rebuilds a bslab's volatile mirror from its metadata region.
 func (h *Heap) loadSlab(c *pmem.Ctx, base pmem.PAddr) (*bslab, error) {
-	if h.dev.ReadU32(base+bsMagic) != bslabMagic {
-		return nil, fmt.Errorf("baseline: bad slab magic at %#x", base)
+	if m := h.dev.ReadU32(base + bsMagic); m != bslabMagic {
+		return nil, pmem.Corrupt("slab", base+bsMagic, "bad slab magic %#x", m)
 	}
 	class := int(h.dev.ReadU32(base + bsClass))
+	if class < 0 || class >= sizeclass.NumClasses() {
+		return nil, pmem.Corrupt("slab", base+bsClass, "size class %d out of range", class)
+	}
 	blocks, dataOff := bslabGeometry(&h.cfg, class)
 	s := &bslab{
 		base:      base,
@@ -204,10 +324,18 @@ func (h *Heap) applyWAL(c *pmem.Ctx, e walog.Entry) {
 			s.persistMeta(h, c, idx, want)
 		}
 	case walog.OpMallocTo:
+		// Entry payloads carry a 24-bit CRC, thin enough that addresses
+		// acted on are still bounds-checked against the device.
+		if uint64(e.Addr)+8 > h.dev.Size() {
+			return
+		}
 		if pmem.PAddr(h.dev.ReadU64(e.Addr)) != pmem.PAddr(e.Aux) {
 			c.PersistU64(pmem.CatMeta, e.Addr, e.Aux)
 		}
 	case walog.OpFreeFrom:
+		if uint64(e.Addr)+8 > h.dev.Size() {
+			return
+		}
 		if pmem.PAddr(h.dev.ReadU64(e.Addr)) == pmem.PAddr(e.Aux) {
 			c.PersistU64(pmem.CatMeta, e.Addr, 0)
 		}

@@ -25,7 +25,9 @@
 package blog
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 
 	"nvalloc/internal/interleave"
 	"nvalloc/internal/pmem"
@@ -67,9 +69,24 @@ const (
 	coActive = 4  // u32 (1 = active)
 	coNext   = 8  // u64 next chunk in chain
 	coSeq    = 16 // u64 activation sequence; orders entries globally
+	coCRC    = 24 // u32 CRC32C over (magic, seq)
 
 	chunkMagic = 0x4B4E4843 // "CHNK"
 )
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// chunkCRC computes a chunk header's checksum. It covers only the magic
+// and the activation sequence: the activeness bit is excluded because
+// fast GC toggles it with a lone single-word update, and the next pointer
+// is excluded so splicing a chunk at the tail stays a single-word atomic
+// link (the pointer is validated semantically at Open instead).
+func chunkCRC(seq uint64) uint32 {
+	var b [12]byte
+	binary.LittleEndian.PutUint32(b[0:], chunkMagic)
+	binary.LittleEndian.PutUint64(b[4:], seq)
+	return crc32.Checksum(b[:], crcTable)
+}
 
 // Type tags a log entry.
 type Type uint8
@@ -130,6 +147,10 @@ type Log struct {
 	stripes int
 
 	perChunk int // entry capacity per chunk for this stripe count
+
+	// alt caches the unsealed header alt bit (which of the two chain
+	// pointers is live); the persistent word is sealed.
+	alt uint64
 
 	chunks *rbtree.Tree[pmem.PAddr, *vchunk]
 	index  map[pmem.PAddr]entryRef // extent addr -> its normal entry
@@ -210,14 +231,14 @@ func (l *Log) entryAddr(chunk pmem.PAddr, slot int) pmem.PAddr {
 }
 
 func (l *Log) headPtrOff() pmem.PAddr {
-	if l.dev.ReadU64(l.base+offAlt)&1 == 0 {
+	if l.alt&1 == 0 {
 		return l.base + offPtrA
 	}
 	return l.base + offPtrB
 }
 
 func (l *Log) sparePtrOff() pmem.PAddr {
-	if l.dev.ReadU64(l.base+offAlt)&1 == 0 {
+	if l.alt&1 == 0 {
 		return l.base + offPtrB
 	}
 	return l.base + offPtrA
@@ -245,6 +266,7 @@ func (l *Log) newChunk(c *pmem.Ctx) error {
 		c.Fence()
 		l.dev.WriteU32(addr+coActive, 1)
 		l.dev.WriteU64(addr+coSeq, l.nextSeq)
+		l.dev.WriteU32(addr+coCRC, chunkCRC(l.nextSeq))
 		c.Flush(pmem.CatMeta, addr, chunkHdrSize)
 		c.Fence()
 	case len(l.free) > 0:
@@ -283,10 +305,11 @@ func (l *Log) initAndLink(c *pmem.Ctx, addr pmem.PAddr) {
 	l.dev.WriteU32(addr+coActive, 1)
 	l.dev.WriteU64(addr+coNext, 0)
 	l.dev.WriteU64(addr+coSeq, l.nextSeq)
+	l.dev.WriteU32(addr+coCRC, chunkCRC(l.nextSeq))
 	c.Flush(pmem.CatMeta, addr, chunkHdrSize)
 	c.Fence()
 	if l.tail == pmem.Null {
-		c.PersistU64(pmem.CatMeta, l.headPtrOff(), uint64(addr))
+		c.PersistU64(pmem.CatMeta, l.headPtrOff(), pmem.SealU64(uint64(addr)))
 	} else {
 		c.PersistU64(pmem.CatMeta, l.tail+coNext, uint64(addr))
 	}

@@ -93,6 +93,7 @@ func (l *Log) SlowGC(c *pmem.Ctx) (int, error) {
 		l.dev.WriteU32(ca+coActive, 1)
 		l.dev.WriteU64(ca+coNext, 0)
 		l.dev.WriteU64(ca+coSeq, l.nextSeq)
+		l.dev.WriteU32(ca+coCRC, chunkCRC(l.nextSeq))
 		l.nextSeq++
 		v := &vchunk{addr: ca}
 		lo := ci * l.perChunk
@@ -121,10 +122,10 @@ func (l *Log) SlowGC(c *pmem.Ctx) (int, error) {
 	// Persist the new break and the spare head pointer, then commit by
 	// flipping the alt bit (8-byte atomic persist).
 	c.PersistU64(pmem.CatMeta, l.base+offBreak, brk)
-	c.PersistU64(pmem.CatMeta, l.sparePtrOff(), uint64(newHead))
+	c.PersistU64(pmem.CatMeta, l.sparePtrOff(), pmem.SealU64(uint64(newHead)))
 	c.Fence()
-	alt := l.dev.ReadU64(l.base + offAlt)
-	c.PersistU64(pmem.CatMeta, l.base+offAlt, alt^1)
+	c.PersistU64(pmem.CatMeta, l.base+offAlt, pmem.SealU64(l.alt^1))
+	l.alt ^= 1
 	c.Fence()
 
 	// Recycle the entire old chain.

@@ -6,14 +6,36 @@ import (
 	"nvalloc/internal/pmem"
 )
 
+// validChunkAddr reports whether a names a chunk-aligned slot inside the
+// log region's chunk area.
+func (l *Log) validChunkAddr(a pmem.PAddr) bool {
+	if a < l.base+headerSize || uint64(a)+ChunkSize > uint64(l.base)+l.size {
+		return false
+	}
+	return (uint64(a)-uint64(l.base)-headerSize)%ChunkSize == 0
+}
+
 // Open reopens an existing log after a restart or crash. It walks the
 // active chunk chain, replays normal and tombstone entries in activation
 // order, rebuilds the volatile vchunks/index/free structures, and returns
 // the records of every live extent. Recovery work is charged to c.
+//
+// Every pointer followed is validated before it is dereferenced (sealed
+// head/alt words, chunk alignment and range, header magic and checksum),
+// so a corrupted image yields a CorruptError instead of a panic or a
+// silently truncated chain. The region break self-heals: it is raised to
+// cover every chunk the chain reaches and persisted back if the stored
+// value is torn or stale.
 func Open(dev *pmem.Device, base pmem.PAddr, size uint64, stripes int) (*Log, []Record, error) {
 	l := newLog(dev, base, size, stripes)
 	c := dev.NewCtx()
 	defer c.Merge()
+
+	alt, ok := pmem.UnsealU64(dev.ReadU64(base + offAlt))
+	if !ok {
+		return nil, nil, pmem.Corrupt("blog", base+offAlt, "alt word fails seal check")
+	}
+	l.alt = alt & 1
 
 	type chunkInfo struct {
 		addr   pmem.PAddr
@@ -21,19 +43,64 @@ func Open(dev *pmem.Device, base pmem.PAddr, size uint64, stripes int) (*Log, []
 		active bool
 	}
 	var chain []chunkInfo
-	head := pmem.PAddr(dev.ReadU64(l.headPtrOff()))
+	headRaw, ok := pmem.UnsealU64(dev.ReadU64(l.headPtrOff()))
+	if !ok {
+		return nil, nil, pmem.Corrupt("blog", l.headPtrOff(), "head pointer fails seal check")
+	}
+	head := pmem.PAddr(headRaw)
+	if head != pmem.Null && !l.validChunkAddr(head) {
+		return nil, nil, pmem.Corrupt("blog", l.headPtrOff(), "head pointer %#x outside chunk area", head)
+	}
 	seen := make(map[pmem.PAddr]bool)
-	for a := head; a != pmem.Null && !seen[a]; a = pmem.PAddr(dev.ReadU64(a + coNext)) {
+	maxEnd := uint64(base) + headerSize
+	for a := head; a != pmem.Null; {
+		if seen[a] {
+			return nil, nil, pmem.Corrupt("blog", a, "chunk chain contains a cycle")
+		}
 		seen[a] = true
-		if dev.ReadU32(a+coMagic) != chunkMagic {
-			break // torn chunk init at the tail: the chain ends here
+		if m := dev.ReadU32(a + coMagic); m != chunkMagic {
+			return nil, nil, pmem.Corrupt("blog", a, "bad chunk magic %#x", m)
+		}
+		seq := dev.ReadU64(a + coSeq)
+		if got, want := dev.ReadU32(a+coCRC), chunkCRC(seq); got != want {
+			// A crash mid-reactivation can leave a fresh seq with the old
+			// checksum — but only after the entry wipe persisted. An empty
+			// chunk is therefore acceptable; repair its checksum in place.
+			// Anything else is corruption.
+			for _, b := range dev.Bytes(a+chunkHdrSize, ChunkSize-chunkHdrSize) {
+				if b != 0 {
+					return nil, nil, pmem.Corrupt("blog", a, "chunk checksum %#x, want %#x", got, want)
+				}
+			}
+			dev.WriteU32(a+coCRC, want)
+			c.Flush(pmem.CatMeta, a, chunkHdrSize)
+			c.Fence()
 		}
 		chain = append(chain, chunkInfo{
 			addr:   a,
-			seq:    dev.ReadU64(a + coSeq),
+			seq:    seq,
 			active: dev.ReadU32(a+coActive) == 1,
 		})
+		if end := uint64(a) + ChunkSize; end > maxEnd {
+			maxEnd = end
+		}
 		c.Charge(pmem.CatSearch, 20)
+		next := pmem.PAddr(dev.ReadU64(a + coNext))
+		if next != pmem.Null && !l.validChunkAddr(next) {
+			return nil, nil, pmem.Corrupt("blog", a+coNext, "next pointer %#x outside chunk area", next)
+		}
+		a = next
+	}
+
+	// Self-heal the region break: a legitimate crash leaves it aligned and
+	// covering the whole chain; anything else (a flipped word) is clamped
+	// back to the smallest consistent value and persisted.
+	brk := dev.ReadU64(base + offBreak)
+	brkBad := brk < uint64(base)+headerSize || brk > uint64(base)+size ||
+		(brk-uint64(base)-headerSize)%ChunkSize != 0 || brk < maxEnd
+	if brkBad {
+		c.PersistU64(pmem.CatMeta, base+offBreak, maxEnd)
+		c.Fence()
 	}
 
 	// Replay entries in global activation order.

@@ -211,7 +211,12 @@ func (a *arena) morphInto(c *pmem.Ctx, class int) *slab.Slab {
 			a.wal.Append(c, walog.Entry{Op: walog.OpMorph, Addr: s.Base, Aux: uint64(class)})
 		}
 		a.freelistRemove(s)
-		err := s.MorphTo(c, class, h.persistSmall)
+		// The morph transform is control metadata, not deferrable "small
+		// metadata": its geometry switch (class, data offset, flag, index
+		// table) must be durable in every variant, or a crash reverts the
+		// slab to pre-morph geometry underneath live new-class blocks.
+		// Variants with persistSmall=false only defer bitmap persistence.
+		err := s.MorphTo(c, class, true)
 		s.Mu.Unlock()
 		if err != nil {
 			a.freelistPush(s)
@@ -287,7 +292,7 @@ func (a *arena) freeBypass(c *pmem.Ctx, s *slab.Slab, idx int, fromCache bool) {
 		s.Unreserve(idx)
 	} else {
 		if a.wal != nil && a.h.useWAL {
-			a.wal.Append(c, walog.Entry{Op: walog.OpFreeBit, Addr: s.Base, Aux: uint64(idx)})
+			a.wal.Append(c, walog.Entry{Op: walog.OpFreeBit, Addr: s.Base, Aux: uint64(idx), Aux2: uint32(s.Class)})
 		}
 		s.FreeBlock(c, idx, a.h.persistSmall)
 	}

@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"hash/crc32"
 	"sync"
 
 	"nvalloc/internal/alloc"
@@ -142,11 +143,31 @@ const (
 	sbWALEnts    = 88
 	sbBookMode   = 96
 	sbWALStripes = 104 // stripe count used by WAL + blog entry layout
+	sbChecksum   = 112 // CRC-32C over [0,112) with state and break zeroed
 	sbRoots      = 128 // alloc.NumRootSlots * 8 bytes
 
 	superMagic   = 0x4E56414C4C4F4321 // "NVALLOC!"
-	superVersion = 1
+	superVersion = 2
 )
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// superCRC computes the superblock checksum: CRC-32C over the first 112
+// bytes of the superblock with the run-state word [16,24) and the heap
+// break [56,64) zeroed. Both change at runtime without a checksum
+// update — the state word carries its own seal (pmem.SealU64) and the
+// break self-heals in extent.Rebuild.
+func superCRC(dev *pmem.Device) uint32 {
+	var buf [sbChecksum]byte
+	copy(buf[:], dev.Bytes(superBase, sbChecksum))
+	for i := sbState; i < sbState+8; i++ {
+		buf[i] = 0
+	}
+	for i := sbBreak; i < sbBreak+8; i++ {
+		buf[i] = 0
+	}
+	return crc32.Checksum(buf[:], crcTable)
+}
 
 // Heap run-state values (the paper's per-arena flag, kept globally plus
 // per arena).
@@ -202,7 +223,7 @@ func Create(dev *pmem.Device, opts Options) (*Heap, error) {
 	w := func(off pmem.PAddr, v uint64) { dev.WriteU64(superBase+off, v) }
 	w(sbMagic, superMagic)
 	w(sbVersion, superVersion)
-	w(sbState, stateRunning)
+	w(sbState, pmem.SealU64(stateRunning))
 	w(sbArenas, uint64(opts.Arenas))
 	w(sbStripes, uint64(opts.Stripes))
 	w(sbVariant, uint64(opts.Variant))
@@ -217,6 +238,7 @@ func Create(dev *pmem.Device, opts Options) (*Heap, error) {
 
 	h.initVolatile(dev, opts)
 	w(sbWALStripes, uint64(h.walStripes))
+	w(sbChecksum, uint64(superCRC(dev)))
 	c.Flush(pmem.CatMeta, superBase, 4096)
 	c.Fence()
 	// Fresh persistent structures.
@@ -239,7 +261,11 @@ func Create(dev *pmem.Device, opts Options) (*Heap, error) {
 	})
 	h.large.FirstFit = opts.FirstFitExtents
 	for i := range h.arenas {
-		h.arenas[i].wal = h.newWAL(i, true)
+		wal, err := h.newWAL(i, true)
+		if err != nil {
+			return nil, err
+		}
+		h.arenas[i].wal = wal
 		c.PersistU64(pmem.CatMeta, arenaFlagsBase+pmem.PAddr(i*8), stateRunning)
 	}
 	return h, nil
@@ -295,7 +321,7 @@ func (h *Heap) initVolatile(dev *pmem.Device, opts Options) {
 	}
 }
 
-func (h *Heap) newWAL(i int, fresh bool) *walog.Log {
+func (h *Heap) newWAL(i int, fresh bool) (*walog.Log, error) {
 	base := h.walBase() + pmem.PAddr(i*walog.RegionSize(h.opts.WALEntries, h.opts.Stripes))
 	if fresh {
 		h.dev.Zero(base, walog.RegionSize(h.opts.WALEntries, h.opts.Stripes))
@@ -414,7 +440,7 @@ func (h *Heap) Close() error {
 		}
 		c.PersistU64(pmem.CatMeta, arenaFlagsBase+pmem.PAddr(i*8), stateShutdown)
 	}
-	c.PersistU64(pmem.CatMeta, superBase+sbState, stateShutdown)
+	c.PersistU64(pmem.CatMeta, superBase+sbState, pmem.SealU64(stateShutdown))
 	c.Fence()
 	return nil
 }

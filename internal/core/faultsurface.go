@@ -1,0 +1,37 @@
+package core
+
+import (
+	"nvalloc/internal/pmem"
+	"nvalloc/internal/slab"
+	"nvalloc/internal/walog"
+)
+
+// MetaRanges returns the device regions holding checksummed or sealed
+// NVAlloc metadata: the superblock fields, the WAL rings, the
+// bookkeeping-log header line and the header lines of the first slabs.
+// Fault-injection harnesses restrict bit flips to these ranges to
+// exercise the detection paths (a flip in plain object data is the
+// application's problem, not the allocator's). The device must hold a
+// valid superblock.
+func MetaRanges(dev *pmem.Device) []pmem.Range {
+	rs := []pmem.Range{{Start: superBase, End: superBase + sbRoots}}
+	arenas := dev.ReadU64(superBase + sbArenas)
+	walEnts := int(dev.ReadU64(superBase + sbWALEnts))
+	stripes := int(dev.ReadU64(superBase + sbStripes))
+	walBase := pmem.PAddr(dev.ReadU64(superBase + sbWALBase))
+	region := pmem.PAddr(walog.RegionSize(walEnts, stripes))
+	rs = append(rs, pmem.Range{Start: walBase, End: walBase + pmem.PAddr(arenas)*region})
+	if dev.ReadU64(superBase+sbBookMode) == 1 {
+		blogBase := pmem.PAddr(dev.ReadU64(superBase + sbBlogBase))
+		rs = append(rs, pmem.Range{Start: blogBase, End: blogBase + pmem.LineSize})
+	}
+	heapBase := pmem.PAddr(dev.ReadU64(superBase + sbHeapBase))
+	for k := pmem.PAddr(0); k < 32; k++ {
+		base := heapBase + k*slab.Size
+		if uint64(base)+pmem.LineSize > dev.Size() {
+			break
+		}
+		rs = append(rs, pmem.Range{Start: base, End: base + pmem.LineSize})
+	}
+	return rs
+}

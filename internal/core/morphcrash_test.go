@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"nvalloc/internal/alloc"
+	"nvalloc/internal/pmem"
+)
+
+// morphCrashSetup builds a deterministic heap on the verge of morphing:
+// one arena, a small class filled then mostly freed so its slabs drop
+// under the SU occupancy threshold, and survivors published through root
+// slots so recovery can be checked against them. The thread's context is
+// merged before returning, so device-level flush counts from here on
+// belong entirely to the morph phase.
+func morphCrashSetup(t *testing.T, v Variant) (*pmem.Device, *Heap, alloc.Thread) {
+	t.Helper()
+	dev := pmem.New(pmem.Config{Size: 256 << 20, Strict: true})
+	opts := DefaultOptions(v)
+	opts.Arenas = 1
+	h, err := Create(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := h.NewThread()
+	var ptrs []pmem.PAddr
+	for i := 0; i < 3000; i++ {
+		p, err := th.Malloc(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs = append(ptrs, p)
+	}
+	slot := 0
+	for i, p := range ptrs {
+		if i%64 == 0 && slot < alloc.NumRootSlots {
+			c := th.Ctx()
+			c.PersistU64(pmem.CatOther, h.RootSlot(slot), uint64(p))
+			dev.WriteU64(p, uint64(0x5AB0+i))
+			c.Flush(pmem.CatOther, p, 8)
+			slot++
+			continue
+		}
+		if err := th.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	th.Ctx().Merge()
+	return dev, h, th
+}
+
+// morphTrigger allocates a different class until the arena records a
+// morph (or the armed power cut fires). Returns the number of
+// allocations issued.
+func morphTrigger(h *Heap, th alloc.Thread) int {
+	dev := h.Device()
+	i := 0
+	for ; i < 2000 && !dev.Crashed() && h.arenas[0].morphs == 0; i++ {
+		_, _ = th.Malloc(1000)
+	}
+	// A few more so the morphed slab actually hands out new-class blocks
+	// before the cut window closes.
+	for j := 0; j < 8 && !dev.Crashed(); j++ {
+		_, _ = th.Malloc(1000)
+	}
+	th.Ctx().Merge()
+	return i
+}
+
+// TestMorphCrashSweep cuts power at every flush boundary inside the
+// window that contains a slab morph — before the transform, between each
+// flag step of the §5.2 protocol, and just after — and verifies each
+// variant's recovery either completes or undoes the morph without losing
+// published objects.
+func TestMorphCrashSweep(t *testing.T) {
+	for _, v := range []Variant{LOG, GC, IC} {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			t.Parallel()
+			// Measure the morph flush window on an uninterrupted run.
+			dev, h, th := morphCrashSetup(t, v)
+			before := dev.Stats().Flushes
+			morphTrigger(h, th)
+			if h.arenas[0].morphs == 0 {
+				t.Skip("workload did not trigger a morph; geometry changed?")
+			}
+			window := int64(dev.Stats().Flushes - before)
+			if window <= 0 {
+				t.Fatalf("morph phase issued no flushes")
+			}
+			maxCuts := int64(150)
+			if testing.Short() {
+				maxCuts = 12 // thinned sweep for -short (and the -race CI job)
+			}
+			stride := (window + maxCuts - 1) / maxCuts
+			for cut := int64(1); cut <= window; cut += stride {
+				dev2, h2, th2 := morphCrashSetup(t, v)
+				dev2.CrashAfterFlushes(cut)
+				morphTrigger(h2, th2)
+				dev2.Crash()
+				h3, _, err := Open(dev2, DefaultOptions(v))
+				if err != nil {
+					t.Fatalf("cut=%d/%d: recovery failed: %v", cut, window, err)
+				}
+				verifyAfterRecovery(t, cut, h3)
+			}
+		})
+	}
+}

@@ -1,14 +1,65 @@
 package core
 
 import (
-	"fmt"
-
 	"nvalloc/internal/blog"
 	"nvalloc/internal/extent"
 	"nvalloc/internal/pmem"
 	"nvalloc/internal/slab"
 	"nvalloc/internal/walog"
 )
+
+// validateSuper checks the superblock before any of its fields are
+// trusted: magic, version, checksum, parameter ranges and the region
+// layout. A zeroed, truncated or bit-flipped image yields a typed
+// CorruptError here instead of a panic (or an absurd allocation) later.
+func validateSuper(dev *pmem.Device) error {
+	if dev.Size() < uint64(superBase)+4096 {
+		return pmem.Corrupt("superblock", superBase, "device too small (%d bytes) for a superblock page", dev.Size())
+	}
+	if m := dev.ReadU64(superBase + sbMagic); m != superMagic {
+		return pmem.Corrupt("superblock", superBase+sbMagic, "bad magic %#x (no heap on device)", m)
+	}
+	if v := dev.ReadU64(superBase + sbVersion); v != superVersion {
+		return pmem.Corrupt("superblock", superBase+sbVersion, "unsupported heap version %d", v)
+	}
+	if got, want := dev.ReadU64(superBase+sbChecksum), uint64(superCRC(dev)); got != want {
+		return pmem.Corrupt("superblock", superBase+sbChecksum, "checksum %#x, want %#x", got, want)
+	}
+	arenas := dev.ReadU64(superBase + sbArenas)
+	stripes := dev.ReadU64(superBase + sbStripes)
+	variant := dev.ReadU64(superBase + sbVariant)
+	bookMode := dev.ReadU64(superBase + sbBookMode)
+	walEnts := dev.ReadU64(superBase + sbWALEnts)
+	walStripes := dev.ReadU64(superBase + sbWALStripes)
+	switch {
+	case arenas < 1 || arenas > 1024:
+		return pmem.Corrupt("superblock", superBase+sbArenas, "arena count %d out of range", arenas)
+	case stripes < 1 || stripes > 64:
+		return pmem.Corrupt("superblock", superBase+sbStripes, "stripe count %d out of range", stripes)
+	case variant > uint64(IC):
+		return pmem.Corrupt("superblock", superBase+sbVariant, "unknown variant %d", variant)
+	case bookMode > 1:
+		return pmem.Corrupt("superblock", superBase+sbBookMode, "unknown bookkeeping mode %d", bookMode)
+	case walEnts < 1 || walEnts > 1<<20:
+		return pmem.Corrupt("superblock", superBase+sbWALEnts, "WAL ring capacity %d out of range", walEnts)
+	case walStripes < 1 || walStripes > 64:
+		return pmem.Corrupt("superblock", superBase+sbWALStripes, "WAL stripe count %d out of range", walStripes)
+	}
+	walBase := dev.ReadU64(superBase + sbWALBase)
+	blogBase := dev.ReadU64(superBase + sbBlogBase)
+	blogSize := dev.ReadU64(superBase + sbBlogSize)
+	heapBase := dev.ReadU64(superBase + sbHeapBase)
+	walBytes := arenas * uint64(walog.RegionSize(int(walEnts), int(stripes)))
+	switch {
+	case walBase < uint64(superBase)+4096 || walBase%8 != 0 || walBase+walBytes > blogBase:
+		return pmem.Corrupt("superblock", superBase+sbWALBase, "WAL region [%#x,%#x) overlaps neighbours", walBase, walBase+walBytes)
+	case bookMode == 1 && blogBase+blogSize > heapBase:
+		return pmem.Corrupt("superblock", superBase+sbBlogBase, "bookkeeping-log region [%#x,%#x) overlaps the heap", blogBase, blogBase+blogSize)
+	case heapBase%extent.ChunkSize != 0 || heapBase+extent.ChunkSize > dev.Size():
+		return pmem.Corrupt("superblock", superBase+sbHeapBase, "heap base %#x misaligned or past device end", heapBase)
+	}
+	return nil
+}
 
 // Open reopens an existing heap after a restart or crash (Section 4.4).
 // It performs the normal-shutdown recovery — recreate arenas, reopen
@@ -18,11 +69,8 @@ import (
 // consistency model: WAL replay for NVAlloc-LOG, conservative GC for
 // NVAlloc-GC. It returns the recovery's virtual nanoseconds.
 func Open(dev *pmem.Device, opts Options) (*Heap, int64, error) {
-	if dev.ReadU64(superBase+sbMagic) != superMagic {
-		return nil, 0, fmt.Errorf("core: no heap on device (bad magic)")
-	}
-	if v := dev.ReadU64(superBase + sbVersion); v != superVersion {
-		return nil, 0, fmt.Errorf("core: unsupported heap version %d", v)
+	if err := validateSuper(dev); err != nil {
+		return nil, 0, err
 	}
 	opts = opts.withDefaults()
 	// Persistent layout parameters override whatever the caller passed.
@@ -39,10 +87,13 @@ func Open(dev *pmem.Device, opts Options) (*Heap, int64, error) {
 	h.initVolatile(dev, opts)
 
 	c := dev.NewCtx()
-	state := dev.ReadU64(superBase + sbState)
+	state, ok := pmem.UnsealU64(dev.ReadU64(superBase + sbState))
+	if !ok {
+		return nil, 0, pmem.Corrupt("superblock", superBase+sbState, "run-state word fails seal check")
+	}
 	crashed := state != stateShutdown
 	// Mark recovery in progress so a crash *during* recovery is detected.
-	c.PersistU64(pmem.CatMeta, superBase+sbState, stateRecovery)
+	c.PersistU64(pmem.CatMeta, superBase+sbState, pmem.SealU64(stateRecovery))
 	c.Fence()
 
 	// Reopen the bookkeeper and enumerate live extents.
@@ -76,13 +127,16 @@ func Open(dev *pmem.Device, opts Options) (*Heap, int64, error) {
 	}
 
 	// Rebuild the large allocator (gaps become reclaimed extents).
-	var live []*extent.VEH
-	h.large, live = extent.Rebuild(dev, h.book, extent.Config{
+	large, live, err := extent.Rebuild(dev, h.book, extent.Config{
 		HeapBase:  h.heapBase,
 		HeapEnd:   pmem.PAddr(dev.Size()),
 		BreakPtr:  superBase + sbBreak,
 		MetaBytes: uint64(h.heapBase),
 	}, c, records)
+	if err != nil {
+		return nil, 0, err
+	}
+	h.large = large
 	h.large.FirstFit = opts.FirstFitExtents
 
 	// Rebuild vslabs; morph undo happens inside slab.Load.
@@ -90,6 +144,12 @@ func Open(dev *pmem.Device, opts Options) (*Heap, int64, error) {
 	for _, v := range live {
 		if !v.Slab {
 			continue
+		}
+		// A record flagged as a slab must have slab shape before its
+		// header is interpreted. The record (not the slab) is at fault,
+		// so the error names the bookkeeping layer.
+		if uint64(v.Addr)%slab.Size != 0 || v.Size != slab.Size {
+			return nil, 0, pmem.Corrupt("extent", v.Addr, "slab record misaligned or sized %d, want %d", v.Size, uint64(slab.Size))
 		}
 		s, err := slab.Load(dev, c, v.Addr)
 		if err != nil {
@@ -109,13 +169,19 @@ func Open(dev *pmem.Device, opts Options) (*Heap, int64, error) {
 
 	// Reopen the WALs.
 	for i := range h.arenas {
-		h.arenas[i].wal = h.newWAL(i, false)
+		wal, err := h.newWAL(i, false)
+		if err != nil {
+			return nil, 0, err
+		}
+		h.arenas[i].wal = wal
 	}
 
 	if crashed {
 		switch opts.Variant {
 		case LOG:
-			h.replayWALs(c)
+			if err := h.replayWALs(c); err != nil {
+				return nil, 0, err
+			}
 		case GC:
 			h.conservativeGC(c)
 		case IC:
@@ -129,7 +195,7 @@ func Open(dev *pmem.Device, opts Options) (*Heap, int64, error) {
 	for i := range h.arenas {
 		c.PersistU64(pmem.CatMeta, arenaFlagsBase+pmem.PAddr(i*8), stateRunning)
 	}
-	c.PersistU64(pmem.CatMeta, superBase+sbState, stateRunning)
+	c.PersistU64(pmem.CatMeta, superBase+sbState, pmem.SealU64(stateRunning))
 	c.Fence()
 	ns := c.Now
 	c.Merge()
@@ -138,26 +204,37 @@ func Open(dev *pmem.Device, opts Options) (*Heap, int64, error) {
 
 // replayWALs applies every un-checkpointed WAL entry idempotently
 // (NVAlloc-LOG failure recovery, "replay WALs as in nvm_malloc").
-func (h *Heap) replayWALs(c *pmem.Ctx) {
+// Entry payloads are CRC-protected, but the 24-bit checksum is thin, so
+// every address acted on is bounds-checked against the device first.
+func (h *Heap) replayWALs(c *pmem.Ctx) error {
+	inDev := func(a pmem.PAddr) bool { return uint64(a)+8 <= h.dev.Size() }
 	for _, a := range h.arenas {
-		a.wal.Replay(c, func(e walog.Entry) {
+		_, err := a.wal.Replay(c, func(e walog.Entry) {
 			switch e.Op {
 			case walog.OpAllocBit:
-				if s := h.slabs[e.Addr]; s != nil {
+				// Aux2 names the size class the entry was logged under; a
+				// mismatch means the slab has since completed a morph whose
+				// step-3 bitmap snapshot already captured this operation —
+				// applying the stale index to the new geometry would flip
+				// an unrelated block.
+				if s := h.slabs[e.Addr]; s != nil && int(e.Aux2) == s.Class {
 					h.forceBit(c, s, int(e.Aux), true)
 				}
 			case walog.OpFreeBit:
-				if s := h.slabs[e.Addr]; s != nil {
+				if s := h.slabs[e.Addr]; s != nil && int(e.Aux2) == s.Class {
 					h.forceBit(c, s, int(e.Aux), false)
 				}
 			case walog.OpMallocTo:
 				// Complete the publish if the slot write was lost.
-				if pmem.PAddr(h.dev.ReadU64(e.Addr)) != pmem.PAddr(e.Aux) {
+				if inDev(e.Addr) && pmem.PAddr(h.dev.ReadU64(e.Addr)) != pmem.PAddr(e.Aux) {
 					c.PersistU64(pmem.CatMeta, e.Addr, e.Aux)
 				}
 			case walog.OpFreeFrom:
 				// Complete the retraction: clear the slot and free the
 				// block if still marked allocated.
+				if !inDev(e.Addr) || !inDev(pmem.PAddr(e.Aux)) {
+					return
+				}
 				if pmem.PAddr(h.dev.ReadU64(e.Addr)) == pmem.PAddr(e.Aux) {
 					c.PersistU64(pmem.CatMeta, e.Addr, 0)
 				}
@@ -167,8 +244,12 @@ func (h *Heap) replayWALs(c *pmem.Ctx) {
 				// slab.Load already undid or kept the transform.
 			}
 		})
+		if err != nil {
+			return err
+		}
 		a.wal.Checkpoint(c)
 	}
+	return nil
 }
 
 // forceBit sets the allocation state of a slab block to val regardless of

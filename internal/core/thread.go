@@ -101,8 +101,10 @@ func (t *Thread) mallocSmall(class int) (pmem.PAddr, error) {
 	case t.h.useWAL:
 		a := t.h.arenas[s.Owner]
 		a.res.Acquire(t.ctx)
-		a.wal.Append(t.ctx, walog.Entry{Op: walog.OpAllocBit, Addr: s.Base, Aux: uint64(b.Idx)})
 		s.Mu.Lock()
+		// Aux2 records the geometry the entry was logged under: replay
+		// must not apply this block index to a since-morphed slab.
+		a.wal.Append(t.ctx, walog.Entry{Op: walog.OpAllocBit, Addr: s.Base, Aux: uint64(b.Idx), Aux2: uint32(s.Class)})
 		s.CommitAlloc(t.ctx, b.Idx, true)
 		s.Mu.Unlock()
 		a.res.Release(t.ctx)
@@ -170,8 +172,8 @@ func (t *Thread) freeSmall(s *slab.Slab, addr pmem.PAddr) error {
 	switch {
 	case t.h.useWAL:
 		owner.res.Acquire(t.ctx)
-		owner.wal.Append(t.ctx, walog.Entry{Op: walog.OpFreeBit, Addr: s.Base, Aux: uint64(idx)})
 		s.Mu.Lock()
+		owner.wal.Append(t.ctx, walog.Entry{Op: walog.OpFreeBit, Addr: s.Base, Aux: uint64(idx), Aux2: uint32(s.Class)})
 		s.CommitFreeToCache(t.ctx, idx, true)
 		if s.Usage() < t.h.opts.SU {
 			owner.noteCandidate(s)

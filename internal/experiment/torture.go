@@ -1,0 +1,42 @@
+package experiment
+
+import (
+	"fmt"
+
+	"nvalloc/internal/torture"
+)
+
+func init() {
+	register("torture", runTorture)
+}
+
+// runTorture sweeps deterministic fault plans (clean cuts, torn 64 B
+// lines, media bit flips) across every allocator and tallies the
+// outcomes against the fault-model contract: cuts must recover, flips
+// must recover or be detected, nothing may panic or violate a heap
+// invariant.
+func runTorture(cfg Config) []*Table {
+	plansPer := cfg.ops(26)
+	t := &Table{
+		ID:      "torture",
+		Title:   fmt.Sprintf("fault-injection sweep (%d plans per allocator)", plansPer),
+		Columns: []string{"allocator", "plans", "recovered", "detected", "violated", "panicked"},
+	}
+	for _, tg := range torture.Targets() {
+		plans := torture.Plans(plansPer, 0x7047557265+uint64(len(tg.Name)))
+		var counts [4]int
+		for _, p := range plans {
+			res := torture.Run(tg, p)
+			counts[res.Outcome]++
+		}
+		t.Rows = append(t.Rows, []string{
+			tg.Name,
+			fmt.Sprint(len(plans)),
+			fmt.Sprint(counts[torture.Recovered]),
+			fmt.Sprint(counts[torture.Detected]),
+			fmt.Sprint(counts[torture.Violated]),
+			fmt.Sprint(counts[torture.Panicked]),
+		})
+	}
+	return []*Table{t}
+}

@@ -124,10 +124,35 @@ func (a *Allocator) drainFIFO(fifo *[]*VEH, want State, fn func(*VEH) bool) {
 // the records are the live extents (from the bookkeeper), and every gap
 // between them inside [heapBase, break) becomes a reclaimed free extent.
 // It returns the VEHs of the live extents in address order.
-func Rebuild(dev *pmem.Device, book Bookkeeper, cfg Config, c *pmem.Ctx, records []LiveRecord) (*Allocator, []*VEH) {
+//
+// The record set is validated before it is trusted — each record must be
+// page-aligned, inside the heap and non-overlapping — and the stored
+// break self-heals: if it is torn or flipped it is rewritten to the
+// smallest chunk-aligned value covering every live record.
+func Rebuild(dev *pmem.Device, book Bookkeeper, cfg Config, c *pmem.Ctx, records []LiveRecord) (*Allocator, []*VEH, error) {
 	a := newAllocator(dev, book, cfg)
 	sort.Slice(records, func(i, j int) bool { return records[i].Addr < records[j].Addr })
+
+	check := a.heapBase
+	for _, r := range records {
+		if r.Addr < a.heapBase || r.Addr%PageSize != 0 {
+			return nil, nil, pmem.Corrupt("extent", r.Addr, "live record misaligned or below heap base %#x", a.heapBase)
+		}
+		if r.Size == 0 || uint64(r.Addr)+r.Size > uint64(cfg.HeapEnd) {
+			return nil, nil, pmem.Corrupt("extent", r.Addr, "live record size %d reaches past heap end %#x", r.Size, cfg.HeapEnd)
+		}
+		if r.Addr < check {
+			return nil, nil, pmem.Corrupt("extent", r.Addr, "live record overlaps its predecessor ending at %#x", check)
+		}
+		check = r.Addr + pmem.PAddr(r.Size)
+	}
+	minBrk := a.heapBase + pmem.PAddr((uint64(check-a.heapBase)+ChunkSize-1)&^uint64(ChunkSize-1))
 	brk := pmem.PAddr(dev.ReadU64(cfg.BreakPtr))
+	if brk < minBrk || brk > cfg.HeapEnd || uint64(brk-a.heapBase)%ChunkSize != 0 {
+		brk = minBrk
+		c.PersistU64(pmem.CatMeta, cfg.BreakPtr, uint64(brk))
+		c.Fence()
+	}
 	res := a.book.DataOffset()
 	if res > 0 {
 		// Header reservations at the start of every grown chunk are
@@ -175,7 +200,7 @@ func Rebuild(dev *pmem.Device, book Bookkeeper, cfg Config, c *pmem.Ctx, records
 		flushGap(cursor, brk)
 	}
 	a.notePeak()
-	return a, live
+	return a, live, nil
 }
 
 // LiveRecord is a live-extent record handed to Rebuild (mirrors

@@ -309,11 +309,14 @@ func TestRebuildFromRecords(t *testing.T) {
 		lrs[i] = LiveRecord{Addr: r.Addr, Size: r.Size, Slab: r.Slab}
 	}
 	c2 := dev.NewCtx()
-	a2, vehs := Rebuild(dev, bk, Config{
+	a2, vehs, err := Rebuild(dev, bk, Config{
 		HeapBase: heapBase,
 		HeapEnd:  pmem.PAddr(dev.Size()),
 		BreakPtr: brkPtr,
 	}, c2, lrs)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(vehs) != len(want) {
 		t.Fatalf("rebuilt %d live extents, want %d", len(vehs), len(want))
 	}

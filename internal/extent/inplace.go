@@ -80,10 +80,18 @@ func (b *InPlace) RecordFree(c *pmem.Ctx, addr pmem.PAddr) error {
 // MaybeGC is a no-op: in-place headers need no compaction.
 func (b *InPlace) MaybeGC(*pmem.Ctx) {}
 
-// Recover scans every chunk header table up to the heap break and
-// returns the live extents.
+// Recover scans every chunk header table in the heap region and returns
+// the live extents. The scan deliberately ignores the stored break: a
+// torn or flipped break word must neither walk the scan out of bounds
+// nor hide live chunks beyond a corrupted (shrunken) value. Chunks that
+// were never grown read as all-zero header tables and contribute
+// nothing; Rebuild re-validates and heals the stored break afterwards.
 func (b *InPlace) Recover(c *pmem.Ctx) []LiveRecord {
-	brk := pmem.PAddr(b.dev.ReadU64(b.brkAddr))
+	brk := pmem.PAddr(b.dev.Size())
+	if brk < b.heapBase {
+		brk = b.heapBase
+	}
+	brk -= (brk - b.heapBase) % ChunkSize
 	var out []LiveRecord
 	for chunk := b.heapBase; chunk < brk; chunk += ChunkSize {
 		for page := HeaderBytes / PageSize; page < ChunkSize/PageSize; page++ {

@@ -116,6 +116,18 @@ func (c *Ctx) flushLine(cat Category, line uint64) {
 			return
 		}
 	}
+	if fs := d.fault.Load(); fs != nil {
+		if fs.plan.Category == CatAny || fs.plan.Category == cat {
+			if fs.remaining.Add(-1) < 0 {
+				if d.crashed.CompareAndSwap(false, true) && fs.plan.TornLine {
+					// The crash-triggering flush was mid-flight: a seeded
+					// subset of its 8-byte words reaches the media.
+					d.tearLine(line, fs.plan.Seed)
+				}
+				return
+			}
+		}
+	}
 
 	if d.traceCap > 0 {
 		d.traceMu.Lock()

@@ -24,6 +24,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 )
@@ -114,6 +115,7 @@ type Device struct {
 
 	crashed    atomic.Bool
 	crashAfter atomic.Int64 // flush countdown; <0 means disabled
+	fault      atomic.Pointer[faultState]
 
 	flushTotal atomic.Uint64
 
@@ -283,10 +285,18 @@ func (d *Device) Crash() {
 	if !d.strict {
 		panic("pmem: Crash requires a strict-mode device")
 	}
+	fs := d.fault.Swap(nil)
 	if d.mode == ModeEADR {
 		// Whole cache is in the persistence domain.
 		copy(d.media, d.mem)
+		if fs != nil {
+			d.applyFlips(fs)
+		}
+		copy(d.mem, d.media)
 	} else {
+		if fs != nil {
+			d.applyFlips(fs)
+		}
 		copy(d.mem, d.media)
 	}
 	d.crashed.Store(false)
@@ -302,24 +312,55 @@ func (d *Device) Crash() {
 }
 
 // SaveImage writes the persisted image (strict mode) or the cache image to
-// path, emulating the DAX heap file surviving a process exit.
+// path, emulating the DAX heap file surviving a process exit. The image is
+// written to a temporary file in the same directory and renamed into
+// place, so a host crash mid-save can never leave a torn image behind.
 func (d *Device) SaveImage(path string) error {
 	src := d.mem
 	if d.strict {
 		src = d.media
 	}
-	return os.WriteFile(path, src, 0o644)
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".pmem-img-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(src); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
 }
 
 // LoadImage replaces both images with the contents of path. The file must
-// be exactly the device size.
+// be exactly the device size: a short file means a truncated image, a long
+// one means a garbage tail — both are reported distinctly so callers can
+// tell which failure they are looking at.
 func (d *Device) LoadImage(path string) error {
 	b, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	if uint64(len(b)) != d.size {
-		return fmt.Errorf("pmem: image size %d does not match device size %d", len(b), d.size)
+	if uint64(len(b)) < d.size {
+		return fmt.Errorf("pmem: image truncated: %d bytes, device size %d", len(b), d.size)
+	}
+	if uint64(len(b)) > d.size {
+		return fmt.Errorf("pmem: image has %d trailing garbage bytes beyond device size %d", uint64(len(b))-d.size, d.size)
 	}
 	copy(d.mem, b)
 	if d.strict {

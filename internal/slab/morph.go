@@ -49,7 +49,11 @@ func (s *Slab) liveIndices() []int {
 }
 
 func (s *Slab) persistFlag(c *pmem.Ctx, flag uint32, persist bool) {
-	s.dev.WriteU32(s.Base+hFlag, flag)
+	// The flag word carries its own 16-bit CRC (it is excluded from the
+	// header checksum so that morph commits stay single-word atomic): a
+	// flipped flag bit must read as corruption, not as a phantom
+	// in-flight morph whose "undo" would destroy the live geometry.
+	s.dev.WriteU32(s.Base+hFlag, pmem.SealU32(flag))
 	if persist {
 		c.Flush(pmem.CatMeta, s.Base+hFlag, 4)
 		c.Fence()
@@ -57,15 +61,17 @@ func (s *Slab) persistFlag(c *pmem.Ctx, flag uint32, persist bool) {
 }
 
 // MorphTo transforms the slab to newClass following the paper's three
-// crash-consistent steps, each sealed by an atomic flag increment:
+// crash-consistent steps, each sealed by an atomic flag update:
 //
-//	step 1: persist old_size_class and old_data_offset
-//	step 2: persist the index table of live old blocks
-//	step 3: persist the new size_class, data_offset and bitmap, then
-//	        reset the flag to 0 (a slab_in has flag 0 and a valid
-//	        old_size_class)
+//	step 1: persist old_size_class and old_data_offset (flag 1)
+//	step 2: persist the index table of live old blocks (flag 2)
+//	step 3: persist the new size_class, data_offset, checksum and
+//	        bitmap, then set flag 3 (slab_in)
 //
-// A crash with flag 1 or 2 is undone by Load.
+// A crash with flag 1 or 2 is undone by Load; flag 3 is the completed
+// transform. Every flag transition is a single 8-byte-atomic word
+// update (the flag shares its word with hDataOff, so the commit carries
+// the geometry switch atomically).
 func (s *Slab) MorphTo(c *pmem.Ctx, newClass int, persist bool) error {
 	if !s.CanMorphTo(newClass) {
 		return fmt.Errorf("slab %#x: cannot morph class %d -> %d", s.Base, s.Class, newClass)
@@ -82,12 +88,15 @@ func (s *Slab) MorphTo(c *pmem.Ctx, newClass int, persist bool) error {
 	}
 	s.persistFlag(c, 1, persist)
 
-	// Step 2: write the index table (live old blocks, state allocated).
+	// Step 2: write the index table (live old blocks, state allocated) and
+	// zero the remaining slots, so stale entries from an earlier slab_in
+	// incarnation can never resurface as phantom live blocks.
 	for slot, idx := range live {
 		s.dev.WriteU16(s.Base+pmem.PAddr(idxBase+2*slot), uint16(idx)|idxAllocated)
 	}
-	if persist && len(live) > 0 {
-		c.Flush(pmem.CatMeta, s.Base+idxBase, 2*len(live))
+	s.dev.Zero(s.Base+pmem.PAddr(idxBase+2*len(live)), idxBytes-2*len(live))
+	if persist {
+		c.Flush(pmem.CatMeta, s.Base+idxBase, idxBytes)
 	}
 	s.persistFlag(c, 2, persist)
 
@@ -128,11 +137,13 @@ func (s *Slab) MorphTo(c *pmem.Ctx, newClass int, persist bool) error {
 	}
 	s.dev.WriteU32(s.Base+hClass, uint32(newClass))
 	s.dev.WriteU32(s.Base+hDataOff, dataOff)
+	s.dev.WriteU32(s.Base+hChecksum, headerCRC(uint32(newClass), dataOff, uint32(s.m.Stripes())))
 	if persist {
 		c.Flush(pmem.CatMeta, s.Base+pmem.PAddr(bitmapBase), int(dataOff-bitmapBase))
 		c.Flush(pmem.CatMeta, s.Base, pmem.LineSize)
+		c.Fence()
 	}
-	s.persistFlag(c, 0, persist) // transformation complete: now a slab_in
+	s.persistFlag(c, flagSlabIn, persist) // transformation complete
 
 	// Install the volatile view.
 	s.Class = newClass
@@ -235,13 +246,10 @@ func (s *Slab) FreeOldBlock(c *pmem.Ctx, idx int, persist bool) (done bool, err 
 		}
 	}
 	if s.CntSlab == 0 {
-		// The slab_in becomes a regular slab_after.
-		s.dev.WriteU32(s.Base+hOldClass, ClassNone)
-		s.dev.WriteU32(s.Base+hOldLive, 0)
-		if persist {
-			c.Flush(pmem.CatMeta, s.Base, pmem.LineSize)
-			c.Fence()
-		}
+		// The slab_in becomes a regular slab_after. The demotion is a
+		// single atomic flag commit; the old-class fields go stale but are
+		// dead at flag 0 (Load ignores them entirely).
+		s.persistFlag(c, flagStable, persist)
 		s.OldClass = -1
 		s.OldDataOff = 0
 		s.oldIdx = nil
@@ -251,27 +259,67 @@ func (s *Slab) FreeOldBlock(c *pmem.Ctx, idx int, persist bool) (done bool, err 
 	return false, nil
 }
 
-// Load rebuilds a vslab from the persistent image at base, undoing any
-// partially completed morph (flag 1 or 2) first. Recovery costs are
-// charged to c.
-func Load(dev *pmem.Device, c *pmem.Ctx, base pmem.PAddr) (*Slab, error) {
-	if dev.ReadU32(base+hMagic) != Magic {
-		return nil, fmt.Errorf("slab: bad magic at %#x", base)
+// validateOldFields checks the old-class header fields semantically (they
+// are excluded from the header checksum so that flag commits stay
+// single-word). Returns the old class, data offset and live count.
+func validateOldFields(dev *pmem.Device, base pmem.PAddr, stripes int) (oldClass int, oldDataOff uint32, oldLive int, err error) {
+	oldClassRaw := dev.ReadU32(base + hOldClass)
+	oldDataOff = dev.ReadU32(base + hOldDataOff)
+	oldLive = int(dev.ReadU32(base + hOldLive))
+	if oldClassRaw == ClassNone || int(oldClassRaw) >= sizeclass.NumClasses() {
+		return 0, 0, 0, pmem.Corrupt("slab", base, "old class %#x out of range", oldClassRaw)
 	}
-	flag := dev.ReadU32(base + hFlag)
+	oldClass = int(oldClassRaw)
+	_, _, wantOff := geometry(oldClass, stripes)
+	if wantOff != oldDataOff {
+		return 0, 0, 0, pmem.Corrupt("slab", base, "old data offset %d inconsistent with class %d (want %d)", oldDataOff, oldClass, wantOff)
+	}
+	if oldLive > IdxCapEntries {
+		return 0, 0, 0, pmem.Corrupt("slab", base, "old live count %d exceeds index capacity %d", oldLive, IdxCapEntries)
+	}
+	return oldClass, oldDataOff, oldLive, nil
+}
+
+// Load rebuilds a vslab from the persistent image at base, undoing any
+// partially completed morph (flag 1 or 2) first. Every header field is
+// validated — geometry against the header checksum, old-class fields
+// semantically — so a torn or corrupted image yields a CorruptError, not
+// a panic or a silently wrong heap. Recovery costs are charged to c.
+func Load(dev *pmem.Device, c *pmem.Ctx, base pmem.PAddr) (*Slab, error) {
+	if uint64(base)+Size > dev.Size() || base%Size != 0 {
+		return nil, pmem.Corrupt("slab", base, "slab extent out of device bounds or misaligned")
+	}
+	if dev.ReadU32(base+hMagic) != Magic {
+		return nil, pmem.Corrupt("slab", base, "bad magic %#x", dev.ReadU32(base+hMagic))
+	}
+	flag, ok := pmem.UnsealU32(dev.ReadU32(base + hFlag))
+	if !ok {
+		return nil, pmem.Corrupt("slab", base+hFlag, "morph flag word fails seal check")
+	}
 	stripes := int(dev.ReadU32(base + hStripes))
-	if flag == 1 || flag == 2 {
-		undoMorph(dev, c, base, flag, stripes)
+	if stripes < 1 || stripes > 64 {
+		return nil, pmem.Corrupt("slab", base, "stripe count %d out of range", stripes)
+	}
+	if flag > flagSlabIn {
+		return nil, pmem.Corrupt("slab", base, "morph flag %d out of range", flag)
+	}
+	if flag == flagStep1 || flag == flagStep2 {
+		if err := undoMorph(dev, c, base, flag, stripes); err != nil {
+			return nil, err
+		}
 	}
 
 	class := int(dev.ReadU32(base + hClass))
 	dataOff := dev.ReadU32(base + hDataOff)
-	oldClassRaw := dev.ReadU32(base + hOldClass)
-	oldLive := int(dev.ReadU32(base + hOldLive))
-
+	if class >= sizeclass.NumClasses() {
+		return nil, pmem.Corrupt("slab", base, "class %d out of range", class)
+	}
+	if got, want := dev.ReadU32(base+hChecksum), headerCRC(uint32(class), dataOff, uint32(stripes)); got != want {
+		return nil, pmem.Corrupt("slab", base, "header checksum %#x, want %#x", got, want)
+	}
 	blocks, bitmapBase, wantDataOff := geometry(class, stripes)
 	if wantDataOff != dataOff {
-		return nil, fmt.Errorf("slab %#x: inconsistent geometry (dataOff %d want %d)", base, dataOff, wantDataOff)
+		return nil, pmem.Corrupt("slab", base, "inconsistent geometry (dataOff %d want %d)", dataOff, wantDataOff)
 	}
 	s := &Slab{
 		Base:       base,
@@ -296,10 +344,17 @@ func Load(dev *pmem.Device, c *pmem.Ctx, base pmem.PAddr) (*Slab, error) {
 	}
 	c.Charge(pmem.CatSearch, int64(blocks)/8+20)
 
-	if oldClassRaw != ClassNone {
-		// Reconstruct cnt_slab and cnt_block from the index table.
-		s.OldClass = int(oldClassRaw)
-		s.OldDataOff = dev.ReadU32(base + hOldDataOff)
+	if flag == flagSlabIn {
+		// Reconstruct cnt_slab and cnt_block from the index table. At any
+		// flag other than 3 the old fields are dead (a completed demotion
+		// or an undone morph leaves them stale on purpose).
+		oldClass, oldDataOffV, oldLive, err := validateOldFields(dev, base, stripes)
+		if err != nil {
+			return nil, err
+		}
+		oldBlocks, _, _ := geometry(oldClass, stripes)
+		s.OldClass = oldClass
+		s.OldDataOff = oldDataOffV
 		s.oldIdx = make(map[int]int)
 		s.cntBlock = make([]uint16, blocks)
 		oldSize := int64(sizeclass.Size(s.OldClass))
@@ -309,6 +364,12 @@ func Load(dev *pmem.Device, c *pmem.Ctx, base pmem.PAddr) (*Slab, error) {
 				continue
 			}
 			idx := int(e & idxIndexMask)
+			if idx >= oldBlocks {
+				return nil, pmem.Corrupt("slab", base, "index entry %d names old block %d beyond %d", slot, idx, oldBlocks)
+			}
+			if _, dup := s.oldIdx[idx]; dup {
+				return nil, pmem.Corrupt("slab", base, "old block %d appears twice in index table", idx)
+			}
 			s.oldIdx[idx] = slot
 			s.CntSlab++
 			lo := int64(s.OldDataOff) + int64(idx)*oldSize
@@ -321,14 +382,22 @@ func Load(dev *pmem.Device, c *pmem.Ctx, base pmem.PAddr) (*Slab, error) {
 				}
 			}
 		}
+		// Repair the volatile view for new blocks pinned by old-class data
+		// whose bitmap bits never persisted (GC variant defers bitmap
+		// flushes): they must read as unavailable or a later FreeOldBlock
+		// would double-free them.
+		for nb := 0; nb < blocks; nb++ {
+			if s.cntBlock[nb] > 0 && !s.bitTest(nb) {
+				s.freeBits[nb/64] |= 1 << (nb % 64)
+				s.Allocated++
+			}
+		}
 		if s.CntSlab == 0 {
 			// All old blocks were already freed; finish the demotion that
 			// may have been cut short by the crash.
-			dev.WriteU32(base+hOldClass, ClassNone)
-			dev.WriteU32(base+hOldLive, 0)
-			c.Flush(pmem.CatMeta, base, pmem.LineSize)
-			c.Fence()
+			s.persistFlag(c, flagStable, true)
 			s.OldClass = -1
+			s.OldDataOff = 0
 			s.oldIdx = nil
 			s.cntBlock = nil
 		}
@@ -337,25 +406,30 @@ func Load(dev *pmem.Device, c *pmem.Ctx, base pmem.PAddr) (*Slab, error) {
 }
 
 // undoMorph rolls back a morph interrupted at flag 1 or 2. At flag 1 the
-// original bitmap and geometry are untouched. At flag 2 the new bitmap
-// may be partially written, so the old bitmap is reconstructed from the
-// index table (which is exactly why the index table exists).
-func undoMorph(dev *pmem.Device, c *pmem.Ctx, base pmem.PAddr, flag uint32, stripes int) {
-	oldClass := int(dev.ReadU32(base + hOldClass))
-	oldDataOff := dev.ReadU32(base + hOldDataOff)
-	oldLive := int(dev.ReadU32(base + hOldLive))
+// original bitmap and geometry are untouched, so clearing the flag is the
+// whole undo. At flag 2 the new bitmap may be partially written, so the
+// old bitmap is reconstructed from the index table (which is exactly why
+// the index table exists); the restored geometry and its checksum are
+// persisted while the flag still reads 2 — a crash mid-undo simply redoes
+// it — and only then does a separate single-word commit clear the flag.
+func undoMorph(dev *pmem.Device, c *pmem.Ctx, base pmem.PAddr, flag uint32, stripes int) error {
+	oldClass, oldDataOff, oldLive, err := validateOldFields(dev, base, stripes)
+	if err != nil {
+		return err
+	}
 
-	if flag == 2 {
+	if flag == flagStep2 {
 		// Restore geometry and bitmap of the original class.
 		blocks, bitmapBase, dataOff := geometry(oldClass, stripes)
-		if dataOff != oldDataOff {
-			panic(fmt.Sprintf("slab %#x: undo geometry mismatch", base))
-		}
 		var live []int
 		for slot := 0; slot < oldLive; slot++ {
 			e := dev.ReadU16(base + pmem.PAddr(idxBase+2*slot))
 			if e&idxAllocated != 0 {
-				live = append(live, int(e&idxIndexMask))
+				idx := int(e & idxIndexMask)
+				if idx >= blocks {
+					return pmem.Corrupt("slab", base, "undo: index entry %d names block %d beyond %d", slot, idx, blocks)
+				}
+				live = append(live, idx)
 			}
 		}
 		sort.Ints(live)
@@ -368,12 +442,15 @@ func undoMorph(dev *pmem.Device, c *pmem.Ctx, base pmem.PAddr, flag uint32, stri
 		}
 		dev.WriteU32(base+hClass, uint32(oldClass))
 		dev.WriteU32(base+hDataOff, oldDataOff)
+		dev.WriteU32(base+hChecksum, headerCRC(uint32(oldClass), oldDataOff, uint32(stripes)))
 		c.Flush(pmem.CatMeta, base+pmem.PAddr(bitmapBase), int(dataOff-bitmapBase))
+		c.Flush(pmem.CatMeta, base, pmem.LineSize)
+		c.Fence()
 	}
-	dev.WriteU32(base+hOldClass, ClassNone)
-	dev.WriteU32(base+hOldDataOff, 0)
-	dev.WriteU32(base+hOldLive, 0)
-	dev.WriteU32(base+hFlag, 0)
-	c.Flush(pmem.CatMeta, base, pmem.LineSize)
+	// Commit the undo with a single-word flag update. The old-class fields
+	// stay stale; they are dead at flag 0.
+	dev.WriteU32(base+hFlag, flagStable)
+	c.Flush(pmem.CatMeta, base+hFlag, 4)
 	c.Fence()
+	return nil
 }

@@ -21,7 +21,9 @@
 package slab
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"math/bits"
 	"sync"
 
@@ -29,6 +31,23 @@ import (
 	"nvalloc/internal/pmem"
 	"nvalloc/internal/sizeclass"
 )
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// headerCRC computes the header checksum over the geometry fields only
+// (magic, class, dataOff, stripes). The morph flag and the old-class
+// fields are deliberately excluded: every flag transition must remain a
+// single-word atomic commit (no companion CRC update that could tear
+// against it), and the old fields are validated semantically by Load
+// instead.
+func headerCRC(class, dataOff, stripes uint32) uint32 {
+	var b [16]byte
+	binary.LittleEndian.PutUint32(b[0:], Magic)
+	binary.LittleEndian.PutUint32(b[4:], class)
+	binary.LittleEndian.PutUint32(b[8:], dataOff)
+	binary.LittleEndian.PutUint32(b[12:], stripes)
+	return crc32.Checksum(b[:], crcTable)
+}
 
 // Size is the slab size used throughout the paper.
 const Size = 64 << 10
@@ -38,11 +57,22 @@ const (
 	hMagic      = 0  // u32
 	hClass      = 4  // u32 size class index
 	hDataOff    = 8  // u32
-	hFlag       = 12 // u32 morph step flag (0 stable, 1..2 in transform)
+	hFlag       = 12 // u32 morph step flag (see flag* below)
 	hOldClass   = 16 // u32 (ClassNone when not a slab_in)
 	hOldDataOff = 20 // u32
 	hOldLive    = 24 // u32 index table entry count
 	hStripes    = 28 // u32 bitmap stripe count
+	hChecksum   = 32 // u32 CRC32C over (magic, class, dataOff, stripes)
+)
+
+// Morph flag values. Every transition is a single 8-byte-atomic header
+// word update (hDataOff and hFlag share one word, so a flag commit can
+// carry a data-offset change atomically with it).
+const (
+	flagStable = 0 // regular slab; old-class fields are meaningless
+	flagStep1  = 1 // old geometry stashed; bitmap still the old class's
+	flagStep2  = 2 // index table written; bitmap still the old class's
+	flagSlabIn = 3 // morph complete; index table tracks live old blocks
 )
 
 // IdxCapEntries is the fixed index-table capacity: the maximum number of
@@ -166,11 +196,12 @@ func Format(dev *pmem.Device, c *pmem.Ctx, base pmem.PAddr, class, stripes int, 
 	dev.WriteU32(base+hMagic, Magic)
 	dev.WriteU32(base+hClass, uint32(class))
 	dev.WriteU32(base+hDataOff, dataOff)
-	dev.WriteU32(base+hFlag, 0)
+	dev.WriteU32(base+hFlag, flagStable)
 	dev.WriteU32(base+hOldClass, ClassNone)
 	dev.WriteU32(base+hOldDataOff, 0)
 	dev.WriteU32(base+hOldLive, 0)
 	dev.WriteU32(base+hStripes, uint32(stripes))
+	dev.WriteU32(base+hChecksum, headerCRC(uint32(class), dataOff, uint32(stripes)))
 	dev.Zero(base+pmem.PAddr(bitmapBase), int(dataOff-bitmapBase))
 	c.Flush(pmem.CatMeta, base, pmem.LineSize)
 	if persist {
@@ -178,6 +209,32 @@ func Format(dev *pmem.Device, c *pmem.Ctx, base pmem.PAddr, class, stripes int, 
 	}
 	c.Fence()
 	return s
+}
+
+// Quarantine reformats the header of a damaged slab in place as a
+// stable slab of class 0 with every block marked allocated, so a
+// subsequent Load accepts it without ever handing out one of its
+// blocks. The payload bytes are untouched: quarantining turns a slab
+// that would fail recovery into a permanent leak instead of a loss.
+func Quarantine(dev *pmem.Device, c *pmem.Ctx, base pmem.PAddr, stripes int) {
+	base &^= Size - 1
+	_, bitmapBase, dataOff := geometry(0, stripes)
+	dev.WriteU32(base+hMagic, Magic)
+	dev.WriteU32(base+hClass, 0)
+	dev.WriteU32(base+hDataOff, dataOff)
+	dev.WriteU32(base+hFlag, flagStable)
+	dev.WriteU32(base+hOldClass, ClassNone)
+	dev.WriteU32(base+hOldDataOff, 0)
+	dev.WriteU32(base+hOldLive, 0)
+	dev.WriteU32(base+hStripes, uint32(stripes))
+	dev.WriteU32(base+hChecksum, headerCRC(0, dataOff, uint32(stripes)))
+	// All bitmap bytes set: every mapped bit reads as allocated.
+	for i := bitmapBase; i < dataOff; i++ {
+		dev.WriteU8(base+pmem.PAddr(i), 0xFF)
+	}
+	c.Flush(pmem.CatMeta, base, pmem.LineSize)
+	c.Flush(pmem.CatMeta, base+pmem.PAddr(bitmapBase), int(dataOff-bitmapBase))
+	c.Fence()
 }
 
 // Stripes returns the bitmap stripe count.

@@ -1,0 +1,114 @@
+package torture
+
+import (
+	"errors"
+	"testing"
+
+	"nvalloc/internal/alloc"
+	"nvalloc/internal/pmem"
+)
+
+// openGuarded opens a target's heap, converting any panic into a test
+// failure: a garbage image may be rejected, never crash the process.
+func openGuarded(t *testing.T, tg Target, dev *pmem.Device) (alloc.Heap, error) {
+	t.Helper()
+	var h alloc.Heap
+	var err error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("%s: Open panicked: %v", tg.Name, r)
+			}
+		}()
+		h, err = tg.Open(dev)
+	}()
+	return h, err
+}
+
+// TestOpenZeroedImage opens an all-zero device with every allocator: a
+// typed corruption error, never a panic, never a "success".
+func TestOpenZeroedImage(t *testing.T) {
+	for _, tg := range Targets() {
+		dev := pmem.New(pmem.Config{Size: DeviceBytes, Strict: true})
+		_, err := openGuarded(t, tg, dev)
+		if err == nil {
+			t.Fatalf("%s: opened an all-zero image", tg.Name)
+		}
+		if !errors.Is(err, pmem.ErrCorrupted) {
+			t.Fatalf("%s: want ErrCorrupted, got %v", tg.Name, err)
+		}
+	}
+}
+
+// TestOpenTruncatedImage opens a device too small to hold a superblock.
+func TestOpenTruncatedImage(t *testing.T) {
+	for _, tg := range Targets() {
+		dev := pmem.New(pmem.Config{Size: 4096, Strict: true})
+		_, err := openGuarded(t, tg, dev)
+		if err == nil {
+			t.Fatalf("%s: opened a 4 KiB image", tg.Name)
+		}
+		if !errors.Is(err, pmem.ErrCorrupted) {
+			t.Fatalf("%s: want ErrCorrupted, got %v", tg.Name, err)
+		}
+	}
+}
+
+// TestOpenBitFlippedSuperblock flips bits of the persisted superblock
+// and requires each flip to be either harmless (field outside the open
+// path) or detected — never a panic, and never an open that then fails
+// verification. One representative of each superblock layout (NVAlloc's
+// and the baselines') gets every bit; the remaining targets, which share
+// those layouts, get a deterministic sample to keep the sweep's cost
+// bounded.
+func TestOpenBitFlippedSuperblock(t *testing.T) {
+	if testing.Short() {
+		t.Skip("superblock flip sweep is long; skipped with -short")
+	}
+	const superBase = 4096
+	const superBytes = 128 // covers every checksummed field of both layouts
+	exhaustive := map[string]bool{"NVAlloc-LOG": true, "PMDK": true}
+	for ti, tg := range Targets() {
+		tg := tg
+		stride := 1
+		if !exhaustive[tg.Name] {
+			stride = 7 + ti // coprime-ish offsets vary the sampled bits
+		}
+		t.Run(tg.Name, func(t *testing.T) {
+			t.Parallel()
+			dev := pmem.New(pmem.Config{Size: DeviceBytes, Strict: true})
+			h, err := tg.Create(dev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			workload(h, dev)
+			if err := h.Close(); err != nil {
+				t.Fatal(err)
+			}
+			for bit := 0; bit < superBytes*8; bit += stride {
+				flipped := dev.Clone()
+				addr := pmem.PAddr(superBase + bit/8)
+				flipped.WriteU8(addr, flipped.Bytes(addr, 1)[0]^(1<<(bit%8)))
+				// Clone copies cache and media separately; flip both so
+				// the flip "was persisted".
+				c := flipped.NewCtx()
+				c.Flush(pmem.CatMeta, addr&^(pmem.LineSize-1), pmem.LineSize)
+				c.Fence()
+				c.Merge()
+				h2, err := openGuarded(t, tg, flipped)
+				if err != nil {
+					if !errors.Is(err, pmem.ErrCorrupted) {
+						t.Fatalf("bit %d: untyped error %v", bit, err)
+					}
+					continue
+				}
+				// The flip slipped through (e.g. it hit a field outside
+				// the checksummed open path); the opened heap must still
+				// be consistent.
+				if problems := Verify(h2); len(problems) > 0 {
+					t.Fatalf("bit %d: undetected corruption: %v", bit, problems)
+				}
+			}
+		})
+	}
+}

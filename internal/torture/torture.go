@@ -1,0 +1,369 @@
+// Package torture drives every allocator in the repository through
+// programmable fault plans — clean power cuts, torn cache lines and
+// metadata bit flips — and classifies what recovery does with the
+// damage. It promotes the crash-sweep test logic from internal/core
+// into a reusable harness shared by `go test` and `nvbench -exp
+// torture`.
+//
+// The contract it enforces is the fault model's (DESIGN.md §7):
+//
+//   - A crash with intact media (clean or torn cut) MUST recover into a
+//     consistent heap. Every persisted structure is designed to survive
+//     an arbitrary persistence boundary.
+//   - Flipped metadata bits MAY be unrecoverable, but then they MUST be
+//     detected: recovery returns a typed corruption error. Opening
+//     silently into an inconsistent heap — or panicking — is a bug.
+package torture
+
+import (
+	"fmt"
+	"strings"
+
+	"nvalloc/internal/alloc"
+	"nvalloc/internal/baseline"
+	"nvalloc/internal/core"
+	"nvalloc/internal/pmem"
+)
+
+// Kind selects the fault class of a Plan.
+type Kind int
+
+const (
+	// CleanCut loses power at a flush boundary; every line is either
+	// fully persisted or untouched.
+	CleanCut Kind = iota
+	// TornCut loses power mid-flush: the triggering 64-byte line
+	// persists only a seeded subset of its eight words.
+	TornCut
+	// BitFlip additionally flips seeded bits in persisted metadata
+	// lines at crash time, modelling media corruption.
+	BitFlip
+)
+
+func (k Kind) String() string {
+	switch k {
+	case CleanCut:
+		return "clean-cut"
+	case TornCut:
+		return "torn-cut"
+	case BitFlip:
+		return "bit-flip"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Plan is one deterministic fault scenario. Equal plans produce equal
+// outcomes for the same target: the workload is single-threaded and
+// every fault site derives from Seed.
+type Plan struct {
+	Kind     Kind
+	Cut      int64         // crash fires on the Cut+1'th matching flush
+	Category pmem.Category // which flush category arms the crash (CatAny = all)
+	Seed     uint64        // seeds torn-word selection and flip sites
+	Flips    int           // flipped metadata bits (BitFlip only)
+}
+
+func (p Plan) String() string {
+	s := fmt.Sprintf("%v cut=%d cat=%d seed=%#x", p.Kind, p.Cut, p.Category, p.Seed)
+	if p.Kind == BitFlip {
+		s += fmt.Sprintf(" flips=%d", p.Flips)
+	}
+	return s
+}
+
+// Outcome classifies one recovery attempt.
+type Outcome int
+
+const (
+	// Recovered: the heap opened and passed every consistency check.
+	Recovered Outcome = iota
+	// Detected: recovery refused the image with a typed error. A pass
+	// for BitFlip plans, a failure for clean and torn cuts.
+	Detected
+	// Violated: the heap opened but an invariant did not hold, or an
+	// intact-media crash failed to recover.
+	Violated
+	// Panicked: recovery panicked. Always a bug.
+	Panicked
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Recovered:
+		return "recovered"
+	case Detected:
+		return "detected"
+	case Violated:
+		return "VIOLATED"
+	case Panicked:
+		return "PANICKED"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// Result is the outcome of running one Plan against one Target.
+type Result struct {
+	Target  string
+	Plan    Plan
+	Outcome Outcome
+	Detail  string
+}
+
+// Pass reports whether the outcome satisfies the fault-model contract
+// for the plan's kind.
+func (r Result) Pass() bool {
+	switch r.Outcome {
+	case Recovered:
+		return true
+	case Detected:
+		return r.Plan.Kind == BitFlip
+	default:
+		return false
+	}
+}
+
+// Target is one allocator under torture.
+type Target struct {
+	Name string
+	// Create formats a fresh heap on dev.
+	Create func(dev *pmem.Device) (alloc.Heap, error)
+	// Open recovers the heap after a crash.
+	Open func(dev *pmem.Device) (alloc.Heap, error)
+	// MetaRanges lists the metadata regions BitFlip plans corrupt.
+	MetaRanges func(dev *pmem.Device) []pmem.Range
+}
+
+// DeviceBytes sizes each torture device: small enough that hundreds of
+// plans stay cheap, large enough for the workload plus slack.
+const DeviceBytes = 64 << 20
+
+// Targets returns every allocator under test: the three NVAlloc
+// variants and the five baselines.
+func Targets() []Target {
+	ts := []Target{
+		nvallocTarget("NVAlloc-LOG", core.LOG),
+		nvallocTarget("NVAlloc-GC", core.GC),
+		nvallocTarget("NVAlloc-IC", core.IC),
+	}
+	for _, b := range []struct {
+		name string
+		cfg  baseline.Config
+	}{
+		{"PMDK", baseline.PMDK},
+		{"nvm_malloc", baseline.NvmMalloc},
+		{"PAllocator", baseline.PAllocator},
+		{"Makalu", baseline.Makalu},
+		{"Ralloc", baseline.Ralloc},
+	} {
+		cfg := b.cfg
+		cfg.Arenas = 2
+		ts = append(ts, Target{
+			Name: b.name,
+			Create: func(dev *pmem.Device) (alloc.Heap, error) {
+				return baseline.New(dev, cfg)
+			},
+			Open: func(dev *pmem.Device) (alloc.Heap, error) {
+				h, _, err := baseline.Open(dev, cfg)
+				if err != nil {
+					return nil, err
+				}
+				return h, nil
+			},
+			MetaRanges: baseline.MetaRanges,
+		})
+	}
+	return ts
+}
+
+func nvallocTarget(name string, v core.Variant) Target {
+	return Target{
+		Name: name,
+		Create: func(dev *pmem.Device) (alloc.Heap, error) {
+			opts := core.DefaultOptions(v)
+			opts.Arenas = 2
+			return core.Create(dev, opts)
+		},
+		Open: func(dev *pmem.Device) (alloc.Heap, error) {
+			h, _, err := core.Open(dev, core.DefaultOptions(v))
+			if err != nil {
+				return nil, err
+			}
+			return h, nil
+		},
+		MetaRanges: core.MetaRanges,
+	}
+}
+
+// splitmix64 mirrors the device's deterministic mixer so plan
+// generation is reproducible from a seed.
+type splitmix64 uint64
+
+func (s *splitmix64) next() uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := uint64(*s)
+	z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+	z = (z ^ z>>27) * 0x94D049BB133111EB
+	return z ^ z>>31
+}
+
+// Plans deterministically generates n fault plans from seed, cycling
+// kinds (2 clean cuts : 2 torn cuts : 1 bit flip) and spreading crash
+// points and categories so early-initialization, WAL-traffic and
+// steady-state boundaries are all hit.
+func Plans(n int, seed uint64) []Plan {
+	rng := splitmix64(seed)
+	cats := []pmem.Category{pmem.CatAny, pmem.CatAny, pmem.CatMeta, pmem.CatAny, pmem.CatWAL}
+	out := make([]Plan, 0, n)
+	for i := 0; i < n; i++ {
+		p := Plan{
+			// Bias toward early cuts (initialization and first-slab
+			// boundaries) while still reaching deep steady state.
+			Cut:      1 + int64(rng.next()%uint64(1+i*97)),
+			Category: cats[i%len(cats)],
+			Seed:     rng.next(),
+		}
+		switch i % 5 {
+		case 2, 3:
+			p.Kind = TornCut
+		case 4:
+			p.Kind = BitFlip
+			p.Flips = 1 + int(rng.next()%4)
+		}
+		if p.Category != pmem.CatAny {
+			// Category-filtered flushes are rarer; keep cuts reachable.
+			p.Cut = 1 + p.Cut%199
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Run executes one plan against one target: build a heap, run the
+// published/anonymous workload until the injected fault fires, crash,
+// then recover and verify. Panics anywhere in recovery are caught and
+// reported as Panicked, never propagated.
+func Run(tg Target, p Plan) (res Result) {
+	res = Result{Target: tg.Name, Plan: p}
+	defer func() {
+		if r := recover(); r != nil {
+			res.Outcome = Panicked
+			res.Detail = fmt.Sprint(r)
+		}
+	}()
+
+	dev := pmem.New(pmem.Config{Size: DeviceBytes, Strict: true})
+	h, err := tg.Create(dev)
+	if err != nil {
+		res.Outcome = Violated
+		res.Detail = "create: " + err.Error()
+		return res
+	}
+	fp := pmem.FaultPlan{
+		CrashAfter: p.Cut,
+		Category:   p.Category,
+		TornLine:   p.Kind == TornCut,
+		Seed:       p.Seed,
+	}
+	if p.Kind == BitFlip {
+		fp.Flips = p.Flips
+		fp.FlipIn = tg.MetaRanges(dev)
+	}
+	dev.InjectFaults(&fp)
+	workload(h, dev)
+	dev.Crash()
+
+	h2, err := tg.Open(dev)
+	if err != nil {
+		res.Outcome = Detected
+		res.Detail = err.Error()
+		if p.Kind != BitFlip {
+			res.Outcome = Violated
+			res.Detail = "intact-media crash not recovered: " + err.Error()
+		}
+		return res
+	}
+	if problems := Verify(h2); len(problems) > 0 {
+		res.Outcome = Violated
+		res.Detail = strings.Join(problems, "; ")
+		return res
+	}
+	res.Outcome = Recovered
+	return res
+}
+
+// workload runs a deterministic mix of published (MallocTo/FreeFrom)
+// and anonymous operations until the injected fault fires (promoted
+// from internal/core's crash-sweep tests).
+func workload(h alloc.Heap, dev *pmem.Device) {
+	th := h.NewThread()
+	slot := 0
+	for i := 0; i < 4000 && !dev.Crashed(); i++ {
+		switch i % 5 {
+		case 0, 1:
+			if p, err := th.MallocTo(h.RootSlot(slot%alloc.NumRootSlots), uint64(64+i%256)); err == nil {
+				dev.WriteU64(p, uint64(i))
+				th.Ctx().Flush(pmem.CatOther, p, 8)
+				slot++
+			}
+		case 2:
+			s := h.RootSlot((slot + 3) % alloc.NumRootSlots)
+			if dev.ReadU64(s) != 0 {
+				_ = th.FreeFrom(s)
+			}
+		case 3:
+			_, _ = th.Malloc(128)
+		case 4:
+			if i%25 == 4 {
+				if _, err := th.MallocTo(h.RootSlot(slot%alloc.NumRootSlots), 64<<10); err == nil {
+					slot++
+				}
+			}
+		}
+	}
+	th.Ctx().Merge()
+}
+
+// Verify checks a recovered heap's fundamental guarantees — every
+// non-null root slot references a distinct allocated object (freeable
+// exactly once) and fresh allocations never overlap published ones —
+// and returns every violation found.
+func Verify(h alloc.Heap) []string {
+	var problems []string
+	dev := h.Device()
+	ck := alloc.NewChecker(h)
+	th := ck.NewThread()
+	defer th.Close()
+
+	roots := map[pmem.PAddr]bool{}
+	for i := 0; i < alloc.NumRootSlots; i++ {
+		p := pmem.PAddr(dev.ReadU64(h.RootSlot(i)))
+		if p == pmem.Null {
+			continue
+		}
+		if roots[p] {
+			problems = append(problems, fmt.Sprintf("two roots reference %#x", p))
+		}
+		roots[p] = true
+	}
+	for i := 0; i < 3000; i++ {
+		p, err := th.Malloc(uint64(64 + i%256))
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("alloc after recovery: %v", err))
+			break
+		}
+		if roots[p] {
+			problems = append(problems, fmt.Sprintf("published object %#x handed out again", p))
+		}
+	}
+	// Published objects must be allocated: freeing succeeds exactly
+	// once. (A raw thread — the checker has no record of pre-crash
+	// allocations.)
+	thRaw := h.NewThread()
+	defer thRaw.Close()
+	for p := range roots {
+		if err := thRaw.Free(p); err != nil {
+			problems = append(problems, fmt.Sprintf("published %#x not allocated after recovery: %v", p, err))
+		}
+	}
+	return append(problems, ck.Errors()...)
+}

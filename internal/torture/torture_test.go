@@ -1,0 +1,61 @@
+package torture
+
+import (
+	"fmt"
+	"testing"
+)
+
+// plansPerTarget * 8 targets comfortably clears the 200-distinct-plan
+// floor the fault model promises (DESIGN.md §7).
+const plansPerTarget = 26
+
+// TestTortureSweep runs every allocator through the full plan mix and
+// requires the fault-model contract to hold for each: clean and torn
+// cuts recover, bit flips recover or are detected, nothing panics.
+func TestTortureSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture sweep is long; skipped with -short")
+	}
+	for _, tg := range Targets() {
+		tg := tg
+		t.Run(tg.Name, func(t *testing.T) {
+			t.Parallel()
+			plans := Plans(plansPerTarget, 0x7047557265+uint64(len(tg.Name)))
+			for i, p := range plans {
+				res := Run(tg, p)
+				if !res.Pass() {
+					t.Errorf("plan %d (%v): %v: %s", i, p, res.Outcome, res.Detail)
+				}
+			}
+		})
+	}
+}
+
+// TestPlansDeterministic pins the generator: the same seed must yield
+// the same plans, and distinct seeds must differ (the acceptance
+// criterion counts *distinct* fault plans).
+func TestPlansDeterministic(t *testing.T) {
+	a, b := Plans(50, 1), Plans(50, 1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("plan %d not deterministic: %v vs %v", i, a[i], b[i])
+		}
+	}
+	seen := map[string]bool{}
+	for _, p := range Plans(plansPerTarget, 2) {
+		seen[fmt.Sprint(p)] = true
+	}
+	if len(seen) < plansPerTarget {
+		t.Fatalf("only %d distinct plans of %d", len(seen), plansPerTarget)
+	}
+}
+
+// TestRunReportsRecoveredOnCleanCrash sanity-checks the harness itself
+// against the best-understood scenario.
+func TestRunReportsRecoveredOnCleanCrash(t *testing.T) {
+	tg := Targets()[0]
+	res := Run(tg, Plan{Kind: CleanCut, Cut: 500, Category: -1, Seed: 42})
+	if res.Outcome != Recovered {
+		t.Fatalf("clean cut on %s: %v: %s", tg.Name, res.Outcome, res.Detail)
+	}
+}

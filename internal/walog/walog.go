@@ -9,9 +9,18 @@
 // with Seq <= checkpoint have fully persisted effects and are skipped.
 // Entry application must be idempotent (all users re-apply absolute
 // states, not deltas).
+//
+// Corruption detection: the checkpoint word is sealed (pmem.SealU64) and
+// every entry carries a CRC24 over its first 29 bytes, so a torn append
+// or a flipped bit is detected at replay instead of being applied. A
+// single invalid entry is tolerated only at the ring position the next
+// append would have used — that is exactly the state a crash mid-append
+// leaves, and the interrupted operation was never acknowledged, so the
+// entry is dropped. Anything else is reported as corruption.
 package walog
 
 import (
+	"hash/crc32"
 	"sort"
 
 	"nvalloc/internal/interleave"
@@ -64,19 +73,32 @@ func RegionSize(n, stripes int) int {
 	return headerSize + interleave.New(n, EntrySize*8, stripes, pmem.LineSize).SizeBytes()
 }
 
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// entryCRC computes the 24-bit checksum over an entry's first 29 bytes.
+func entryCRC(b []byte) uint32 {
+	return crc32.Checksum(b[:29], crcTable) & 0xFFFFFF
+}
+
 // New creates (or reopens for appending after recovery) a WAL over the
 // region at base. n is the entry capacity; stripes=1 disables
-// interleaving (the paper's baseline layout).
-func New(dev *pmem.Device, base pmem.PAddr, n, stripes int) *Log {
+// interleaving (the paper's baseline layout). It fails if the checkpoint
+// word does not unseal.
+func New(dev *pmem.Device, base pmem.PAddr, n, stripes int) (*Log, error) {
 	l := &Log{
 		dev:  dev,
 		base: base,
 		m:    interleave.New(n, EntrySize*8, stripes, pmem.LineSize),
 		n:    n,
 	}
-	l.ckpt = dev.ReadU64(base)
+	ckpt, ok := pmem.UnsealU64(dev.ReadU64(base))
+	if !ok {
+		return nil, pmem.Corrupt("wal", base, "checkpoint word fails seal check")
+	}
+	l.ckpt = ckpt
 	l.seq = l.ckpt + 1
-	return l
+	l.cursor = int(l.ckpt % uint64(n))
+	return l, nil
 }
 
 func (l *Log) slotAddr(slot int) pmem.PAddr {
@@ -105,18 +127,22 @@ func (l *Log) Append(c *pmem.Ctx, e Entry) uint64 {
 	l.dev.WriteU64(a+16, e.Aux)
 	l.dev.WriteU32(a+24, e.Aux2)
 	l.dev.WriteU8(a+28, byte(e.Op))
+	crc := entryCRC(l.dev.Bytes(a, EntrySize))
+	l.dev.WriteU8(a+29, byte(crc))
+	l.dev.WriteU8(a+30, byte(crc>>8))
+	l.dev.WriteU8(a+31, byte(crc>>16))
 	c.Flush(pmem.CatWAL, a, EntrySize)
 	c.Fence()
 	return e.Seq
 }
 
-// setCheckpoint persists the replay lower bound.
+// setCheckpoint persists the replay lower bound (sealed).
 func (l *Log) setCheckpoint(c *pmem.Ctx, seq uint64) {
 	if seq <= l.ckpt {
 		return
 	}
 	l.ckpt = seq
-	c.PersistU64(pmem.CatWAL, l.base, seq)
+	c.PersistU64(pmem.CatWAL, l.base, pmem.SealU64(seq))
 	c.Fence()
 }
 
@@ -128,17 +154,44 @@ func (l *Log) Checkpoint(c *pmem.Ctx) {
 	}
 }
 
-// Replay scans the ring and invokes fn on every entry with
-// Seq > checkpoint, in sequence order. It returns the number of entries
-// replayed. Recovery costs are charged to c as metadata reads.
-func (l *Log) Replay(c *pmem.Ctx, fn func(Entry)) int {
-	ckpt := l.dev.ReadU64(l.base)
+// Replay scans the ring and invokes fn on every valid entry with
+// Seq > checkpoint, in sequence order. Every nonzero slot is CRC-checked
+// and must sit at ring position (Seq-1) mod capacity. One invalid slot is
+// tolerated if it is exactly where the next append would have landed (a
+// torn in-flight append; its operation was never acknowledged) and is
+// dropped; any other invalid or misplaced slot is reported as corruption.
+// It returns the number of entries replayed.
+func (l *Log) Replay(c *pmem.Ctx, fn func(Entry)) (int, error) {
+	ckpt, ok := pmem.UnsealU64(l.dev.ReadU64(l.base))
+	if !ok {
+		return 0, pmem.Corrupt("wal", l.base, "checkpoint word fails seal check")
+	}
 	var live []Entry
 	maxSeq := ckpt
+	invalid := -1
 	for slot := 0; slot < l.n; slot++ {
 		a := l.slotAddr(slot)
-		seq := l.dev.ReadU64(a)
+		raw := l.dev.Bytes(a, EntrySize)
 		c.Charge(pmem.CatSearch, 5) // scan cost
+		zero := true
+		for _, b := range raw {
+			if b != 0 {
+				zero = false
+				break
+			}
+		}
+		if zero {
+			continue // never written
+		}
+		crc := uint32(raw[29]) | uint32(raw[30])<<8 | uint32(raw[31])<<16
+		seq := l.dev.ReadU64(a)
+		if entryCRC(raw) != crc || seq == 0 || int((seq-1)%uint64(l.n)) != slot {
+			if invalid >= 0 {
+				return 0, pmem.Corrupt("wal", a, "multiple invalid entries (slots %d and %d)", invalid, slot)
+			}
+			invalid = slot
+			continue
+		}
 		if seq <= ckpt {
 			continue
 		}
@@ -153,7 +206,16 @@ func (l *Log) Replay(c *pmem.Ctx, fn func(Entry)) int {
 			maxSeq = seq
 		}
 	}
+	if invalid >= 0 && invalid != int(maxSeq%uint64(l.n)) {
+		return 0, pmem.Corrupt("wal", l.slotAddr(invalid),
+			"invalid entry at slot %d, not the in-flight append slot %d", invalid, int(maxSeq%uint64(l.n)))
+	}
 	sort.Slice(live, func(i, j int) bool { return live[i].Seq < live[j].Seq })
+	for i := 1; i < len(live); i++ {
+		if live[i].Seq == live[i-1].Seq {
+			return 0, pmem.Corrupt("wal", l.base, "duplicate sequence %d", live[i].Seq)
+		}
+	}
 	for _, e := range live {
 		fn(e)
 	}
@@ -161,7 +223,7 @@ func (l *Log) Replay(c *pmem.Ctx, fn func(Entry)) int {
 	l.seq = maxSeq + 1
 	l.ckpt = ckpt
 	l.cursor = int(maxSeq % uint64(l.n))
-	return len(live)
+	return len(live), nil
 }
 
 // Seq returns the next sequence number (for tests).

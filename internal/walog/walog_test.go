@@ -1,15 +1,34 @@
 package walog
 
 import (
+	"errors"
 	"testing"
 
 	"nvalloc/internal/pmem"
 )
 
+func mustNew(t *testing.T, dev *pmem.Device, base pmem.PAddr, n, stripes int) *Log {
+	t.Helper()
+	l, err := New(dev, base, n, stripes)
+	if err != nil {
+		t.Fatalf("walog.New: %v", err)
+	}
+	return l
+}
+
+func mustReplay(t *testing.T, l *Log, c *pmem.Ctx, fn func(Entry)) int {
+	t.Helper()
+	n, err := l.Replay(c, fn)
+	if err != nil {
+		t.Fatalf("walog.Replay: %v", err)
+	}
+	return n
+}
+
 func newLog(t *testing.T, n, stripes int) (*pmem.Device, *Log) {
 	t.Helper()
 	dev := pmem.New(pmem.Config{Size: 1 << 20, Strict: true})
-	return dev, New(dev, 4096, n, stripes)
+	return dev, mustNew(t, dev, 4096, n, stripes)
 }
 
 func TestAppendReplayRoundtrip(t *testing.T) {
@@ -24,9 +43,9 @@ func TestAppendReplayRoundtrip(t *testing.T) {
 		l.Append(c, e)
 	}
 	dev.Crash()
-	l2 := New(dev, 4096, 64, 6)
+	l2 := mustNew(t, dev, 4096, 64, 6)
 	var got []Entry
-	n := l2.Replay(dev.NewCtx(), func(e Entry) { got = append(got, e) })
+	n := mustReplay(t, l2, dev.NewCtx(), func(e Entry) { got = append(got, e) })
 	if n != len(want) {
 		t.Fatalf("replayed %d, want %d", n, len(want))
 	}
@@ -50,9 +69,9 @@ func TestCheckpointBoundsReplay(t *testing.T) {
 	l.Checkpoint(c)
 	l.Append(c, Entry{Addr: 0xAA, Op: OpFreeBit})
 	dev.Crash()
-	l2 := New(dev, 4096, 64, 6)
+	l2 := mustNew(t, dev, 4096, 64, 6)
 	var got []Entry
-	l2.Replay(dev.NewCtx(), func(e Entry) { got = append(got, e) })
+	mustReplay(t, l2, dev.NewCtx(), func(e Entry) { got = append(got, e) })
 	if len(got) != 1 || got[0].Addr != 0xAA {
 		t.Fatalf("checkpoint not honored: %+v", got)
 	}
@@ -65,9 +84,9 @@ func TestRingWrapAdvancesCheckpoint(t *testing.T) {
 		l.Append(c, Entry{Addr: pmem.PAddr(i), Op: OpAllocBit})
 	}
 	dev.Crash()
-	l2 := New(dev, 4096, 16, 4)
+	l2 := mustNew(t, dev, 4096, 16, 4)
 	var got []Entry
-	l2.Replay(dev.NewCtx(), func(e Entry) { got = append(got, e) })
+	mustReplay(t, l2, dev.NewCtx(), func(e Entry) { got = append(got, e) })
 	if len(got) == 0 || len(got) > 16 {
 		t.Fatalf("replay window after wrap should be within one ring: %d", len(got))
 	}
@@ -85,8 +104,8 @@ func TestAppendAfterReplayContinuesSeq(t *testing.T) {
 		l.Append(c, Entry{Addr: pmem.PAddr(i)})
 	}
 	dev.Crash()
-	l2 := New(dev, 4096, 32, 6)
-	l2.Replay(dev.NewCtx(), func(Entry) {})
+	l2 := mustNew(t, dev, 4096, 32, 6)
+	mustReplay(t, l2, dev.NewCtx(), func(Entry) {})
 	s0 := l2.Seq()
 	l2.Append(c, Entry{Addr: 0xBB})
 	if l2.Seq() != s0+1 || s0 < 6 {
@@ -99,7 +118,7 @@ func TestInterleavedEntriesAvoidReflush(t *testing.T) {
 	// reflush; with 1 stripe they must (two 32 B entries share a line).
 	run := func(stripes int) uint64 {
 		dev := pmem.New(pmem.Config{Size: 1 << 20})
-		l := New(dev, 4096, 64, stripes)
+		l := mustNew(t, dev, 4096, 64, stripes)
 		c := dev.NewCtx()
 		for i := 0; i < 32; i++ {
 			l.Append(c, Entry{Addr: pmem.PAddr(i), Op: OpAllocBit})
@@ -125,8 +144,8 @@ func TestRegionSize(t *testing.T) {
 
 func TestReplayEmptyLog(t *testing.T) {
 	dev, _ := newLog(t, 64, 6)
-	l2 := New(dev, 4096, 64, 6)
-	if n := l2.Replay(dev.NewCtx(), func(Entry) {}); n != 0 {
+	l2 := mustNew(t, dev, 4096, 64, 6)
+	if n := mustReplay(t, l2, dev.NewCtx(), func(Entry) {}); n != 0 {
 		t.Fatalf("fresh log replayed %d entries", n)
 	}
 }
@@ -147,15 +166,15 @@ func TestCursorResumesAfterReplayMidRing(t *testing.T) {
 		l.Append(c, Entry{Addr: pmem.PAddr(i)})
 	}
 	dev.Crash()
-	l2 := New(dev, 4096, 8, 2)
-	l2.Replay(dev.NewCtx(), func(Entry) {})
+	l2 := mustNew(t, dev, 4096, 8, 2)
+	mustReplay(t, l2, dev.NewCtx(), func(Entry) {})
 	// Appending after recovery must not clobber the newest entries: the
 	// next append lands after the highest live sequence.
 	l2.Append(c, Entry{Addr: 0xAB})
 	dev.Crash()
-	l3 := New(dev, 4096, 8, 2)
+	l3 := mustNew(t, dev, 4096, 8, 2)
 	var got []Entry
-	l3.Replay(dev.NewCtx(), func(e Entry) { got = append(got, e) })
+	mustReplay(t, l3, dev.NewCtx(), func(e Entry) { got = append(got, e) })
 	found := false
 	for _, e := range got {
 		if e.Addr == 0xAB {
@@ -165,4 +184,92 @@ func TestCursorResumesAfterReplayMidRing(t *testing.T) {
 	if !found {
 		t.Fatal("post-recovery append lost")
 	}
+}
+
+func TestCursorResumesAfterCleanReopen(t *testing.T) {
+	// A clean shutdown (Checkpoint) followed by New must resume appending
+	// at slot ckpt%n, keeping the seq<->slot invariant: otherwise replay
+	// after a later crash rejects the misplaced entries.
+	dev, l := newLog(t, 8, 2)
+	c := dev.NewCtx()
+	for i := 0; i < 5; i++ {
+		l.Append(c, Entry{Addr: pmem.PAddr(i)})
+	}
+	l.Checkpoint(c)
+	dev.Crash()
+	l2 := mustNew(t, dev, 4096, 8, 2)
+	l2.Append(c, Entry{Addr: 0xCD})
+	dev.Crash()
+	l3 := mustNew(t, dev, 4096, 8, 2)
+	var got []Entry
+	mustReplay(t, l3, dev.NewCtx(), func(e Entry) { got = append(got, e) })
+	if len(got) != 1 || got[0].Addr != 0xCD {
+		t.Fatalf("post-reopen append not replayed: %+v", got)
+	}
+}
+
+func TestReplayDetectsFlippedEntry(t *testing.T) {
+	dev, l := newLog(t, 16, 2)
+	c := dev.NewCtx()
+	for i := 0; i < 6; i++ {
+		l.Append(c, Entry{Addr: pmem.PAddr(0x1000 + i), Op: OpAllocBit})
+	}
+	dev.Crash()
+	// Flip one bit in two different persisted entries: two bad slots can
+	// never come from a single in-flight append and must be corruption.
+	for _, slot := range []int{1, 3} {
+		a := l.slotAddr(slot)
+		dev.WriteU8(a+8, dev.ReadU8(a+8)^0x04)
+	}
+	l2 := mustNew(t, dev, 4096, 16, 2)
+	_, err := l2.Replay(dev.NewCtx(), func(Entry) {})
+	if !errors.Is(err, pmem.ErrCorrupted) {
+		t.Fatalf("flipped entries not detected: %v", err)
+	}
+}
+
+func TestReplayDropsTornInFlightAppend(t *testing.T) {
+	dev, l := newLog(t, 16, 2)
+	c := dev.NewCtx()
+	for i := 0; i < 6; i++ {
+		l.Append(c, Entry{Addr: pmem.PAddr(0x1000 + i), Op: OpAllocBit})
+	}
+	// Tear the 7th append: its slot persists a partial entry.
+	dev.InjectFaults(&pmem.FaultPlan{CrashAfter: 0, Category: pmem.CatWAL, TornLine: true, Seed: 7})
+	l.Append(c, Entry{Addr: 0x9999, Op: OpFreeBit})
+	dev.Crash()
+	l2 := mustNew(t, dev, 4096, 16, 2)
+	var got []Entry
+	n, err := l2.Replay(dev.NewCtx(), func(e Entry) { got = append(got, e) })
+	if err != nil {
+		t.Fatalf("torn in-flight append must be tolerated: %v", err)
+	}
+	if n > 7 {
+		t.Fatalf("replayed %d entries, expected at most 7", n)
+	}
+	for _, e := range got[:min(len(got), 6)] {
+		if e.Addr == 0 {
+			t.Fatalf("completed entry lost: %+v", got)
+		}
+	}
+}
+
+func TestNewDetectsCorruptCheckpoint(t *testing.T) {
+	dev, l := newLog(t, 16, 2)
+	c := dev.NewCtx()
+	for i := 0; i < 40; i++ { // wraps enough to persist a checkpoint
+		l.Append(c, Entry{Addr: pmem.PAddr(i)})
+	}
+	dev.Crash()
+	dev.WriteU64(4096, dev.ReadU64(4096)^(1<<5))
+	if _, err := New(dev, 4096, 16, 2); !errors.Is(err, pmem.ErrCorrupted) {
+		t.Fatalf("corrupt checkpoint not detected: %v", err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }

@@ -164,10 +164,32 @@ func Open(dev *Device, opts Options) (*Heap, int64, error) {
 	return &Heap{h}, ns, nil
 }
 
+// Check opens a throwaway clone of dev and reports everything wrong
+// with the heap image, without modifying it. Empty means the image
+// opens cleanly.
+func Check(dev *Device, opts Options) []string {
+	return core.Check(dev, opts.toCore(dev))
+}
+
+// Scavenge repairs a damaged heap image in place — conservatively, by
+// quarantining or dropping damaged structures — until it opens cleanly,
+// then returns the heap and a description of every repair made.
+func Scavenge(dev *Device, opts Options) (*Heap, []string, error) {
+	h, repairs, err := core.Scavenge(dev, opts.toCore(dev))
+	if err != nil {
+		return nil, repairs, err
+	}
+	return &Heap{h}, repairs, nil
+}
+
 // Allocator errors re-exported for callers.
 var (
 	ErrOutOfMemory = alloc.ErrOutOfMemory
 	ErrBadAddress  = alloc.ErrBadAddress
 	ErrBadSize     = alloc.ErrBadSize
 	ErrClosed      = alloc.ErrClosed
+	// ErrCorrupted is the sentinel wrapped by every corruption error
+	// detected while opening or recovering a heap (match with errors.Is;
+	// get the region/address detail with errors.As on *pmem.CorruptError).
+	ErrCorrupted = pmem.ErrCorrupted
 )
