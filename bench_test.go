@@ -24,6 +24,8 @@ import (
 )
 
 // benchCfg keeps figure regeneration fast enough for `go test -bench=.`.
+// Workers: 0 runs experiment cells on the parallel engine (GOMAXPROCS
+// workers); virtual-time metrics are identical to a serial run.
 var benchCfg = experiment.Config{Threads: []int{1, 2}, Scale: 0.02, DeviceBytes: 256 << 20}
 
 // lastCell parses the bottom-right numeric cell of a table (the headline
@@ -93,6 +95,26 @@ func BenchmarkFig09SmallStrong(b *testing.B) {
 	runExperiment(b, "fig9", "nvalloc_mops", func(ts []*experiment.Table) float64 {
 		return lastCell(b, ts[0]) // Threadtest, max threads, NVAlloc-LOG
 	})
+}
+
+// BenchmarkFig9EngineSerial and BenchmarkFig9EngineParallel regenerate
+// Figure 9 with the experiment engine forced serial vs parallel; the
+// ns/op ratio is the wall-clock speedup of the worker pool (the virtual
+// time metrics are identical by construction).
+func BenchmarkFig9EngineSerial(b *testing.B) {
+	cfg := benchCfg
+	cfg.Workers = 1
+	for i := 0; i < b.N; i++ {
+		experiment.Experiments["fig9"](cfg)
+	}
+}
+
+func BenchmarkFig9EngineParallel(b *testing.B) {
+	cfg := benchCfg
+	cfg.Workers = 0 // GOMAXPROCS workers
+	for i := 0; i < b.N; i++ {
+		experiment.Experiments["fig9"](cfg)
+	}
 }
 
 func BenchmarkFig10SmallWeak(b *testing.B) {

@@ -16,6 +16,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"strconv"
 	"strings"
 	"time"
@@ -25,14 +28,59 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment ID (figNN, table2, ablation) or 'all'")
-		list    = flag.Bool("list", false, "list experiment IDs")
-		threads = flag.String("threads", "1,2,4,8", "comma-separated thread counts")
-		scale   = flag.Float64("scale", 1.0, "operation-count scale factor")
-		devMiB  = flag.Uint64("dev", 512, "simulated device size in MiB")
-		out     = flag.String("out", "", "directory for CSV series (optional)")
+		exp      = flag.String("exp", "", "experiment ID (figNN, table2, ablation) or 'all'")
+		list     = flag.Bool("list", false, "list experiment IDs")
+		threads  = flag.String("threads", "1,2,4,8", "comma-separated thread counts")
+		scale    = flag.Float64("scale", 1.0, "operation-count scale factor")
+		devMiB   = flag.Uint64("dev", 512, "simulated device size in MiB")
+		out      = flag.String("out", "", "directory for CSV series (optional)")
+		parallel = flag.Int("parallel", 0, "experiment cells run concurrently (0 = GOMAXPROCS, 1 = serial)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		traceOut = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nvbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "nvbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nvbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			fmt.Fprintln(os.Stderr, "nvbench:", err)
+			os.Exit(1)
+		}
+		defer trace.Stop()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "nvbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "nvbench:", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, id := range experiment.Names() {
@@ -54,7 +102,7 @@ func main() {
 		}
 		ths = append(ths, n)
 	}
-	cfg := experiment.Config{Threads: ths, Scale: *scale, DeviceBytes: *devMiB << 20}
+	cfg := experiment.Config{Threads: ths, Scale: *scale, DeviceBytes: *devMiB << 20, Workers: *parallel}
 
 	ids := []string{*exp}
 	if *exp == "all" {

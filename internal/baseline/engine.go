@@ -6,6 +6,7 @@ import (
 
 	"nvalloc/internal/alloc"
 	"nvalloc/internal/extent"
+	"nvalloc/internal/pagemap"
 	"nvalloc/internal/pmem"
 	"nvalloc/internal/sizeclass"
 	"nvalloc/internal/walog"
@@ -157,8 +158,9 @@ type Heap struct {
 	nextWAL  int
 	rr       int
 
-	slabsMu sync.RWMutex
-	slabs   map[pmem.PAddr]*bslab
+	// slabs is the lock-free base-address index shared with the NVAlloc
+	// engines: Free resolves slabs with atomic loads, no global lock.
+	slabs *pagemap.Map[bslab]
 
 	closed bool
 }
@@ -170,7 +172,7 @@ func New(dev *pmem.Device, cfg Config) (*Heap, error) {
 	if cfg.Arenas <= 0 {
 		cfg.Arenas = 8
 	}
-	h := &Heap{cfg: cfg, dev: dev, slabs: make(map[pmem.PAddr]*bslab)}
+	h := &Heap{cfg: cfg, dev: dev, slabs: pagemap.New[bslab](dev.Size(), SlabSize)}
 	walRegion := walog.RegionSize(walEntriesPerArena, 1)
 	walBase := uint64(8192)
 	heapBase := (walBase + uint64((maxArenas+1)*walRegion) + extent.ChunkSize - 1) &^ (extent.ChunkSize - 1)
@@ -290,16 +292,15 @@ func (h *Heap) Close() error {
 	c := h.dev.NewCtx()
 	defer c.Merge()
 	if h.cfg.Persist == PersistNone {
-		h.slabsMu.RLock()
-		for _, s := range h.slabs {
+		h.slabs.Range(func(_ pmem.PAddr, s *bslab) bool {
 			s.mu.Lock()
 			for idx := 0; idx < s.blocks; idx++ {
 				s.persistShutdownBit(h, idx, s.vtest(idx))
 			}
 			c.Flush(pmem.CatMeta, s.base+bsMetaOff, int(s.dataOff)-bsMetaOff)
 			s.mu.Unlock()
-		}
-		h.slabsMu.RUnlock()
+			return true
+		})
 		c.Fence()
 	}
 	for _, a := range h.arenas {

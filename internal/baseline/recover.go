@@ -1,8 +1,11 @@
 package baseline
 
 import (
+	"sort"
+
 	"nvalloc/internal/alloc"
 	"nvalloc/internal/extent"
+	"nvalloc/internal/pagemap"
 	"nvalloc/internal/pmem"
 	"nvalloc/internal/sizeclass"
 	"nvalloc/internal/walog"
@@ -66,7 +69,7 @@ func Open(dev *pmem.Device, cfg Config) (*Heap, int64, error) {
 	if cfg.Arenas <= 0 {
 		cfg.Arenas = 8
 	}
-	h := &Heap{cfg: cfg, dev: dev, slabs: make(map[pmem.PAddr]*bslab)}
+	h := &Heap{cfg: cfg, dev: dev, slabs: pagemap.New[bslab](dev.Size(), SlabSize)}
 	heapBase := pmem.PAddr(dev.ReadU64(superBase + sbHeapBase))
 	walBase := pmem.PAddr(dev.ReadU64(superBase + sbWALBase))
 	walRegion := pmem.PAddr(dev.ReadU64(superBase + sbWALSize))
@@ -106,7 +109,7 @@ func Open(dev *pmem.Device, cfg Config) (*Heap, int64, error) {
 		if err != nil {
 			return nil, 0, err
 		}
-		h.slabs[v.Addr] = s
+		h.slabs.Store(v.Addr, s)
 		slabs = append(slabs, s)
 	}
 
@@ -206,25 +209,28 @@ func Open(dev *pmem.Device, cfg Config) (*Heap, int64, error) {
 				return nil, 0, err
 			}
 		}
-		for _, s := range h.slabs {
+		h.slabs.Range(func(_ pmem.PAddr, s *bslab) bool {
 			c.Charge(pmem.CatSearch, int64(s.blocks)/4+50)
-		}
+			return true
+		})
 	case RecoverGC:
 		if crashed {
 			h.conservativeGC(c, true)
 		} else {
 			// Even clean-shutdown Makalu verifies its freelists.
-			for _, s := range h.slabs {
+			h.slabs.Range(func(_ pmem.PAddr, s *bslab) bool {
 				c.Charge(pmem.CatSearch, int64(s.blocks)+100)
-			}
+				return true
+			})
 		}
 	case RecoverPartialScan:
 		if crashed {
 			h.conservativeGC(c, false)
 		} else {
-			for _, s := range h.slabs {
+			h.slabs.Range(func(_ pmem.PAddr, s *bslab) bool {
 				c.Charge(pmem.CatSearch, int64(s.blocks)/8+50)
-			}
+				return true
+			})
 		}
 	}
 
@@ -295,16 +301,17 @@ func (h *Heap) rebuildFreelists() {
 	if h.cfg.Meta != MetaFreelist {
 		return
 	}
-	for _, s := range h.slabs {
+	h.slabs.Range(func(_ pmem.PAddr, s *bslab) bool {
 		s.rebuildFreelist()
-	}
+		return true
+	})
 }
 
 // applyWAL re-applies a small-allocation WAL record idempotently.
 func (h *Heap) applyWAL(c *pmem.Ctx, e walog.Entry) {
 	switch e.Op {
 	case walog.OpAllocBit, walog.OpFreeBit:
-		s := h.slabs[e.Addr]
+		s := h.slabs.Lookup(e.Addr)
 		if s == nil {
 			return
 		}
@@ -352,7 +359,7 @@ func (h *Heap) conservativeGC(c *pmem.Ctx, full bool) {
 			return 0, 0, false
 		}
 		base := p &^ (SlabSize - 1)
-		if s := h.slabs[base]; s != nil {
+		if s := h.slabs.Lookup(base); s != nil {
 			if idx := s.blockIndex(p); idx >= 0 {
 				return p, uint64(s.blockSize), true
 			}
@@ -388,8 +395,8 @@ func (h *Heap) conservativeGC(c *pmem.Ctx, full bool) {
 			}
 		}
 	}
-	// Sweep.
-	for _, s := range h.slabs {
+	// Sweep in address order so the rebuilt freelists are deterministic.
+	h.slabs.Range(func(_ pmem.PAddr, s *bslab) bool {
 		if full {
 			// Makalu scans the whole heap image conservatively.
 			c.Charge(pmem.CatSearch, int64(s.blocks)*int64(s.blockSize)/4)
@@ -405,13 +412,15 @@ func (h *Heap) conservativeGC(c *pmem.Ctx, full bool) {
 			}
 		}
 		s.rebuildFreelist()
-	}
+		return true
+	})
 	var leaked []pmem.PAddr
 	for addr, v := range h.large.Activated() {
 		if !v.Slab && !marked[addr] {
 			leaked = append(leaked, addr)
 		}
 	}
+	sort.Slice(leaked, func(i, j int) bool { return leaked[i] < leaked[j] })
 	for _, addr := range leaked {
 		_ = h.large.Free(c, addr)
 	}

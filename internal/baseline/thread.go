@@ -247,9 +247,7 @@ func (t *Thread) Free(addr pmem.PAddr) error {
 	}
 	t.ctx.Charge(pmem.CatOther, opBaseNS)
 	base := addr &^ (SlabSize - 1)
-	t.h.slabsMu.RLock()
-	s := t.h.slabs[base]
-	t.h.slabsMu.RUnlock()
+	s := t.h.slabs.Lookup(base)
 	if s == nil {
 		return t.freeLarge(addr)
 	}
@@ -473,18 +471,14 @@ func (h *Heap) newSlab(c *pmem.Ctx, a *barena, class int) *bslab {
 		h.large.Res.Release(c)
 		return nil
 	}
-	h.slabsMu.Lock()
-	h.slabs[base] = s
-	h.slabsMu.Unlock()
+	h.slabs.Store(base, s)
 	a.freelistPush(s)
 	return s
 }
 
 // releaseSlab returns an empty slab to the large allocator.
 func (h *Heap) releaseSlab(c *pmem.Ctx, s *bslab) {
-	h.slabsMu.Lock()
-	delete(h.slabs, s.base)
-	h.slabsMu.Unlock()
+	h.slabs.Delete(s.base)
 	h.large.Res.Acquire(c)
 	_ = h.large.Free(c, s.base)
 	h.large.Res.Release(c)

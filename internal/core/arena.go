@@ -149,6 +149,15 @@ func (a *arena) tcacheStripe(s *slab.Slab, idx int) int {
 	return s.Stripe(idx)
 }
 
+// tcacheStripeGeom is tcacheStripe against a geometry snapshot, for
+// callers that resolved the block index lock-free.
+func (a *arena) tcacheStripeGeom(g *slab.Geom, idx int) int {
+	if a.h.tcacheStripes == 1 {
+		return 0
+	}
+	return g.Stripe(idx)
+}
+
 // acquireSlab finds a slab with free blocks for the class: morphing an
 // underused slab of another class first (per the paper), else a new slab
 // extent from the large allocator. Caller holds the arena lock.
@@ -262,9 +271,9 @@ func (a *arena) newSlab(c *pmem.Ctx, class int) *slab.Slab {
 		return nil
 	}
 	s.Owner = a.index
-	h.slabsMu.Lock()
-	h.slabs[base] = s
-	h.slabsMu.Unlock()
+	// Publish last: Format already installed the geometry snapshot, so a
+	// lock-free reader that wins the race sees a fully-initialized slab.
+	h.slabs.Store(base, s)
 	a.freelistPush(s)
 	a.lruPushTail(s)
 	return s
@@ -275,19 +284,26 @@ func (a *arena) newSlab(c *pmem.Ctx, class int) *slab.Slab {
 func (a *arena) releaseSlab(c *pmem.Ctx, s *slab.Slab) {
 	h := a.h
 	s.Dead = true
-	h.slabsMu.Lock()
-	delete(h.slabs, s.Base)
-	h.slabsMu.Unlock()
+	h.slabs.Delete(s.Base)
 	h.large.Res.Acquire(c)
 	_ = h.large.Free(c, s.Base)
 	h.large.Res.Release(c)
 }
 
 // freeBypass returns a block straight to its slab (tcache full or
-// drained). Caller does not hold locks.
-func (a *arena) freeBypass(c *pmem.Ctx, s *slab.Slab, idx int, fromCache bool) {
+// drained). Caller does not hold locks. When g is non-nil it is the
+// geometry snapshot idx was resolved against; the call reports false
+// without acting if the slab morphed since (caller re-resolves).
+// Tcache drains pass g == nil: their blocks are Reserved, and
+// reservations pin the geometry (CanMorphTo requires Reserved == 0).
+func (a *arena) freeBypass(c *pmem.Ctx, s *slab.Slab, idx int, fromCache bool, g *slab.Geom) bool {
 	a.res.Acquire(c)
 	s.Mu.Lock()
+	if g != nil && s.Geometry() != g {
+		s.Mu.Unlock()
+		a.res.Release(c)
+		return false
+	}
 	if fromCache {
 		s.Unreserve(idx)
 	} else {
@@ -315,13 +331,14 @@ func (a *arena) freeBypass(c *pmem.Ctx, s *slab.Slab, idx int, fromCache bool) {
 			a.lruRemove(s)
 			a.res.Release(c)
 			a.releaseSlab(c, s)
-			return
+			return true
 		}
 		if wasOff {
 			a.freelistPush(s)
 		}
 	}
 	a.res.Release(c)
+	return true
 }
 
 // spareExists reports whether the class has another slab with free space

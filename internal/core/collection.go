@@ -39,14 +39,13 @@ type Object struct {
 // The snapshot is consistent per slab/extent but not globally atomic;
 // quiesce mutators for an exact enumeration.
 func (h *Heap) Objects(fn func(Object) bool) {
-	// Collect slab bases and extents, then walk in address order.
-	h.slabsMu.RLock()
-	slabs := make([]*slab.Slab, 0, len(h.slabs))
-	for _, s := range h.slabs {
+	// Collect slab bases and extents, then walk in address order (the
+	// page map already ranges in ascending base order).
+	slabs := make([]*slab.Slab, 0, h.slabs.Len())
+	h.slabs.Range(func(_ pmem.PAddr, s *slab.Slab) bool {
 		slabs = append(slabs, s)
-	}
-	h.slabsMu.RUnlock()
-	sort.Slice(slabs, func(i, j int) bool { return slabs[i].Base < slabs[j].Base })
+		return true
+	})
 
 	h.large.Res.Acquire(h.noopCtx())
 	exts := make([]Object, 0, len(h.large.Activated()))

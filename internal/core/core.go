@@ -14,6 +14,7 @@ import (
 	"nvalloc/internal/alloc"
 	"nvalloc/internal/blog"
 	"nvalloc/internal/extent"
+	"nvalloc/internal/pagemap"
 	"nvalloc/internal/pmem"
 	"nvalloc/internal/slab"
 	"nvalloc/internal/walog"
@@ -197,8 +198,11 @@ type Heap struct {
 	book   extent.Bookkeeper
 	blog   *blog.Log // non-nil iff LogBookkeeping
 
-	slabsMu sync.RWMutex
-	slabs   map[pmem.PAddr]*slab.Slab // slab base -> vslab
+	// slabs maps slab base addresses to vslabs through a lock-free
+	// two-level page map: Free resolves an address to its slab with two
+	// atomic loads and no global lock. Writers (newSlab/releaseSlab)
+	// publish fully-constructed slabs with an atomic store.
+	slabs *pagemap.Map[slab.Slab]
 
 	threadsMu sync.Mutex
 	nextOwner int
@@ -314,7 +318,7 @@ func (h *Heap) initVolatile(dev *pmem.Device, opts Options) {
 	}
 	h.persistSmall = opts.Variant == LOG || opts.Variant == IC
 	h.useWAL = opts.Variant == LOG
-	h.slabs = make(map[pmem.PAddr]*slab.Slab)
+	h.slabs = pagemap.New[slab.Slab](dev.Size(), slab.Size)
 	h.arenas = make([]*arena, opts.Arenas)
 	for i := range h.arenas {
 		h.arenas[i] = newArena(h, i)
@@ -390,9 +394,7 @@ func (h *Heap) MorphStats() (morphs, refusals uint64) {
 // SlabUtilization buckets live slabs by occupancy — <30%, 30-70%, >70% —
 // and returns the slab counts per bucket (Figure 15(b)'s breakdown).
 func (h *Heap) SlabUtilization() (buckets [3]int) {
-	h.slabsMu.RLock()
-	defer h.slabsMu.RUnlock()
-	for _, s := range h.slabs {
+	h.slabs.Range(func(_ pmem.PAddr, s *slab.Slab) bool {
 		s.Mu.Lock()
 		u := s.Usage()
 		s.Mu.Unlock()
@@ -404,7 +406,8 @@ func (h *Heap) SlabUtilization() (buckets [3]int) {
 		default:
 			buckets[2]++
 		}
-	}
+		return true
+	})
 	return
 }
 
@@ -424,13 +427,12 @@ func (h *Heap) Close() error {
 	if !h.persistSmall {
 		// GC variant: bitmaps were never flushed at runtime; persist the
 		// volatile truth now so normal-shutdown recovery is cheap.
-		h.slabsMu.RLock()
-		for _, s := range h.slabs {
+		h.slabs.Range(func(_ pmem.PAddr, s *slab.Slab) bool {
 			s.Mu.Lock()
 			s.SyncBitmap(c)
 			s.Mu.Unlock()
-		}
-		h.slabsMu.RUnlock()
+			return true
+		})
 	}
 	for i, a := range h.arenas {
 		if a.wal != nil {

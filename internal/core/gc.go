@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"nvalloc/internal/pmem"
 	"nvalloc/internal/slab"
 )
@@ -24,7 +26,7 @@ func (h *Heap) conservativeGC(c *pmem.Ctx) {
 			return object{}, false
 		}
 		base := p &^ (slab.Size - 1)
-		if s := h.slabs[base]; s != nil {
+		if s := h.slabs.Lookup(base); s != nil {
 			if idx := s.BlockIndex(p); idx >= 0 {
 				return object{addr: p, size: uint64(s.BlockSize)}, true
 			}
@@ -65,8 +67,9 @@ func (h *Heap) conservativeGC(c *pmem.Ctx) {
 		}
 	}
 
-	// Sweep slabs: allocation state becomes exactly the marked set.
-	for _, s := range h.slabs {
+	// Sweep slabs in address order (deterministic freelist rebuild):
+	// allocation state becomes exactly the marked set.
+	h.slabs.Range(func(_ pmem.PAddr, s *slab.Slab) bool {
 		a := h.arenas[s.Owner]
 		wasFree := s.FreeCount() > 0
 		for idx := 0; idx < s.Blocks; idx++ {
@@ -98,15 +101,18 @@ func (h *Heap) conservativeGC(c *pmem.Ctx) {
 			a.freelistPush(s)
 		}
 		c.Charge(pmem.CatSearch, int64(s.Blocks)/8)
-	}
+		return true
+	})
 
-	// Sweep extents: unreachable non-slab extents are leaks; free them.
+	// Sweep extents: unreachable non-slab extents are leaks; free them in
+	// address order so the rebuilt extent freelists are deterministic.
 	var leaked []pmem.PAddr
 	for addr, v := range h.large.Activated() {
 		if !v.Slab && !marked[addr] {
 			leaked = append(leaked, addr)
 		}
 	}
+	sort.Slice(leaked, func(i, j int) bool { return leaked[i] < leaked[j] })
 	for _, addr := range leaked {
 		_ = h.large.Free(c, addr)
 	}

@@ -157,7 +157,7 @@ func Open(dev *pmem.Device, opts Options) (*Heap, int64, error) {
 		}
 		s.Owner = next % len(h.arenas)
 		next++
-		h.slabs[v.Addr] = s
+		h.slabs.Store(v.Addr, s)
 		a := h.arenas[s.Owner]
 		if s.FreeCount() > 0 {
 			a.freelistPush(s)
@@ -217,11 +217,11 @@ func (h *Heap) replayWALs(c *pmem.Ctx) error {
 				// step-3 bitmap snapshot already captured this operation —
 				// applying the stale index to the new geometry would flip
 				// an unrelated block.
-				if s := h.slabs[e.Addr]; s != nil && int(e.Aux2) == s.Class {
+				if s := h.slabs.Lookup(e.Addr); s != nil && int(e.Aux2) == s.Class {
 					h.forceBit(c, s, int(e.Aux), true)
 				}
 			case walog.OpFreeBit:
-				if s := h.slabs[e.Addr]; s != nil && int(e.Aux2) == s.Class {
+				if s := h.slabs.Lookup(e.Addr); s != nil && int(e.Aux2) == s.Class {
 					h.forceBit(c, s, int(e.Aux), false)
 				}
 			case walog.OpMallocTo:
@@ -271,7 +271,7 @@ func (h *Heap) forceBit(c *pmem.Ctx, s *slab.Slab, idx int, val bool) {
 // it is currently allocated.
 func (h *Heap) forceFreeBlock(c *pmem.Ctx, addr pmem.PAddr) {
 	base := addr &^ (slab.Size - 1)
-	if s := h.slabs[base]; s != nil {
+	if s := h.slabs.Lookup(base); s != nil {
 		if idx := s.BlockIndex(addr); idx >= 0 {
 			h.forceBit(c, s, idx, false)
 		}

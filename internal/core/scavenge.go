@@ -171,10 +171,7 @@ func (h *Heap) resolvesLive(p pmem.PAddr) bool {
 		return false
 	}
 	base := p &^ (slab.Size - 1)
-	h.slabsMu.RLock()
-	s := h.slabs[base]
-	h.slabsMu.RUnlock()
-	if s != nil {
+	if s := h.slabs.Lookup(base); s != nil {
 		s.Mu.Lock()
 		defer s.Mu.Unlock()
 		if idx := s.BlockIndex(p); idx >= 0 {

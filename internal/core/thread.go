@@ -133,63 +133,78 @@ func (t *Thread) Free(addr pmem.PAddr) error {
 		return alloc.ErrBadAddress
 	}
 	t.ctx.Charge(pmem.CatOther, opBaseNS)
-	// Resolve the slab by its 64 KiB-aligned base (the address index the
-	// paper implements with an R-tree).
-	base := addr &^ (slab.Size - 1)
-	t.h.slabsMu.RLock()
-	s := t.h.slabs[base]
-	t.h.slabsMu.RUnlock()
+	// Resolve the slab by its 64 KiB-aligned base: a lock-free page-map
+	// lookup (the address index the paper implements with an R-tree).
+	s := t.h.slabs.Lookup(addr &^ (slab.Size - 1))
 	if s == nil {
 		return t.freeLarge(addr)
 	}
 	return t.freeSmall(s, addr)
 }
 
+// freeSmall returns a block to its slab through a single critical
+// section. Address-to-index resolution runs lock-free against the
+// slab's published geometry snapshot; pointer identity of the snapshot
+// is revalidated under s.Mu (or the arena lock on the bypass path)
+// before the index is applied, and the whole operation retries on the
+// rare concurrent morph.
 func (t *Thread) freeSmall(s *slab.Slab, addr pmem.PAddr) error {
 	owner := t.h.arenas[s.Owner]
-
-	s.Mu.Lock()
-	// A block_before (old size class) bypasses the tcache entirely.
-	if oldIdx := s.OldBlockIndex(addr); oldIdx >= 0 {
-		s.Mu.Unlock()
-		return t.freeOld(owner, s, oldIdx)
-	}
-	idx := s.BlockIndex(addr)
-	if idx < 0 {
-		s.Mu.Unlock()
-		return alloc.ErrBadAddress
-	}
-	class := s.Class
-	s.Mu.Unlock()
-
-	tc := t.cache(class)
-	if tc.Full() {
-		// Bypass: return directly to the slab.
-		owner.freeBypass(t.ctx, s, idx, false)
-		return nil
-	}
-	// Persist the free, then cache the block in this thread's tcache.
-	switch {
-	case t.h.useWAL:
-		owner.res.Acquire(t.ctx)
-		s.Mu.Lock()
-		owner.wal.Append(t.ctx, walog.Entry{Op: walog.OpFreeBit, Addr: s.Base, Aux: uint64(idx), Aux2: uint32(s.Class)})
-		s.CommitFreeToCache(t.ctx, idx, true)
-		if s.Usage() < t.h.opts.SU {
-			owner.noteCandidate(s)
+	for {
+		g := s.Geometry()
+		if g.SlabIn {
+			// A block_before (old size class) bypasses the tcache entirely.
+			// Old-class membership is an index-table property, not a
+			// geometric one, so it is decided under the slab lock.
+			s.Mu.Lock()
+			if s.Geometry() != g {
+				s.Mu.Unlock()
+				continue
+			}
+			oldIdx := s.OldBlockIndex(addr)
+			s.Mu.Unlock()
+			if oldIdx >= 0 {
+				return t.freeOld(owner, s, oldIdx)
+			}
 		}
-		s.Mu.Unlock()
-		owner.res.Release(t.ctx)
-	default:
+		idx := g.BlockIndex(s.Base, addr)
+		if idx < 0 {
+			return alloc.ErrBadAddress
+		}
+		tc := t.cache(g.Class)
+		if tc.Full() {
+			// Bypass: return directly to the slab.
+			if !owner.freeBypass(t.ctx, s, idx, false, g) {
+				continue
+			}
+			return nil
+		}
+		// Persist the free, then cache the block in this thread's tcache.
+		if t.h.useWAL {
+			owner.res.Acquire(t.ctx)
+		}
 		s.Mu.Lock()
+		if s.Geometry() != g {
+			s.Mu.Unlock()
+			if t.h.useWAL {
+				owner.res.Release(t.ctx)
+			}
+			continue
+		}
+		if t.h.useWAL {
+			owner.wal.Append(t.ctx, walog.Entry{Op: walog.OpFreeBit, Addr: s.Base, Aux: uint64(idx), Aux2: uint32(g.Class)})
+		}
 		s.CommitFreeToCache(t.ctx, idx, t.h.persistSmall)
 		if s.Usage() < t.h.opts.SU {
 			owner.noteCandidate(s)
 		}
 		s.Mu.Unlock()
+		if t.h.useWAL {
+			owner.res.Release(t.ctx)
+		}
+		tc.Push(owner.tcacheStripeGeom(g, idx), tcache.Block{Slab: s, Idx: idx})
+		return nil
 	}
-	tc.Push(owner.tcacheStripe(s, idx), tcache.Block{Slab: s, Idx: idx})
-	return nil
 }
 
 func (t *Thread) freeOld(owner *arena, s *slab.Slab, oldIdx int) error {
@@ -200,6 +215,7 @@ func (t *Thread) freeOld(owner *arena, s *slab.Slab, oldIdx int) error {
 	if err == nil && s.Usage() < t.h.opts.SU {
 		owner.noteCandidate(s)
 	}
+	hasFree := err == nil && s.FreeCount() > 0
 	s.Mu.Unlock()
 	if err != nil {
 		return err
@@ -208,13 +224,8 @@ func (t *Thread) freeOld(owner *arena, s *slab.Slab, oldIdx int) error {
 		// Fully demoted to a regular slab: it may morph again.
 		owner.lruTouch(s)
 	}
-	if !owner.onFreelist(s) {
-		s.Mu.Lock()
-		hasFree := s.FreeCount() > 0
-		s.Mu.Unlock()
-		if hasFree {
-			owner.freelistPush(s)
-		}
+	if hasFree && !owner.onFreelist(s) {
+		owner.freelistPush(s)
 	}
 	return nil
 }
@@ -282,7 +293,7 @@ func (t *Thread) Close() {
 		}
 		for _, b := range tc.Drain() {
 			s := b.Slab.(*slab.Slab)
-			t.h.arenas[s.Owner].freeBypass(t.ctx, s, b.Idx, true)
+			t.h.arenas[s.Owner].freeBypass(t.ctx, s, b.Idx, true, nil)
 		}
 	}
 	t.h.threadsMu.Lock()

@@ -1,0 +1,99 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The parallel experiment engine. Every experiment cell (one allocator ×
+// thread-count × benchmark combination) constructs its own pmem.Device
+// and heap, so cells share no state and their virtual-time results are
+// bit-identical whether they run serially or concurrently. The engine
+// only changes which wall-clock moment each cell runs at; result tables
+// are always filled by cell index, preserving the serial presentation
+// order.
+
+// workers resolves the effective worker count: Workers == 1 forces the
+// serial engine, Workers <= 0 means one worker per available CPU.
+func (c Config) workers() int {
+	if c.Workers == 1 {
+		return 1
+	}
+	if c.Workers > 1 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runCells executes fn(0), ..., fn(n-1) on a worker pool bounded by
+// cfg.workers(). Cells must be independent: each writes only its own
+// result slot. A panicking cell does not wedge the pool; the first
+// panic value is re-raised after every worker has drained, matching the
+// serial engine's fail-fast behaviour closely enough for tests that
+// expect a panic to escape the runner.
+func runCells(cfg Config, n int, fn func(i int)) {
+	w := cfg.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		wg         sync.WaitGroup
+		mu         sync.Mutex
+		firstPanic any
+	)
+	cells := make(chan int)
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range cells {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							mu.Lock()
+							if firstPanic == nil {
+								firstPanic = r
+							}
+							mu.Unlock()
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		cells <- i
+	}
+	close(cells)
+	wg.Wait()
+	if firstPanic != nil {
+		panic(firstPanic)
+	}
+}
+
+// grid runs fn over an r×c cell grid and returns the results indexed
+// [row][col], in deterministic order regardless of scheduling.
+func grid[T any](cfg Config, rows, cols int, fn func(r, c int) T) [][]T {
+	out := make([][]T, rows)
+	for r := range out {
+		out[r] = make([]T, cols)
+	}
+	runCells(cfg, rows*cols, func(i int) {
+		r, c := i/cols, i%cols
+		out[r][c] = fn(r, c)
+	})
+	return out
+}
+
+// runJobs executes a heterogeneous job list on the worker pool; each job
+// captures its own result slot.
+func runJobs(cfg Config, jobs []func()) {
+	runCells(cfg, len(jobs), func(i int) { jobs[i]() })
+}

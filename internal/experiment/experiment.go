@@ -85,6 +85,10 @@ type Config struct {
 	DeviceBytes uint64
 	// Mode runs experiments on ADR (default) or eADR devices.
 	Mode pmem.Mode
+	// Workers bounds the parallel experiment engine: 0 (default) uses
+	// GOMAXPROCS workers, 1 forces the serial engine, N > 1 uses N.
+	// Each cell owns its device, so tables are identical at any setting.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {

@@ -19,23 +19,44 @@ func init() {
 // blob and possibly an overflow bucket; every delete frees one.
 func hashIndexExp(cfg Config) []*Table {
 	cfg = cfg.withDefaults()
-	var tables []*Table
-	for _, set := range []struct {
+	sets := []struct {
 		title string
 		names []string
 	}{
 		{"strongly consistent", StrongAllocators},
 		{"weakly consistent", WeakAllocators},
-	} {
+	}
+	// The two sets have different widths, so flatten them into one job
+	// list (same pattern as fig14) instead of a rectangular grid.
+	type slot struct {
+		set, row, col int
+	}
+	var jobs []func()
+	results := make([][][]float64, len(sets))
+	for si, set := range sets {
+		results[si] = make([][]float64, len(cfg.Threads))
+		for ti := range cfg.Threads {
+			results[si][ti] = make([]float64, len(set.names))
+			for ni := range set.names {
+				s := slot{si, ti, ni}
+				jobs = append(jobs, func() {
+					results[s.set][s.row][s.col] = hashIndexRun(cfg, sets[s.set].names[s.col], cfg.Threads[s.row])
+				})
+			}
+		}
+	}
+	runJobs(cfg, jobs)
+	var tables []*Table
+	for si, set := range sets {
 		t := &Table{
 			ID:      "hashindex",
 			Title:   fmt.Sprintf("Persistent hash index 50%% put / 25%% get / 25%% delete, %s allocators (Mops/s) [extension]", set.title),
 			Columns: append([]string{"threads"}, set.names...),
 		}
-		for _, th := range cfg.Threads {
+		for ti, th := range cfg.Threads {
 			row := []string{fmt.Sprint(th)}
-			for _, name := range set.names {
-				row = append(row, f2(hashIndexRun(cfg, name, th)))
+			for ni := range set.names {
+				row = append(row, f2(results[si][ti][ni]))
 			}
 			t.Rows = append(t.Rows, row)
 		}

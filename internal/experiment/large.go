@@ -45,18 +45,24 @@ func fig2(cfg Config) []*Table {
 		Columns: []string{"allocator", "flushes traced", "distinct 1MiB regions", "random%"},
 		CSV:     map[string][]string{},
 	}
-	for _, name := range []string{"nvm_malloc", "PAllocator", "PMDK", "Makalu", "NVAlloc-LOG"} {
+	names := []string{"nvm_malloc", "PAllocator", "PMDK", "Makalu", "NVAlloc-LOG"}
+	type traceResult struct {
+		csv     []string
+		flushes int
+		regions int
+		randPct float64
+	}
+	results := grid(cfg, 1, len(names), func(_, ni int) traceResult {
 		dev := pmem.New(pmem.Config{Size: cfg.DeviceBytes, TraceFlushes: 4000})
-		h, err := openOn(dev, name)
+		h, err := openOn(dev, names[ni])
 		if err != nil {
 			panic(err)
 		}
 		r := workload.DBMStest(h, 1, cfg.ops(4), cfg.ops(120))
-		trace := dev.FlushTrace()
 		rows := []string{"seq,addr"}
 		regions := map[uint64]bool{}
 		n := 0
-		for _, rec := range trace {
+		for _, rec := range dev.FlushTrace() {
 			if rec.Cat != pmem.CatMeta {
 				continue
 			}
@@ -66,13 +72,17 @@ func fig2(cfg Config) []*Table {
 			regions[uint64(rec.Addr)>>20] = true
 			n++
 		}
-		t.CSV["fig2_"+name] = rows
 		total := r.Stats.SeqFlushes + r.Stats.RandFlushes
 		randPct := 0.0
 		if total > 0 {
 			randPct = float64(r.Stats.RandFlushes) / float64(total)
 		}
-		t.Rows = append(t.Rows, []string{name, fmt.Sprint(n), fmt.Sprint(len(regions)), pct(randPct)})
+		return traceResult{csv: rows, flushes: n, regions: len(regions), randPct: randPct}
+	})
+	for ni, name := range names {
+		res := results[0][ni]
+		t.CSV["fig2_"+name] = res.csv
+		t.Rows = append(t.Rows, []string{name, fmt.Sprint(res.flushes), fmt.Sprint(res.regions), pct(res.randPct)})
 	}
 	return []*Table{t}
 }
@@ -84,22 +94,27 @@ func fig2(cfg Config) []*Table {
 func largePerf(cfg Config, id string) []*Table {
 	cfg = cfg.withDefaults()
 	allocators := []string{"PMDK", "nvm_malloc", "PAllocator", "Makalu", "NVAlloc-LOG"}
+	benches := largeBenches(cfg)
+	nt := len(cfg.Threads)
+	mops := grid(cfg, len(benches)*nt, len(allocators), func(r, ai int) float64 {
+		bi, ti := r/nt, r%nt
+		h, err := OpenHeap(allocators[ai], cfg)
+		if err != nil {
+			panic(err)
+		}
+		return benches[bi].run(h, cfg.Threads[ti]).MopsPerSec()
+	})
 	var tables []*Table
-	for _, b := range largeBenches(cfg) {
+	for bi, b := range benches {
 		t := &Table{
 			ID:      id,
 			Title:   fmt.Sprintf("%s large allocations, Mops/s (virtual time)", b.name),
 			Columns: append([]string{"threads"}, allocators...),
 		}
-		for _, th := range cfg.Threads {
+		for ti, th := range cfg.Threads {
 			row := []string{fmt.Sprint(th)}
-			for _, name := range allocators {
-				h, err := OpenHeap(name, cfg)
-				if err != nil {
-					panic(err)
-				}
-				r := b.run(h, th)
-				row = append(row, f2(r.MopsPerSec()))
+			for ai := range allocators {
+				row = append(row, f2(mops[bi*nt+ti][ai]))
 			}
 			t.Rows = append(t.Rows, row)
 		}
@@ -117,33 +132,38 @@ func fig17(cfg Config) []*Table {
 		Title:   "Bookkeeping-log GC overhead (NVAlloc-LOG, 4 threads)",
 		Columns: []string{"benchmark", "Mops w/o GC", "Mops with GC", "drop", "fastGCs", "slowGCs"},
 	}
-	for _, b := range largeBenches(cfg) {
-		var mops [2]float64
-		var fast, slow uint64
-		for i, gc := range []bool{false, true} {
-			dev := pmem.New(pmem.Config{Size: cfg.DeviceBytes})
-			opts := core.DefaultOptions(core.LOG)
-			opts.BlogGC = gc
-			// The paper sets Usage_pmem to a small fraction of the heap so
-			// slow GC actually triggers during the run.
-			opts.BlogGCThreshold = 16 * 1024
-			h, err := core.Create(dev, opts)
-			if err != nil {
-				panic(err)
-			}
-			r := b.run(h, 4)
-			mops[i] = r.MopsPerSec()
-			if gc {
-				fast, slow = h.Blog().GCCounts()
-			}
+	benches := largeBenches(cfg)
+	type gcResult struct {
+		mops       float64
+		fast, slow uint64
+	}
+	results := grid(cfg, len(benches), 2, func(bi, gi int) gcResult {
+		gc := gi == 1
+		dev := pmem.New(pmem.Config{Size: cfg.DeviceBytes})
+		opts := core.DefaultOptions(core.LOG)
+		opts.BlogGC = gc
+		// The paper sets Usage_pmem to a small fraction of the heap so
+		// slow GC actually triggers during the run.
+		opts.BlogGCThreshold = 16 * 1024
+		h, err := core.Create(dev, opts)
+		if err != nil {
+			panic(err)
 		}
+		out := gcResult{mops: benches[bi].run(h, 4).MopsPerSec()}
+		if gc {
+			out.fast, out.slow = h.Blog().GCCounts()
+		}
+		return out
+	})
+	for bi, b := range benches {
+		off, on := results[bi][0], results[bi][1]
 		drop := 0.0
-		if mops[0] > 0 {
-			drop = 1 - mops[1]/mops[0]
+		if off.mops > 0 {
+			drop = 1 - on.mops/off.mops
 		}
 		t.Rows = append(t.Rows, []string{
-			b.name, f2(mops[0]), f2(mops[1]), pct(drop),
-			fmt.Sprint(fast), fmt.Sprint(slow),
+			b.name, f2(off.mops), f2(on.mops), pct(drop),
+			fmt.Sprint(on.fast), fmt.Sprint(on.slow),
 		})
 	}
 	return []*Table{t}

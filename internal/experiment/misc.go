@@ -27,23 +27,44 @@ func fig14(cfg Config) []*Table {
 	cfg = cfg.withDefaults()
 	warm := cfg.ops(20000)
 	opsPer := cfg.ops(20000)
-	var tables []*Table
-	for _, set := range []struct {
+	sets := []struct {
 		title string
 		names []string
 	}{
 		{"strongly consistent", StrongAllocators},
 		{"weakly consistent", WeakAllocators},
-	} {
+	}
+	// Flatten both allocator sets into one job list (the sets have
+	// different widths, so a rectangular grid does not fit).
+	type slot struct {
+		set, row, col int
+	}
+	var jobs []func()
+	results := make([][][]float64, len(sets))
+	for si, set := range sets {
+		results[si] = make([][]float64, len(cfg.Threads))
+		for ti := range cfg.Threads {
+			results[si][ti] = make([]float64, len(set.names))
+			for ni := range set.names {
+				s := slot{si, ti, ni}
+				jobs = append(jobs, func() {
+					results[s.set][s.row][s.col] = fptreeRun(cfg, sets[s.set].names[s.col], cfg.Threads[s.row], warm, opsPer)
+				})
+			}
+		}
+	}
+	runJobs(cfg, jobs)
+	var tables []*Table
+	for si, set := range sets {
 		t := &Table{
 			ID:      "fig14",
 			Title:   fmt.Sprintf("FPTree 50%% insert / 50%% delete, %s allocators (Mops/s)", set.title),
 			Columns: append([]string{"threads"}, set.names...),
 		}
-		for _, th := range cfg.Threads {
+		for ti, th := range cfg.Threads {
 			row := []string{fmt.Sprint(th)}
-			for _, name := range set.names {
-				row = append(row, f2(fptreeRun(cfg, name, th, warm, opsPer)))
+			for ni := range set.names {
+				row = append(row, f2(results[si][ti][ni]))
 			}
 			t.Rows = append(t.Rows, row)
 		}
@@ -121,25 +142,28 @@ func stripeSweep(cfg Config, id string, mode pmem.Mode, title string) []*Table {
 			return c
 		}()...),
 	}
-	for _, th := range cfg.Threads {
+	ns := grid(cfg, len(cfg.Threads), len(stripes), func(ti, si int) int64 {
+		s := stripes[si]
+		dev := pmem.New(pmem.Config{Size: cfg.DeviceBytes, Mode: mode})
+		opts := core.DefaultOptions(core.LOG)
+		opts.Stripes = s
+		if s == 1 {
+			opts.InterleaveBitmap = false
+			opts.InterleaveTcache = false
+			opts.InterleaveWAL = false
+		}
+		// Figure 19 measures the raw effect of stripes, so eADR does
+		// NOT auto-disable interleaving here.
+		h, err := core.Create(dev, opts)
+		if err != nil {
+			panic(err)
+		}
+		return workload.Threadtest(h, cfg.Threads[ti], cfg.ops(10), 1000, 64).MakespanNS
+	})
+	for ti, th := range cfg.Threads {
 		row := []string{fmt.Sprint(th)}
-		for _, s := range stripes {
-			dev := pmem.New(pmem.Config{Size: cfg.DeviceBytes, Mode: mode})
-			opts := core.DefaultOptions(core.LOG)
-			opts.Stripes = s
-			if s == 1 {
-				opts.InterleaveBitmap = false
-				opts.InterleaveTcache = false
-				opts.InterleaveWAL = false
-			}
-			// Figure 19 measures the raw effect of stripes, so eADR does
-			// NOT auto-disable interleaving here.
-			h, err := core.Create(dev, opts)
-			if err != nil {
-				panic(err)
-			}
-			r := workload.Threadtest(h, th, cfg.ops(10), 1000, 64)
-			row = append(row, msec(r.MakespanNS))
+		for si := range stripes {
+			row = append(row, msec(ns[ti][si]))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -156,9 +180,12 @@ func fig18(cfg Config) []*Table {
 		Title:   fmt.Sprintf("Recovery time after crash, %d-node linked list (virtual ms)", nodes),
 		Columns: []string{"allocator", "recovery ms"},
 	}
-	for _, name := range []string{"nvm_malloc", "PMDK", "NVAlloc-LOG", "Ralloc", "Makalu", "NVAlloc-GC"} {
-		ns := recoveryRun(cfg, name, nodes)
-		t.Rows = append(t.Rows, []string{name, msec(ns)})
+	names := []string{"nvm_malloc", "PMDK", "NVAlloc-LOG", "Ralloc", "Makalu", "NVAlloc-GC"}
+	ns := grid(cfg, 1, len(names), func(_, ni int) int64 {
+		return recoveryRun(cfg, names[ni], nodes)
+	})
+	for ni, name := range names {
+		t.Rows = append(t.Rows, []string{name, msec(ns[0][ni])})
 	}
 	return []*Table{t}
 }
@@ -245,12 +272,16 @@ func ablation(cfg Config) []*Table {
 		Title:   "Extent selection: best-fit (size tree) vs first-fit (address scan)",
 		Columns: []string{"variant", "DBMStest Mops", "peak MiB"},
 	}
-	for _, name := range []string{"NVAlloc-LOG", "NVAlloc-LOG ff"} {
-		h, err := OpenHeap(name, cfg)
+	names := []string{"NVAlloc-LOG", "NVAlloc-LOG ff"}
+	results := grid(cfg, 1, len(names), func(_, ni int) workload.Result {
+		h, err := OpenHeap(names[ni], cfg)
 		if err != nil {
 			panic(err)
 		}
-		r := workload.DBMStest(h, 2, cfg.ops(5), cfg.ops(120))
+		return workload.DBMStest(h, 2, cfg.ops(5), cfg.ops(120))
+	})
+	for ni, name := range names {
+		r := results[0][ni]
 		t.Rows = append(t.Rows, []string{name, f2(r.MopsPerSec()), mib(r.PeakBytes)})
 	}
 	return []*Table{t}

@@ -49,14 +49,19 @@ func fig1a(cfg Config) []*Table {
 		Title:   "Ratio of cache line reflushes vs regular flushes (1 thread)",
 		Columns: []string{"benchmark", "allocator", "reflush%", "flush%"},
 	}
-	for _, b := range smallBenches(cfg) {
-		for _, name := range []string{"PMDK", "nvm_malloc", "PAllocator"} {
-			h, err := OpenHeap(name, cfg)
-			if err != nil {
-				panic(err)
-			}
-			r := b.run(h, 1)
-			ratio := r.Stats.ReflushRatio()
+	benches := smallBenches(cfg)
+	names := []string{"PMDK", "nvm_malloc", "PAllocator"}
+	ratios := grid(cfg, len(benches), len(names), func(bi, ni int) float64 {
+		h, err := OpenHeap(names[ni], cfg)
+		if err != nil {
+			panic(err)
+		}
+		r := benches[bi].run(h, 1)
+		return r.Stats.ReflushRatio()
+	})
+	for bi, b := range benches {
+		for ni, name := range names {
+			ratio := ratios[bi][ni]
 			t.Rows = append(t.Rows, []string{b.name, name, pct(ratio), pct(1 - ratio)})
 		}
 	}
@@ -67,22 +72,29 @@ func fig1a(cfg Config) []*Table {
 // thread counts for the given allocator set.
 func smallPerf(cfg Config, id string, allocators []string) []*Table {
 	cfg = cfg.withDefaults()
+	benches := smallBenches(cfg)
+	// One flat cell grid across benchmarks × thread counts × allocators:
+	// a single worker-pool dispatch with no barrier between benchmarks.
+	nt, na := len(cfg.Threads), len(allocators)
+	mops := grid(cfg, len(benches)*nt, na, func(r, ai int) float64 {
+		bi, ti := r/nt, r%nt
+		h, err := OpenHeap(allocators[ai], cfg)
+		if err != nil {
+			panic(err)
+		}
+		return benches[bi].run(h, cfg.Threads[ti]).MopsPerSec()
+	})
 	var tables []*Table
-	for _, b := range smallBenches(cfg) {
+	for bi, b := range benches {
 		t := &Table{
 			ID:      id,
 			Title:   fmt.Sprintf("%s small allocations, Mops/s (virtual time)", b.name),
 			Columns: append([]string{"threads"}, allocators...),
 		}
-		for _, th := range cfg.Threads {
+		for ti, th := range cfg.Threads {
 			row := []string{fmt.Sprint(th)}
-			for _, name := range allocators {
-				h, err := OpenHeap(name, cfg)
-				if err != nil {
-					panic(err)
-				}
-				r := b.run(h, th)
-				row = append(row, f2(r.MopsPerSec()))
+			for ai := range allocators {
+				row = append(row, f2(mops[bi*nt+ti][ai]))
 			}
 			t.Rows = append(t.Rows, row)
 		}
@@ -111,25 +123,26 @@ func fig11(cfg Config) []*Table {
 			return workload.DBMStest(h, 8, cfg.ops(5), cfg.ops(100))
 		}},
 	}
+	stats := grid(cfg, len(runs), len(versions), func(ri, vi int) workload.Result {
+		h, err := OpenHeap(versions[vi], cfg)
+		if err != nil {
+			panic(err)
+		}
+		return runs[ri].run(h)
+	})
 	var tables []*Table
-	for _, r := range runs {
+	for ri, r := range runs {
 		t := &Table{
 			ID:      "fig11",
 			Title:   fmt.Sprintf("%s execution-time breakdown, 8 threads (ms of virtual work)", r.bench),
 			Columns: []string{"version", "FlushMeta", "FlushWAL", "Search", "Other", "total", "vsBase"},
 		}
-		var baseTotal int64
-		for _, v := range versions {
-			h, err := OpenHeap(v, cfg)
-			if err != nil {
-				panic(err)
-			}
-			res := r.run(h)
-			s := res.Stats
+		// vsBase is relative to the "Base" row (versions[0]), computed
+		// after all cells finish so cell order stays free.
+		baseTotal := stats[ri][0].Stats.TotalNS()
+		for vi, v := range versions {
+			s := stats[ri][vi].Stats
 			total := s.TotalNS()
-			if v == "Base" {
-				baseTotal = total
-			}
 			rel := "1.00"
 			if baseTotal > 0 {
 				rel = f2(float64(total) / float64(baseTotal))

@@ -37,15 +37,17 @@ func fig1b(cfg Config) []*Table {
 		Columns: append([]string{"workload", "live"}, names...),
 	}
 	fc := fragCfg(cfg)
-	for _, spec := range workload.FragSpecs {
+	peaks := grid(cfg, len(workload.FragSpecs), len(names), func(si, ni int) uint64 {
+		h, err := OpenHeap(names[ni], cfg)
+		if err != nil {
+			panic(err)
+		}
+		return workload.Fragbench(h, workload.FragSpecs[si], fc).PeakBytes
+	})
+	for si, spec := range workload.FragSpecs {
 		row := []string{spec.Name, mib(fc.LiveBytes)}
-		for _, name := range names {
-			h, err := OpenHeap(name, cfg)
-			if err != nil {
-				panic(err)
-			}
-			r := workload.Fragbench(h, spec, fc)
-			row = append(row, mib(r.PeakBytes))
+		for ni := range names {
+			row = append(row, mib(peaks[si][ni]))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -77,15 +79,19 @@ func fig13(cfg Config) []*Table {
 			return workload.DBMStest(h, th, cfg.ops(5), cfg.ops(100)).PeakBytes
 		}},
 	} {
+		b := b
 		t := &Table{
 			ID:      "fig13",
 			Title:   fmt.Sprintf("%s peak space consumption (MiB)", b.bench),
 			Columns: append([]string{"threads"}, names...),
 		}
-		for _, th := range cfg.Threads {
+		peaks := grid(cfg, len(cfg.Threads), len(names), func(ti, ni int) uint64 {
+			return b.run(names[ni], cfg.Threads[ti])
+		})
+		for ti, th := range cfg.Threads {
 			row := []string{fmt.Sprint(th)}
-			for _, name := range names {
-				row = append(row, mib(b.run(name, th)))
+			for ni := range names {
+				row = append(row, mib(peaks[ti][ni]))
 			}
 			t.Rows = append(t.Rows, row)
 		}
@@ -122,48 +128,58 @@ func fig15(cfg Config) []*Table {
 		Columns: []string{"workload", "Makalu", "Ralloc", "NVAlloc-GC w/o SM", "NVAlloc-GC"},
 	}
 
-	runOne := func(name string, spec workload.FragSpec) (workload.FragResult, [3]int) {
-		h, err := OpenHeap(name, cfg)
+	type cell struct {
+		r       workload.FragResult
+		buckets [3]int
+	}
+	// Each spec runs 11 independent cells — the three space-table
+	// allocators plus the two four-column performance panels. The lists
+	// intentionally repeat names: panels (c)/(d) are separate runs in the
+	// paper, and deduplicating them would change the published numbers.
+	spaceNames := []string{"Makalu", "NVAlloc-LOG w/o SM", "NVAlloc-LOG"}
+	strongNames := []string{"PMDK", "nvm_malloc", "NVAlloc-LOG w/o SM", "NVAlloc-LOG"}
+	weakNames := []string{"Makalu", "Ralloc", "NVAlloc-GC w/o SM", "NVAlloc-GC"}
+	allNames := append(append(append([]string{}, spaceNames...), strongNames...), weakNames...)
+
+	cells := grid(cfg, len(workload.FragSpecs), len(allNames), func(si, ni int) cell {
+		h, err := OpenHeap(allNames[ni], cfg)
 		if err != nil {
 			panic(err)
 		}
-		r := workload.Fragbench(h, spec, fc)
-		var buckets [3]int
+		out := cell{r: workload.Fragbench(h, workload.FragSpecs[si], fc)}
 		if ch, ok := h.(*core.Heap); ok {
-			buckets = ch.SlabUtilization()
+			out.buckets = ch.SlabUtilization()
 		}
-		return r, buckets
-	}
+		return out
+	})
 
-	for _, spec := range workload.FragSpecs {
+	for si, spec := range workload.FragSpecs {
 		var spaceRow = []string{spec.Name}
 		var strongRow = []string{spec.Name}
 		var weakRow = []string{spec.Name}
-		for _, name := range []string{"Makalu", "NVAlloc-LOG w/o SM", "NVAlloc-LOG"} {
-			r, buckets := runOne(name, spec)
-			spaceRow = append(spaceRow, mib(r.PeakBytes))
+		for ni, name := range spaceNames {
+			c := cells[si][ni]
+			spaceRow = append(spaceRow, mib(c.r.PeakBytes))
 			switch name {
 			case "NVAlloc-LOG w/o SM":
 				breakdown.Rows = append(breakdown.Rows, []string{
 					spec.Name, "w/o SM",
-					fmt.Sprint(buckets[0]), fmt.Sprint(buckets[1]), fmt.Sprint(buckets[2]),
+					fmt.Sprint(c.buckets[0]), fmt.Sprint(c.buckets[1]), fmt.Sprint(c.buckets[2]),
 				})
 			case "NVAlloc-LOG":
 				breakdown.Rows = append(breakdown.Rows, []string{
 					spec.Name, "with SM",
-					fmt.Sprint(buckets[0]), fmt.Sprint(buckets[1]), fmt.Sprint(buckets[2]),
+					fmt.Sprint(c.buckets[0]), fmt.Sprint(c.buckets[1]), fmt.Sprint(c.buckets[2]),
 				})
 			}
 		}
 		space.Rows = append(space.Rows, spaceRow)
-		for _, name := range []string{"PMDK", "nvm_malloc", "NVAlloc-LOG w/o SM", "NVAlloc-LOG"} {
-			r, _ := runOne(name, spec)
-			strongRow = append(strongRow, msec(r.MakespanNS))
+		for ni := range strongNames {
+			strongRow = append(strongRow, msec(cells[si][len(spaceNames)+ni].r.MakespanNS))
 		}
 		perfStrong.Rows = append(perfStrong.Rows, strongRow)
-		for _, name := range []string{"Makalu", "Ralloc", "NVAlloc-GC w/o SM", "NVAlloc-GC"} {
-			r, _ := runOne(name, spec)
-			weakRow = append(weakRow, msec(r.MakespanNS))
+		for ni := range weakNames {
+			weakRow = append(weakRow, msec(cells[si][len(spaceNames)+len(strongNames)+ni].r.MakespanNS))
 		}
 		perfWeak.Rows = append(perfWeak.Rows, weakRow)
 	}
@@ -180,15 +196,24 @@ func fig16b(cfg Config) []*Table {
 		Columns: []string{"SU", "peak MiB", "time ms", "morphs"},
 	}
 	fc := fragCfg(cfg)
-	for _, su := range []int{10, 20, 30, 50} {
-		h, err := OpenHeap(fmt.Sprintf("NVAlloc-LOG su%d", su), cfg)
+	sus := []int{10, 20, 30, 50}
+	type suResult struct {
+		r      workload.FragResult
+		morphs uint64
+	}
+	results := grid(cfg, 1, len(sus), func(_, si int) suResult {
+		h, err := OpenHeap(fmt.Sprintf("NVAlloc-LOG su%d", sus[si]), cfg)
 		if err != nil {
 			panic(err)
 		}
 		r := workload.Fragbench(h, workload.FragSpecs[3], fc)
 		morphs, _ := h.(*core.Heap).MorphStats()
+		return suResult{r: r, morphs: morphs}
+	})
+	for si, su := range sus {
+		res := results[0][si]
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%d%%", su), mib(r.PeakBytes), msec(r.MakespanNS), fmt.Sprint(morphs),
+			fmt.Sprintf("%d%%", su), mib(res.r.PeakBytes), msec(res.r.MakespanNS), fmt.Sprint(res.morphs),
 		})
 	}
 	return []*Table{t}

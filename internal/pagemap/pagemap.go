@@ -1,0 +1,145 @@
+// Package pagemap implements a lock-free two-level page map in the
+// style of TCMalloc's PageMap: a direct-indexed radix over fixed-size
+// page bases (64 KiB slabs here) whose entries are published with
+// atomic pointers. Readers resolve an address to its page's value with
+// two dependent loads and zero locks, which is what takes the global
+// slab-index RWMutex out of the allocator's Free hot path.
+//
+// The root level is sized eagerly from the device size (a few hundred
+// words even for multi-GiB devices); leaves of 512 entries are
+// allocated on first store under a compare-and-swap, so sparse heaps
+// stay cheap. Writers (slab create/release paths, which already hold an
+// arena lock) use atomic stores; concurrent writers to *different*
+// pages never contend, and a reader racing a writer sees either the old
+// or the new pointer, never a torn value.
+package pagemap
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+
+	"nvalloc/internal/pmem"
+)
+
+// leafBits selects the low radix width: 512 pages per leaf covers
+// 32 MiB of heap per allocated leaf at 64 KiB pages.
+const leafBits = 9
+
+// leafSlots is the number of page entries per leaf.
+const leafSlots = 1 << leafBits
+
+type leaf[T any] struct {
+	slots [leafSlots]atomic.Pointer[T]
+}
+
+// Map is a lock-free two-level page map from page base addresses to *T.
+// The zero value is not usable; construct with New.
+type Map[T any] struct {
+	pageShift uint
+	pages     uint64 // total addressable pages
+	roots     []atomic.Pointer[leaf[T]]
+	count     atomic.Int64
+}
+
+// New builds a map covering totalBytes of address space with the given
+// page size (a power of two). Pages are identified by their base
+// address; any address inside a page resolves to the page's entry.
+func New[T any](totalBytes, pageBytes uint64) *Map[T] {
+	if pageBytes == 0 || pageBytes&(pageBytes-1) != 0 {
+		panic(fmt.Sprintf("pagemap: page size %d not a power of two", pageBytes))
+	}
+	pages := (totalBytes + pageBytes - 1) / pageBytes
+	nLeaves := (pages + leafSlots - 1) / leafSlots
+	return &Map[T]{
+		pageShift: uint(bits.TrailingZeros64(pageBytes)),
+		pages:     pages,
+		roots:     make([]atomic.Pointer[leaf[T]], nLeaves),
+	}
+}
+
+// index splits addr into (root index, leaf slot); ok is false when addr
+// lies beyond the mapped address space.
+func (m *Map[T]) index(addr pmem.PAddr) (ri int, si int, ok bool) {
+	page := uint64(addr) >> m.pageShift
+	if page >= m.pages {
+		return 0, 0, false
+	}
+	return int(page >> leafBits), int(page & (leafSlots - 1)), true
+}
+
+// Lookup returns the entry of the page containing addr, or nil when the
+// page has no entry or addr is outside the mapped space. It takes no
+// locks and is safe against concurrent Store/Delete.
+func (m *Map[T]) Lookup(addr pmem.PAddr) *T {
+	ri, si, ok := m.index(addr)
+	if !ok {
+		return nil
+	}
+	l := m.roots[ri].Load()
+	if l == nil {
+		return nil
+	}
+	return l.slots[si].Load()
+}
+
+// Store publishes v as the entry of the page containing addr (nil v
+// clears it, like Delete). The value must be fully initialized before
+// Store: the atomic publish is the only ordering between the writer and
+// lock-free readers.
+func (m *Map[T]) Store(addr pmem.PAddr, v *T) {
+	ri, si, ok := m.index(addr)
+	if !ok {
+		panic(fmt.Sprintf("pagemap: address %#x beyond mapped space", addr))
+	}
+	l := m.roots[ri].Load()
+	for l == nil {
+		if v == nil {
+			return // clearing a page under an unallocated leaf: nothing to do
+		}
+		fresh := new(leaf[T])
+		if m.roots[ri].CompareAndSwap(nil, fresh) {
+			l = fresh
+		} else {
+			l = m.roots[ri].Load()
+		}
+	}
+	old := l.slots[si].Swap(v)
+	switch {
+	case old == nil && v != nil:
+		m.count.Add(1)
+	case old != nil && v == nil:
+		m.count.Add(-1)
+	}
+}
+
+// Delete clears the entry of the page containing addr.
+func (m *Map[T]) Delete(addr pmem.PAddr) { m.Store(addr, nil) }
+
+// Len returns the number of live entries.
+func (m *Map[T]) Len() int { return int(m.count.Load()) }
+
+// Range invokes fn on every live entry in ascending page-base address
+// order, stopping early when fn returns false. Entries stored or
+// deleted concurrently may or may not be observed; entries present for
+// the whole call are always visited exactly once. The deterministic
+// order is load-bearing: recovery sweeps that previously iterated a Go
+// map charged virtual time in randomized order.
+func (m *Map[T]) Range(fn func(base pmem.PAddr, v *T) bool) {
+	for ri := range m.roots {
+		l := m.roots[ri].Load()
+		if l == nil {
+			continue
+		}
+		for si := 0; si < leafSlots; si++ {
+			v := l.slots[si].Load()
+			if v == nil {
+				continue
+			}
+			base := pmem.PAddr((uint64(ri)<<leafBits | uint64(si)) << m.pageShift)
+			if !fn(base, v) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package pagemap
+
+import (
+	"sync"
+	"testing"
+
+	"nvalloc/internal/pmem"
+)
+
+const page = 64 << 10
+
+func TestLookupStoreDelete(t *testing.T) {
+	m := New[int](1<<30, page)
+	if got := m.Lookup(0); got != nil {
+		t.Fatalf("empty map lookup = %v", got)
+	}
+	v := 7
+	m.Store(3*page, &v)
+	if m.Len() != 1 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	// Any address inside the page resolves.
+	for _, a := range []pmem.PAddr{3 * page, 3*page + 1, 4*page - 8} {
+		if got := m.Lookup(a); got != &v {
+			t.Fatalf("lookup %#x = %v", a, got)
+		}
+	}
+	if got := m.Lookup(2*page + 8); got != nil {
+		t.Fatalf("neighbour page lookup = %v", got)
+	}
+	m.Delete(3*page + 100)
+	if m.Lookup(3*page) != nil || m.Len() != 0 {
+		t.Fatalf("delete did not clear entry (len %d)", m.Len())
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	m := New[int](32<<20, page)
+	if m.Lookup(1<<40) != nil {
+		t.Fatal("out-of-range lookup must be nil")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range store must panic")
+		}
+	}()
+	v := 1
+	m.Store(1<<40, &v)
+}
+
+func TestRangeOrderedAndComplete(t *testing.T) {
+	m := New[int](1<<30, page)
+	// Spread entries across multiple leaves (leaf covers 512 pages).
+	idxs := []uint64{0, 1, 511, 512, 513, 1024, 9000, 16383}
+	vals := make([]*int, len(idxs))
+	for i := len(idxs) - 1; i >= 0; i-- { // store in reverse order
+		vals[i] = new(int)
+		*vals[i] = int(idxs[i])
+		m.Store(pmem.PAddr(idxs[i]*page), vals[i])
+	}
+	var seen []uint64
+	m.Range(func(base pmem.PAddr, v *int) bool {
+		seen = append(seen, uint64(base)/page)
+		if *v != int(uint64(base)/page) {
+			t.Fatalf("entry at %#x holds %d", base, *v)
+		}
+		return true
+	})
+	if len(seen) != len(idxs) {
+		t.Fatalf("range visited %d entries, want %d", len(seen), len(idxs))
+	}
+	for i, want := range idxs {
+		if seen[i] != want {
+			t.Fatalf("range order: position %d = page %d, want %d", i, seen[i], want)
+		}
+	}
+	// Early stop.
+	n := 0
+	m.Range(func(pmem.PAddr, *int) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestConcurrentPublishAndLookup(t *testing.T) {
+	m := New[uint64](1<<30, page)
+	const pages = 2048
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < pages; i += 4 {
+				v := uint64(i)
+				m.Store(pmem.PAddr(uint64(i)*page), &v)
+			}
+		}(w)
+	}
+	// Concurrent readers must only ever see nil or a fully published value.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < pages; i++ {
+				if v := m.Lookup(pmem.PAddr(uint64(i)*page + 8)); v != nil && *v != uint64(i) {
+					t.Errorf("page %d holds %d", i, *v)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Len() != pages {
+		t.Fatalf("len = %d, want %d", m.Len(), pages)
+	}
+}

@@ -160,6 +160,7 @@ func (s *Slab) MorphTo(c *pmem.Ctx, newClass int, persist bool) error {
 	s.CntSlab = len(live)
 	s.oldIdx = oldIdx
 	s.cntBlock = cntBlock
+	s.publishGeom()
 	return nil
 }
 
@@ -254,6 +255,7 @@ func (s *Slab) FreeOldBlock(c *pmem.Ctx, idx int, persist bool) (done bool, err 
 		s.OldDataOff = 0
 		s.oldIdx = nil
 		s.cntBlock = nil
+		s.publishGeom()
 		return true, nil
 	}
 	return false, nil
@@ -402,6 +404,7 @@ func Load(dev *pmem.Device, c *pmem.Ctx, base pmem.PAddr) (*Slab, error) {
 			s.cntBlock = nil
 		}
 	}
+	s.publishGeom()
 	return s, nil
 }
 

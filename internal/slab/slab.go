@@ -26,6 +26,7 @@ import (
 	"hash/crc32"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"nvalloc/internal/interleave"
 	"nvalloc/internal/pmem"
@@ -119,6 +120,13 @@ type Slab struct {
 	// arena resource before slab Mu.
 	Mu sync.Mutex
 
+	// geom is the atomically published snapshot of the slab's geometry.
+	// Each snapshot is immutable; morphing (and demotion back to a
+	// stable slab) installs a fresh pointer under Mu. Lock-free readers
+	// resolve block indices against a snapshot and revalidate pointer
+	// identity under Mu before acting on the index.
+	geom atomic.Pointer[Geom]
+
 	dev        *pmem.Device
 	m          interleave.Mapping
 	bitmapBase uint32
@@ -139,6 +147,59 @@ type Slab struct {
 	MorphCand          bool  // queued in the arena's morph-candidate list
 	Dead               bool  // released back to the large allocator
 }
+
+// Geom is an immutable snapshot of a slab's geometry, published with an
+// atomic pointer so the free path can resolve a block index without
+// taking the slab lock. A slab's geometry only changes under Mu (morph
+// to a new class, or demotion of a slab_in back to a stable slab), and
+// every change installs a *new* Geom: pointer identity is the
+// revalidation token. SlabIn snapshots route to the slow path because
+// old-class block membership cannot be decided geometrically (an
+// old-grid-aligned address may also start a valid new-class block).
+type Geom struct {
+	Class     int
+	BlockSize uint32
+	Blocks    int
+	DataOff   uint32
+	SlabIn    bool
+	m         interleave.Mapping
+}
+
+// BlockIndex maps an address inside the slab at base to its logical
+// block index under this geometry, or -1 if it is not a block start.
+func (g *Geom) BlockIndex(base, addr pmem.PAddr) int {
+	off := int64(addr) - int64(base) - int64(g.DataOff)
+	if off < 0 || off%int64(g.BlockSize) != 0 {
+		return -1
+	}
+	idx := int(off / int64(g.BlockSize))
+	if idx >= g.Blocks {
+		return -1
+	}
+	return idx
+}
+
+// Stripe returns the bitmap stripe of logical block idx under this
+// geometry.
+func (g *Geom) Stripe(idx int) int { return g.m.Stripe(idx) }
+
+// publishGeom snapshots the current geometry fields. Called while the
+// slab is still private (Format/Load) or with Mu held (morph,
+// demotion).
+func (s *Slab) publishGeom() {
+	s.geom.Store(&Geom{
+		Class:     s.Class,
+		BlockSize: s.BlockSize,
+		Blocks:    s.Blocks,
+		DataOff:   s.DataOff,
+		SlabIn:    s.OldClass >= 0,
+		m:         s.m,
+	})
+}
+
+// Geometry returns the current geometry snapshot (never nil for a slab
+// produced by Format or Load).
+func (s *Slab) Geometry() *Geom { return s.geom.Load() }
 
 // geometry computes the block count, bitmap base and data offset for a
 // slab of the given class. The fixed index-table reservation makes the
@@ -208,6 +269,7 @@ func Format(dev *pmem.Device, c *pmem.Ctx, base pmem.PAddr, class, stripes int, 
 		c.Flush(pmem.CatMeta, base+pmem.PAddr(bitmapBase), int(dataOff-bitmapBase))
 	}
 	c.Fence()
+	s.publishGeom()
 	return s
 }
 
