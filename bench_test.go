@@ -247,6 +247,43 @@ func BenchmarkMallocFreeLarge(b *testing.B) {
 	}
 }
 
+// BenchmarkMallocFreeParallel measures the multi-threaded hot path (real
+// wall time, GOMAXPROCS goroutines each with its own Thread): a mix of
+// 64 B small blocks (tcache + batched slab refill) and 40 KiB extents
+// (shard pools). Run with -benchmem: allocs/op shows the Go-side garbage
+// the hot path produces, which the extent cache and the lock-only stats
+// path are meant to keep flat.
+func BenchmarkMallocFreeParallel(b *testing.B) {
+	dev := pmem.New(pmem.Config{Size: 512 << 20})
+	h, err := core.Create(dev, core.DefaultOptions(core.LOG))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		th := h.NewThread()
+		defer th.Close()
+		i := 0
+		for pb.Next() {
+			size := uint64(64)
+			if i%8 == 7 {
+				size = 40 << 10 // shard-pool path
+			}
+			i++
+			p, err := th.Malloc(size)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if err := th.Free(p); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
 // BenchmarkFPTreeInsert measures the real cost of tree inserts over the
 // allocator.
 func BenchmarkFPTreeInsert(b *testing.B) {

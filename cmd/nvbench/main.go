@@ -38,8 +38,12 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		traceOut = flag.String("trace", "", "write a runtime execution trace to this file")
+		cont     = flag.Bool("contention", false, "shorthand for -exp contention (per-resource lock-load report)")
 	)
 	flag.Parse()
+	if *cont && *exp == "" {
+		*exp = "contention"
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)

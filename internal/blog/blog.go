@@ -318,6 +318,19 @@ func (l *Log) initAndLink(c *pmem.Ctx, addr pmem.PAddr) {
 }
 
 func (l *Log) append(c *pmem.Ctx, e uint64) (entryRef, error) {
+	ref, err := l.appendNoFence(c, e)
+	if err != nil {
+		return entryRef{}, err
+	}
+	c.Fence()
+	return ref, nil
+}
+
+// appendNoFence writes and flushes one entry without the trailing fence;
+// batch appends issue a single fence after the last entry. Each entry is
+// still individually flushed, so a crash mid-batch persists an
+// independently valid prefix.
+func (l *Log) appendNoFence(c *pmem.Ctx, e uint64) (entryRef, error) {
 	if l.current == nil || l.cursor >= l.perChunk {
 		if err := l.newChunk(c); err != nil {
 			return entryRef{}, err
@@ -327,7 +340,6 @@ func (l *Log) append(c *pmem.Ctx, e uint64) (entryRef, error) {
 	l.cursor++
 	a := l.entryAddr(l.current.addr, slot)
 	c.PersistU64(pmem.CatMeta, a, e)
-	c.Fence()
 	l.current.set(slot)
 	return entryRef{chunk: l.current.addr, slot: slot}, nil
 }
@@ -361,6 +373,57 @@ func (l *Log) RecordFree(c *pmem.Ctx, addr pmem.PAddr) error {
 		v.clear(ref.slot)
 		l.noteEmpty(v)
 	}
+	return nil
+}
+
+// RecordAllocBatch appends normal entries for a group of newly live
+// extents with one trailing fence. A crash mid-batch persists a prefix
+// of independently valid records, so callers must only batch records
+// whose partial persistence is safe.
+func (l *Log) RecordAllocBatch(c *pmem.Ctx, recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	for _, r := range recs {
+		t := TypeExtent
+		if r.Slab {
+			t = TypeSlab
+		}
+		ref, err := l.appendNoFence(c, encode(r.Addr, r.Size, t))
+		if err != nil {
+			c.Fence() // order whatever prefix made it out
+			return err
+		}
+		l.index[r.Addr] = ref
+	}
+	c.Fence()
+	return nil
+}
+
+// RecordFreeBatch appends tombstones for a group of addresses with one
+// trailing fence (see RecordAllocBatch for the mid-batch crash
+// contract). Every address must have a live record.
+func (l *Log) RecordFreeBatch(c *pmem.Ctx, addrs []pmem.PAddr) error {
+	if len(addrs) == 0 {
+		return nil
+	}
+	for _, addr := range addrs {
+		ref, ok := l.index[addr]
+		if !ok {
+			c.Fence()
+			return fmt.Errorf("blog: free of unrecorded extent %#x", addr)
+		}
+		if _, err := l.appendNoFence(c, encode(addr, 0, TypeTombstone)); err != nil {
+			c.Fence()
+			return err
+		}
+		delete(l.index, addr)
+		if v, ok := l.chunks.Get(ref.chunk); ok {
+			v.clear(ref.slot)
+			l.noteEmpty(v)
+		}
+	}
+	c.Fence()
 	return nil
 }
 

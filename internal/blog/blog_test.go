@@ -469,3 +469,63 @@ func TestCrashFuzzEveryFlushBoundary(t *testing.T) {
 		}
 	}
 }
+
+func TestRecordBatchSingleFenceAndRecovery(t *testing.T) {
+	dev, l, c := newTestLog(t)
+	// Warm-up: force the first chunk into existence so the fence count
+	// below measures the batch itself, not chunk allocation.
+	if err := l.RecordAlloc(c, 0x50000, 4096, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.RecordFree(c, 0x50000); err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Addr: 0x10000, Size: 64 << 10, Slab: true},
+		{Addr: 0x20000, Size: 4096},
+		{Addr: 0x30000, Size: 8192},
+		{Addr: 0x40000, Size: 16384},
+	}
+	f0 := c.Local().Fences
+	if err := l.RecordAllocBatch(c, recs); err != nil {
+		t.Fatal(err)
+	}
+	if fences := c.Local().Fences - f0; fences != 1 {
+		t.Fatalf("alloc batch of %d issued %d fences, want 1", len(recs), fences)
+	}
+	f0 = c.Local().Fences
+	if err := l.RecordFreeBatch(c, []pmem.PAddr{0x20000, 0x40000}); err != nil {
+		t.Fatal(err)
+	}
+	if fences := c.Local().Fences - f0; fences != 1 {
+		t.Fatalf("free batch issued %d fences, want 1", fences)
+	}
+	dev.Crash()
+	_, live := reopen(t, dev)
+	if len(live) != 2 {
+		t.Fatalf("want 2 live records after batch alloc+free, got %v", live)
+	}
+	if r, ok := live[0x10000]; !ok || r.Size != 64<<10 || !r.Slab {
+		t.Fatalf("slab record lost or mangled: %+v %v", r, ok)
+	}
+	if r, ok := live[0x30000]; !ok || r.Size != 8192 {
+		t.Fatalf("extent record lost or mangled: %+v %v", r, ok)
+	}
+}
+
+func TestRecordFreeBatchUnknownAddrFailsFenced(t *testing.T) {
+	dev, l, c := newTestLog(t)
+	if err := l.RecordAlloc(c, 0x10000, 4096, false); err != nil {
+		t.Fatal(err)
+	}
+	// The first address tombstones fine; the unknown one aborts the batch
+	// but the persisted prefix must still be fenced and recoverable.
+	if err := l.RecordFreeBatch(c, []pmem.PAddr{0x10000, 0x99000}); err == nil {
+		t.Fatal("free batch with unrecorded address must error")
+	}
+	dev.Crash()
+	_, live := reopen(t, dev)
+	if len(live) != 0 {
+		t.Fatalf("prefix tombstone lost: %v", live)
+	}
+}

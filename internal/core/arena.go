@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 
+	"nvalloc/internal/extent"
 	"nvalloc/internal/pmem"
 	"nvalloc/internal/sizeclass"
 	"nvalloc/internal/slab"
@@ -19,6 +20,14 @@ type arena struct {
 	index int
 	res   pmem.Resource
 	wal   *walog.Log // nil in the GC variant's runtime path? (kept for morph records)
+
+	// cache is the arena-local slab-extent cache (nil when disabled):
+	// newSlab and releaseSlab trade extents with it so the global large
+	// lock is touched only on batched refills and overflow flushes.
+	cache *extent.SlabCache
+
+	// slabsCreated counts newSlab successes (amortization diagnostics).
+	slabsCreated uint64
 
 	// freelists[class] heads doubly linked lists of slabs with free (or
 	// reservable) blocks.
@@ -115,6 +124,11 @@ func (a *arena) lruTouch(s *slab.Slab) {
 func (a *arena) fill(c *pmem.Ctx, class int, tc *tcache.Cache, want int) int {
 	a.res.Acquire(c)
 	defer a.res.Release(c)
+	return a.fillLocked(c, class, tc, want)
+}
+
+// fillLocked is fill's body; caller holds the arena lock.
+func (a *arena) fillLocked(c *pmem.Ctx, class int, tc *tcache.Cache, want int) int {
 	got := 0
 	var idxBuf []int
 	for got < want {
@@ -140,6 +154,33 @@ func (a *arena) fill(c *pmem.Ctx, class int, tc *tcache.Cache, want int) int {
 		c.Charge(pmem.CatSearch, 20)
 	}
 	return got
+}
+
+// fillAndCommit refills tc and, in the WAL variant, pops and commits the
+// first block (WAL append + bitmap bit) under the same arena-resource
+// acquisition — mallocSmall would otherwise release the arena only to
+// re-acquire it immediately for the commit. The charge sequence is
+// identical to fill-then-commit; only the redundant handoff disappears.
+// Returns the committed block's address, or ok=false when the heap is
+// exhausted.
+func (a *arena) fillAndCommit(c *pmem.Ctx, class int, tc *tcache.Cache, want int) (pmem.PAddr, bool) {
+	a.res.Acquire(c)
+	defer a.res.Release(c)
+	if a.fillLocked(c, class, tc, want) == 0 {
+		return pmem.Null, false
+	}
+	b, ok := tc.Pop()
+	if !ok {
+		return pmem.Null, false
+	}
+	s := b.Slab.(*slab.Slab)
+	s.Mu.Lock()
+	// Aux2 records the geometry the entry was logged under (see
+	// mallocSmall).
+	a.wal.Append(c, walog.Entry{Op: walog.OpAllocBit, Addr: s.Base, Aux: uint64(b.Idx), Aux2: uint32(s.Class)})
+	s.CommitAlloc(c, b.Idx, true)
+	s.Mu.Unlock()
+	return s.BlockAddr(b.Idx), true
 }
 
 func (a *arena) tcacheStripe(s *slab.Slab, idx int) int {
@@ -251,26 +292,39 @@ func (a *arena) newSlab(c *pmem.Ctx, class int) *slab.Slab {
 	h := a.h
 	// Crash ordering: carve the extent, format the slab header, and only
 	// then persist the bookkeeping record — recovery must never see a
-	// recorded slab without a valid header.
-	h.large.Res.Acquire(c)
-	base, err := h.large.AllocDeferRecord(c, slab.Size, slab.Size, true)
-	h.large.Res.Release(c)
-	if err != nil {
+	// recorded slab without a valid header. With the arena extent cache
+	// the carve happened at refill time (batched, still unrecorded), so
+	// the same ordering holds: a crash before RecordExtent leaves free
+	// space, never a recorded slab with a garbage header.
+	base, ok := a.slabExtent(c)
+	if !ok {
 		return nil
 	}
 	s := slab.Format(h.dev, c, base, class, h.bitmapStripes, h.persistSmall)
-	h.large.Res.Acquire(c)
-	err = h.large.Record(c, base)
-	h.large.Res.Release(c)
-	if err != nil {
-		// Bookkeeping exhausted: surface as allocation failure; the carved
-		// extent is returned to the free lists.
+	var err error
+	if a.cache != nil {
+		// Record under BookRes alone: the global large lock stays free.
+		err = h.large.RecordExtent(c, base, slab.Size, true)
+	} else {
 		h.large.Res.Acquire(c)
-		_ = h.large.Free(c, base)
+		err = h.large.Record(c, base)
 		h.large.Res.Release(c)
+	}
+	if err != nil {
+		// Bookkeeping exhausted: surface as allocation failure; the extent
+		// goes back to the cache (still activated, unrecorded) or the free
+		// lists.
+		if a.cache != nil {
+			a.cache.Put(c, base)
+		} else {
+			h.large.Res.Acquire(c)
+			_ = h.large.Free(c, base)
+			h.large.Res.Release(c)
+		}
 		return nil
 	}
 	s.Owner = a.index
+	a.slabsCreated++
 	// Publish last: Format already installed the geometry snapshot, so a
 	// lock-free reader that wins the race sees a fully-initialized slab.
 	h.slabs.Store(base, s)
@@ -279,12 +333,49 @@ func (a *arena) newSlab(c *pmem.Ctx, class int) *slab.Slab {
 	return s
 }
 
-// releaseSlab returns a completely empty slab to the large allocator.
-// Caller holds the arena lock and the slab is not on any list.
+// slabExtent produces one activated, unrecorded slab-sized extent: from
+// the arena cache when enabled (amortized <1 global-lock acquisition per
+// slab), else straight from the global allocator.
+func (a *arena) slabExtent(c *pmem.Ctx) (pmem.PAddr, bool) {
+	h := a.h
+	if a.cache != nil {
+		if base, ok := a.cache.Get(c); ok {
+			return base, true
+		}
+		// The heap could not refill this cache, but sibling arenas may be
+		// sitting on cached extents: flush them and retry once.
+		if h.flushExtentCaches(c, a) {
+			if base, ok := a.cache.Get(c); ok {
+				return base, true
+			}
+		}
+		return pmem.Null, false
+	}
+	h.large.Res.Acquire(c)
+	base, err := h.large.AllocDeferRecord(c, slab.Size, slab.Size, true)
+	h.large.Res.Release(c)
+	if err != nil {
+		return pmem.Null, false
+	}
+	return base, true
+}
+
+// releaseSlab returns a completely empty slab to the large allocator (or
+// the arena cache). The slab is already off every list and unpublished.
 func (a *arena) releaseSlab(c *pmem.Ctx, s *slab.Slab) {
 	h := a.h
 	s.Dead = true
 	h.slabs.Delete(s.Base)
+	if a.cache != nil {
+		// Tombstone before the extent becomes reusable: a new record for
+		// overlapping space must never coexist with the old one after a
+		// crash. On tombstone failure the extent stays recorded+activated
+		// (leaked until shutdown), matching the legacy path's behavior.
+		if h.large.TombstoneExtent(c, s.Base) == nil {
+			a.cache.Put(c, s.Base)
+		}
+		return
+	}
 	h.large.Res.Acquire(c)
 	_ = h.large.Free(c, s.Base)
 	h.large.Res.Release(c)

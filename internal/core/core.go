@@ -87,6 +87,13 @@ type Options struct {
 	// FirstFitExtents switches the large allocator to address-ordered
 	// first fit (ablation).
 	FirstFitExtents bool
+	// NoExtentCache disables the arena-local slab-extent caches and the
+	// sharded large-allocation pools, restoring the PR 2 behavior of one
+	// global critical section per extent operation (contention baseline).
+	NoExtentCache bool
+	// LargeShards is the number of address-partitioned large-allocation
+	// pools (default 8). Ignored when NoExtentCache is set.
+	LargeShards int
 }
 
 // DefaultOptions returns the paper's configuration for a variant.
@@ -122,6 +129,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.WALEntries <= 0 {
 		o.WALEntries = 1024
+	}
+	if o.LargeShards <= 0 {
+		o.LargeShards = 8
 	}
 	return o
 }
@@ -197,6 +207,10 @@ type Heap struct {
 	large  *extent.Allocator
 	book   extent.Bookkeeper
 	blog   *blog.Log // non-nil iff LogBookkeeping
+	// shards are the address-partitioned large-allocation pools (nil when
+	// NoExtentCache is set); requests up to extent.MaxShardAlloc route
+	// through them instead of the global allocator lock.
+	shards *extent.Shards
 
 	// slabs maps slab base addresses to vslabs through a lock-free
 	// two-level page map: Free resolves an address to its slab with two
@@ -264,6 +278,7 @@ func Create(dev *pmem.Device, opts Options) (*Heap, error) {
 		MetaBytes: uint64(h.heapBase),
 	})
 	h.large.FirstFit = opts.FirstFitExtents
+	h.initExtentLayer()
 	for i := range h.arenas {
 		wal, err := h.newWAL(i, true)
 		if err != nil {
@@ -348,29 +363,59 @@ func (h *Heap) RootSlot(i int) pmem.PAddr {
 }
 
 // Used returns committed persistent memory (see extent.Allocator.Used).
+// Lock-only acquisition: reading a counter is not an allocator operation
+// and must neither allocate a throwaway context nor perturb virtual time.
 func (h *Heap) Used() uint64 {
-	h.large.Res.Acquire(h.noopCtx())
-	defer h.large.Res.Release(h.noopCtx())
+	h.large.Res.Lock()
+	defer h.large.Res.Unlock()
 	return h.large.Used()
 }
 
 // Peak returns the high-water mark of Used.
 func (h *Heap) Peak() uint64 {
-	h.large.Res.Acquire(h.noopCtx())
-	defer h.large.Res.Release(h.noopCtx())
+	h.large.Res.Lock()
+	defer h.large.Res.Unlock()
 	return h.large.Peak()
 }
 
 // ResetPeak restarts peak tracking.
 func (h *Heap) ResetPeak() {
-	h.large.Res.Acquire(h.noopCtx())
-	defer h.large.Res.Release(h.noopCtx())
+	h.large.Res.Lock()
+	defer h.large.Res.Unlock()
 	h.large.ResetPeak()
 }
 
-// noopCtx returns a throwaway context for lock-only acquisitions.
-func (h *Heap) noopCtx() *pmem.Ctx {
-	return h.dev.NewCtx()
+// initExtentLayer attaches the arena-local slab-extent caches and the
+// sharded large-allocation pools to a heap whose large allocator is
+// ready. Called by both Create and Open (after recovery has rebuilt the
+// extent tree, before threads run).
+func (h *Heap) initExtentLayer() {
+	if h.opts.NoExtentCache {
+		return
+	}
+	for _, a := range h.arenas {
+		a.cache = extent.NewSlabCache(h.large, slab.Size)
+	}
+	h.shards = extent.NewShards(h.large, h.dev.Size(), h.opts.LargeShards)
+}
+
+// flushExtentCaches returns every sibling arena's cached extents to the
+// global allocator — exhaustion back-pressure, so a heap that still has
+// free space spread across caches cannot report OOM. except's own cache
+// has already been tried by the caller. Must not be called while holding
+// large.Res (Flush acquires it). Reports whether anything was flushed.
+func (h *Heap) flushExtentCaches(c *pmem.Ctx, except *arena) bool {
+	flushed := false
+	for _, a := range h.arenas {
+		if a == except || a.cache == nil {
+			continue
+		}
+		if a.cache.Len() > 0 {
+			a.cache.Flush(c)
+			flushed = true
+		}
+	}
+	return flushed
 }
 
 // Blog exposes the bookkeeping log (nil when in-place bookkeeping is
@@ -459,3 +504,61 @@ func (h *Heap) ArenaLoads() []int64 {
 
 // LargeLoad returns the large allocator lock's accumulated load (ns).
 func (h *Heap) LargeLoad() int64 { return h.large.Res.Load() }
+
+// ResourceLoad is one lock's contention record: total virtual time spent
+// inside its critical sections (LoadNS), total virtual time threads spent
+// waiting for it (WaitNS), and how many times it was acquired.
+type ResourceLoad struct {
+	Name     string
+	LoadNS   int64
+	WaitNS   int64
+	Acquires uint64
+}
+
+// Contention returns the per-resource load table for the heap: the
+// global large-allocator lock, the bookkeeper lock, each shard pool, and
+// each arena (the contention-breakdown report of the PR 3 acceptance
+// criteria).
+func (h *Heap) Contention() []ResourceLoad {
+	row := func(name string, r *pmem.Resource) ResourceLoad {
+		return ResourceLoad{Name: name, LoadNS: r.Load(), WaitNS: r.WaitNS(), Acquires: r.Acquires()}
+	}
+	out := []ResourceLoad{
+		row("large", &h.large.Res),
+		row("book", &h.large.BookRes),
+	}
+	if h.shards != nil {
+		for i := 0; i < h.shards.NumPools(); i++ {
+			out = append(out, row(fmt.Sprintf("shard%d", i), &h.shards.Pool(i).Res))
+		}
+	}
+	for i, a := range h.arenas {
+		out = append(out, row(fmt.Sprintf("arena%d", i), &a.res))
+	}
+	return out
+}
+
+// SlabCreates returns the number of slabs formatted since startup,
+// summed over arenas — the denominator of the "global-lock acquisitions
+// per slab refill" amortization check.
+func (h *Heap) SlabCreates() uint64 {
+	var n uint64
+	for _, a := range h.arenas {
+		n += a.slabsCreated
+	}
+	return n
+}
+
+// CacheStats aggregates the arena slab-cache counters: cache hits,
+// batched refills, overflow/back-pressure flushes, and total extents
+// carved through the batched path.
+func (h *Heap) CacheStats() (hits, refills, flushes, carved uint64) {
+	for _, a := range h.arenas {
+		if a.cache == nil {
+			continue
+		}
+		ch, cr, cf, cc := a.cache.Stats()
+		hits, refills, flushes, carved = hits+ch, refills+cr, flushes+cf, carved+cc
+	}
+	return
+}

@@ -113,7 +113,8 @@ func (h *Heap) conservativeGC(c *pmem.Ctx) {
 		}
 	}
 	sort.Slice(leaked, func(i, j int) bool { return leaked[i] < leaked[j] })
-	for _, addr := range leaked {
-		_ = h.large.Free(c, addr)
-	}
+	// Batched tombstones: one fence for the whole leak sweep. Safe here
+	// because a crash mid-batch just leaves some leaks for the next
+	// recovery's GC to re-find (idempotent).
+	_ = h.large.FreeBatch(c, leaked)
 }

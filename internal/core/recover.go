@@ -138,6 +138,10 @@ func Open(dev *pmem.Device, opts Options) (*Heap, int64, error) {
 	}
 	h.large = large
 	h.large.FirstFit = opts.FirstFitExtents
+	// Attach the (empty) extent caches and shard pools. Leases and cached
+	// extents never survive a restart: unrecorded space was rebuilt as
+	// free, recorded shard sub-allocations as ordinary global extents.
+	h.initExtentLayer()
 
 	// Rebuild vslabs; morph undo happens inside slab.Load.
 	next := 0
@@ -206,9 +210,53 @@ func Open(dev *pmem.Device, opts Options) (*Heap, int64, error) {
 // (NVAlloc-LOG failure recovery, "replay WALs as in nvm_malloc").
 // Entry payloads are CRC-protected, but the 24-bit checksum is thin, so
 // every address acted on is bounds-checked against the device first.
+//
+// A pre-pass collects the live publish/retract entries so that replaying
+// a stale entry can never clobber a later reuse: after FreeFrom's space
+// is re-allocated (extent addresses recycle quickly through the shard
+// pools), the old OpMallocTo must not resurrect the retracted slot, and
+// the old OpFreeFrom must not free the new allocation living at the same
+// address. "Later" is precise within one arena (WAL sequence numbers);
+// across arenas — where sequences are incomparable — the skip is applied
+// conservatively, trading a possible leak of an unacknowledged operation
+// for the impossibility of a dangling root.
 func (h *Heap) replayWALs(c *pmem.Ctx) error {
 	inDev := func(a pmem.PAddr) bool { return uint64(a)+8 <= h.dev.Size() }
-	for _, a := range h.arenas {
+
+	type tagged struct {
+		arena int
+		seq   uint64
+	}
+	type pair struct{ slot, addr pmem.PAddr }
+	pubs := map[pmem.PAddr][]tagged{} // OpMallocTo entries by block address
+	rets := map[pair][]tagged{}       // OpFreeFrom entries by (slot, block)
+	for i, a := range h.arenas {
+		_, err := a.wal.Replay(c, func(e walog.Entry) {
+			switch e.Op {
+			case walog.OpMallocTo:
+				p := pmem.PAddr(e.Aux)
+				pubs[p] = append(pubs[p], tagged{i, e.Seq})
+			case walog.OpFreeFrom:
+				k := pair{e.Addr, pmem.PAddr(e.Aux)}
+				rets[k] = append(rets[k], tagged{i, e.Seq})
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	// supersededBy: a conflicting entry exists in another arena, or in the
+	// same arena with a higher sequence number.
+	supersededBy := func(ts []tagged, arena int, seq uint64) bool {
+		for _, t := range ts {
+			if t.arena != arena || t.seq > seq {
+				return true
+			}
+		}
+		return false
+	}
+
+	for i, a := range h.arenas {
 		_, err := a.wal.Replay(c, func(e walog.Entry) {
 			switch e.Op {
 			case walog.OpAllocBit:
@@ -225,16 +273,28 @@ func (h *Heap) replayWALs(c *pmem.Ctx) error {
 					h.forceBit(c, s, int(e.Aux), false)
 				}
 			case walog.OpMallocTo:
+				// A later retraction of this very pair means the slot must
+				// stay clear — completing the publish would resurrect it.
+				if supersededBy(rets[pair{e.Addr, pmem.PAddr(e.Aux)}], i, e.Seq) {
+					return
+				}
 				// Complete the publish if the slot write was lost.
 				if inDev(e.Addr) && pmem.PAddr(h.dev.ReadU64(e.Addr)) != pmem.PAddr(e.Aux) {
 					c.PersistU64(pmem.CatMeta, e.Addr, e.Aux)
 				}
 			case walog.OpFreeFrom:
-				// Complete the retraction: clear the slot and free the
-				// block if still marked allocated.
 				if !inDev(e.Addr) || !inDev(pmem.PAddr(e.Aux)) {
 					return
 				}
+				// The block was published again after this retraction: the
+				// retraction's free completed (reallocation requires it) and
+				// whatever is allocated at this address now is the new
+				// object. Touch nothing.
+				if supersededBy(pubs[pmem.PAddr(e.Aux)], i, e.Seq) {
+					return
+				}
+				// Complete the retraction: clear the slot and free the
+				// block if still marked allocated.
 				if pmem.PAddr(h.dev.ReadU64(e.Addr)) == pmem.PAddr(e.Aux) {
 					c.PersistU64(pmem.CatMeta, e.Addr, 0)
 				}

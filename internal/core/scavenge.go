@@ -179,6 +179,9 @@ func (h *Heap) resolvesLive(p pmem.PAddr) bool {
 		}
 		return s.OldBlockIndex(p) >= 0
 	}
+	if h.shards != nil && h.shards.Resolves(p) {
+		return true
+	}
 	v, ok := h.large.Lookup(p)
 	return ok && v.Addr == p && !v.Slab
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"nvalloc/internal/alloc"
+	"nvalloc/internal/extent"
 	"nvalloc/internal/pmem"
 	"nvalloc/internal/sizeclass"
 	"nvalloc/internal/slab"
@@ -86,6 +87,14 @@ func (t *Thread) Malloc(size uint64) (pmem.PAddr, error) {
 func (t *Thread) mallocSmall(class int) (pmem.PAddr, error) {
 	tc := t.cache(class)
 	if tc.Empty() {
+		if t.h.useWAL {
+			// The refill already holds the arena resource: batch the first
+			// block's WAL append + bitmap commit into the same acquisition.
+			if addr, ok := t.arena.fillAndCommit(t.ctx, class, tc, tc.Cap()); ok {
+				return addr, nil
+			}
+			return pmem.Null, alloc.ErrOutOfMemory
+		}
 		if t.arena.fill(t.ctx, class, tc, tc.Cap()) == 0 {
 			return pmem.Null, alloc.ErrOutOfMemory
 		}
@@ -118,9 +127,21 @@ func (t *Thread) mallocSmall(class int) (pmem.PAddr, error) {
 
 func (t *Thread) mallocLarge(size uint64) (pmem.PAddr, error) {
 	h := t.h
+	// Moderate sizes go through the thread's shard pool — its own lock,
+	// leases refilled from the global allocator — so parallel large
+	// allocations stop serializing on large.Res.
+	if h.shards != nil && size <= extent.MaxShardAlloc {
+		addr, err := h.shards.Pool(t.arena.index).Alloc(t.ctx, size)
+		if err == nil {
+			return addr, nil
+		}
+		// Lease refill failed (heap nearly full): spill cached extents back
+		// to the global pool and fall through to the global path.
+		h.flushExtentCaches(t.ctx, nil)
+	}
 	h.large.Res.Acquire(t.ctx)
-	defer h.large.Res.Release(t.ctx)
 	addr, err := h.large.Alloc(t.ctx, size, 0, false)
+	h.large.Res.Release(t.ctx)
 	if err != nil {
 		return pmem.Null, alloc.ErrOutOfMemory
 	}
@@ -232,6 +253,17 @@ func (t *Thread) freeOld(owner *arena, s *slab.Slab, oldIdx int) error {
 
 func (t *Thread) freeLarge(addr pmem.PAddr) error {
 	h := t.h
+	// A lease-map hit routes the free back to its shard; a miss (including
+	// shard sub-allocations from before a crash, rebuilt as ordinary
+	// extents) falls through to the global allocator.
+	if h.shards != nil {
+		if handled, err := h.shards.Free(t.ctx, addr); handled {
+			if err != nil {
+				return alloc.ErrBadAddress
+			}
+			return nil
+		}
+	}
 	h.large.Res.Acquire(t.ctx)
 	defer h.large.Res.Release(t.ctx)
 	if err := h.large.Free(t.ctx, addr); err != nil {

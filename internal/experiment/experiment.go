@@ -171,6 +171,11 @@ func openOn(dev *pmem.Device, name string) (alloc.Heap, error) {
 		opts.Morphing = false
 	case name == "NVAlloc-LOG ff":
 		opts.FirstFitExtents = true
+	case name == "NVAlloc-LOG nocache":
+		// Contention baseline: no arena extent caches, no shard pools —
+		// every extent operation takes the global allocator lock (the
+		// pre-PR 3 hot path).
+		opts.NoExtentCache = true
 	case name == "Base":
 		opts.InterleaveBitmap = false
 		opts.InterleaveTcache = false

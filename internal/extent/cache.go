@@ -1,0 +1,140 @@
+package extent
+
+import (
+	"sync"
+
+	"nvalloc/internal/pmem"
+)
+
+// Slab-cache batch bounds: a refill carves between minSlabBatch and
+// maxSlabBatch extents per global-lock acquisition, adapting to demand
+// (consecutive refills grow the batch, an overflow flush resets it).
+const (
+	minSlabBatch = 4
+	maxSlabBatch = 8
+)
+
+// SlabCache is an arena-local cache of equally sized extents (one slab
+// footprint each) standing between the arena and the global large
+// allocator. It exists to break the hot path's last global serialization
+// point: instead of taking Allocator.Res three times per slab
+// (AllocDeferRecord + Record + the eventual Free), the arena refills the
+// cache in batches — one Res critical section carves minSlabBatch..
+// maxSlabBatch extents — and the per-slab record/tombstone traffic runs
+// under BookRes alone.
+//
+// Invariant: every extent in the cache is *activated and unrecorded* —
+// its VEH sits in the allocator's activated map (with Slab set, hiding
+// it from object walks and GC sweeps) but no bookkeeping record exists.
+// After a crash, Rebuild therefore sees the space as free: a cached
+// extent can never resurrect stale contents, and the crash-ordering
+// argument of AllocDeferRecord (header formatted before record) carries
+// over unchanged to the batched path.
+type SlabCache struct {
+	a    *Allocator
+	size uint64
+
+	mu     sync.Mutex
+	free   []pmem.PAddr // LIFO: most recently returned extent reused first
+	batch  int
+	streak int // consecutive refills since the last flush
+
+	hits, refills, flushes, carved uint64
+}
+
+// NewSlabCache creates a cache of size-byte extents over a.
+func NewSlabCache(a *Allocator, size uint64) *SlabCache {
+	return &SlabCache{a: a, size: size, batch: minSlabBatch}
+}
+
+// Get pops a cached extent, refilling the cache from the global
+// allocator when empty. ok is false only when the heap cannot supply a
+// single extent. The returned extent is activated and unrecorded; the
+// caller formats it and then persists its record via RecordExtent.
+func (sc *SlabCache) Get(c *pmem.Ctx) (pmem.PAddr, bool) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if len(sc.free) == 0 {
+		sc.refillLocked(c)
+		if len(sc.free) == 0 {
+			return pmem.Null, false
+		}
+	} else {
+		sc.hits++
+	}
+	addr := sc.free[len(sc.free)-1]
+	sc.free = sc.free[:len(sc.free)-1]
+	return addr, true
+}
+
+// Put returns an extent (activated, unrecorded) to the cache. When the
+// cache overflows its working set, the oldest extents are handed back to
+// the global allocator in one critical section.
+func (sc *SlabCache) Put(c *pmem.Ctx, addr pmem.PAddr) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	sc.free = append(sc.free, addr)
+	if len(sc.free) > 2*sc.batch {
+		keep := sc.batch
+		drop := len(sc.free) - keep
+		sc.a.ReleaseUnrecordedBatch(c, sc.free[:drop])
+		sc.free = append(sc.free[:0], sc.free[drop:]...)
+		sc.flushes++
+		sc.streak = 0
+		sc.batch = minSlabBatch
+	}
+}
+
+// refillLocked carves a batch of extents under one Res acquisition.
+// Caller holds sc.mu.
+func (sc *SlabCache) refillLocked(c *pmem.Ctx) {
+	sc.free = sc.a.AllocSlabBatch(c, sc.size, sc.batch, sc.free)
+	sc.refills++
+	sc.carved += uint64(len(sc.free))
+	// Demand adaptation: back-to-back refills (no flush in between) mean
+	// the arena is churning through slabs — double the batch up to the
+	// cap so the global lock is touched even less often.
+	sc.streak++
+	if sc.streak > 1 && sc.batch < maxSlabBatch {
+		sc.batch *= 2
+		if sc.batch > maxSlabBatch {
+			sc.batch = maxSlabBatch
+		}
+	}
+}
+
+// Flush returns every cached extent to the global allocator (exhaustion
+// back-pressure and shutdown).
+func (sc *SlabCache) Flush(c *pmem.Ctx) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if len(sc.free) == 0 {
+		return
+	}
+	sc.a.ReleaseUnrecordedBatch(c, sc.free)
+	sc.free = sc.free[:0]
+	sc.flushes++
+	sc.streak = 0
+	sc.batch = minSlabBatch
+}
+
+// Len returns the number of cached extents.
+func (sc *SlabCache) Len() int {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return len(sc.free)
+}
+
+// Batch returns the current adaptive batch size.
+func (sc *SlabCache) Batch() int {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.batch
+}
+
+// Stats returns (hits, refills, flushes, extents carved).
+func (sc *SlabCache) Stats() (hits, refills, flushes, carved uint64) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.hits, sc.refills, sc.flushes, sc.carved
+}

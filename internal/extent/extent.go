@@ -65,6 +65,19 @@ type Bookkeeper interface {
 	DataOffset() uint64
 }
 
+// BatchBookkeeper is implemented by bookkeepers that can persist a group
+// of tombstones with a single trailing fence. Entries are still written
+// and flushed individually, so a crash mid-batch persists a prefix —
+// each record is independently valid, and callers only batch where
+// partial persistence is safe (idempotent recovery sweeps). Both
+// bookkeepers also offer a RecordAllocBatch with the same contract,
+// outside this interface because the allocator itself never batches
+// alloc records (a record must follow its extent's initialization).
+type BatchBookkeeper interface {
+	// RecordFreeBatch persists tombstones for each addr.
+	RecordFreeBatch(c *pmem.Ctx, addrs []pmem.PAddr) error
+}
+
 type sizeKey struct {
 	size uint64
 	addr pmem.PAddr
@@ -78,11 +91,23 @@ func sizeLess(a, b sizeKey) bool {
 }
 
 // Allocator is the large allocator. All methods require the caller to
-// hold Res (the global large-allocation lock).
+// hold Res (the global large-allocation lock) unless documented
+// otherwise: the bookkeeping record layer is serialized by its own
+// resource (BookRes) so record persistence can run off the global lock.
 type Allocator struct {
-	// Res serializes the large allocator and models its lock in virtual
-	// time.
+	// Res serializes the large allocator's volatile structures (trees,
+	// lists, VEH map) and models its lock in virtual time.
 	Res pmem.Resource
+
+	// BookRes serializes the persistent bookkeeper (record appends, GC).
+	// Every bookkeeper call goes through it; legacy paths that hold Res
+	// nest BookRes inside it (lock order: Res before BookRes), while the
+	// arena extent cache and the shard pools take BookRes alone. Because
+	// a nested section's virtual span is a subset of the enclosing Res
+	// section, nesting adds zero wait in workloads that only use the
+	// legacy paths — the split only shows up when record traffic actually
+	// moves off the global lock.
+	BookRes pmem.Resource
 
 	dev      *pmem.Device
 	book     Bookkeeper
@@ -399,7 +424,39 @@ func (a *Allocator) Record(c *pmem.Ctx, addr pmem.PAddr) error {
 	if !ok {
 		return fmt.Errorf("extent: record of unknown extent %#x", addr)
 	}
-	return a.book.RecordAlloc(c, v.Addr, v.Size, v.Slab)
+	a.BookRes.Acquire(c)
+	err := a.book.RecordAlloc(c, v.Addr, v.Size, v.Slab)
+	a.BookRes.Release(c)
+	return err
+}
+
+// RecordExtent persists a bookkeeping record for an extent the caller
+// already owns (carved earlier via AllocDeferRecord, a cache refill, or
+// a shard lease) without touching the allocator's volatile structures:
+// only BookRes is taken, so the global lock stays free. The caller must
+// have persisted the extent's own initialization (slab header, object
+// contents) first — the record makes the space survive recovery.
+func (a *Allocator) RecordExtent(c *pmem.Ctx, addr pmem.PAddr, size uint64, slab bool) error {
+	a.BookRes.Acquire(c)
+	err := a.book.RecordAlloc(c, addr, size, slab)
+	a.BookRes.Release(c)
+	return err
+}
+
+// TombstoneExtent persists a free record for addr without touching the
+// allocator's volatile structures (BookRes only). The caller keeps
+// ownership of the space — typically to reinsert it into an arena cache
+// or a shard free run — and must not reuse it before this returns, so a
+// later record for overlapping space can never coexist with the old one
+// after a crash.
+func (a *Allocator) TombstoneExtent(c *pmem.Ctx, addr pmem.PAddr) error {
+	a.BookRes.Acquire(c)
+	err := a.book.RecordFree(c, addr)
+	if err == nil {
+		a.book.MaybeGC(c)
+	}
+	a.BookRes.Release(c)
+	return err
 }
 
 // Free returns an extent to the reclaimed list and coalesces it with free
@@ -409,16 +466,113 @@ func (a *Allocator) Free(c *pmem.Ctx, addr pmem.PAddr) error {
 	if !ok {
 		return fmt.Errorf("extent: free of unknown extent %#x", addr)
 	}
-	if err := a.book.RecordFree(c, addr); err != nil {
+	a.BookRes.Acquire(c)
+	err := a.book.RecordFree(c, addr)
+	a.BookRes.Release(c)
+	if err != nil {
 		return err
 	}
 	delete(a.activated, addr)
 	a.activatedBytes -= v.Size
 	a.insertFree(v, Reclaimed, c.Now)
 	a.coalesce(c, v)
+	a.BookRes.Acquire(c)
 	a.book.MaybeGC(c)
+	a.BookRes.Release(c)
 	a.maybeDecay(c)
 	return nil
+}
+
+// FreeBatch frees a group of extents with their tombstones persisted as
+// one batch (a single trailing fence when the bookkeeper supports it).
+// Like recovery-time Free calls, the caller serializes access itself;
+// a crash mid-batch leaves a prefix of the tombstones persisted, which
+// is safe wherever the batch is idempotent (recovery GC re-runs).
+func (a *Allocator) FreeBatch(c *pmem.Ctx, addrs []pmem.PAddr) error {
+	var vs []*VEH
+	for _, addr := range addrs {
+		v, ok := a.activated[addr]
+		if !ok {
+			return fmt.Errorf("extent: free of unknown extent %#x", addr)
+		}
+		vs = append(vs, v)
+	}
+	if len(vs) == 0 {
+		return nil
+	}
+	a.BookRes.Acquire(c)
+	var err error
+	if bb, ok := a.book.(BatchBookkeeper); ok {
+		err = bb.RecordFreeBatch(c, addrs)
+	} else {
+		for _, addr := range addrs {
+			if err = a.book.RecordFree(c, addr); err != nil {
+				break
+			}
+		}
+	}
+	if err == nil {
+		a.book.MaybeGC(c)
+	}
+	a.BookRes.Release(c)
+	if err != nil {
+		return err
+	}
+	for _, v := range vs {
+		delete(a.activated, v.Addr)
+		a.activatedBytes -= v.Size
+		a.insertFree(v, Reclaimed, c.Now)
+		a.coalesce(c, v)
+	}
+	a.maybeDecay(c)
+	return nil
+}
+
+// AllocSlabBatch carves up to n extents of the given size (aligned to
+// their own size) in one Res critical section, appending them to out.
+// The extents are activated but unrecorded — exactly the state the arena
+// extent cache holds them in; a crash before RecordExtent makes them
+// free again at recovery. Fewer than n extents (or none) are returned
+// when the heap cannot satisfy the batch.
+func (a *Allocator) AllocSlabBatch(c *pmem.Ctx, size uint64, n int, out []pmem.PAddr) []pmem.PAddr {
+	a.Res.Acquire(c)
+	defer a.Res.Release(c)
+	for i := 0; i < n; i++ {
+		addr, err := a.AllocDeferRecord(c, size, pmem.PAddr(size), true)
+		if err != nil {
+			break
+		}
+		out = append(out, addr)
+	}
+	return out
+}
+
+// ReleaseUnrecordedBatch returns activated-but-unrecorded extents (cache
+// overflow, returned shard leases) to the free lists in one Res critical
+// section. No tombstone is written — there is no record to kill.
+func (a *Allocator) ReleaseUnrecordedBatch(c *pmem.Ctx, addrs []pmem.PAddr) {
+	if len(addrs) == 0 {
+		return
+	}
+	a.Res.Acquire(c)
+	defer a.Res.Release(c)
+	for _, addr := range addrs {
+		a.releaseUnrecorded(c, addr)
+	}
+	a.maybeDecay(c)
+}
+
+// releaseUnrecorded puts one activated extent back on the free lists
+// without bookkeeping. Caller holds Res.
+func (a *Allocator) releaseUnrecorded(c *pmem.Ctx, addr pmem.PAddr) {
+	v, ok := a.activated[addr]
+	if !ok {
+		return // defensive: double release is a no-op
+	}
+	delete(a.activated, addr)
+	a.activatedBytes -= v.Size
+	a.insertFree(v, Reclaimed, c.Now)
+	a.coalesce(c, v)
 }
 
 // coalesce merges v with its free neighbours of the same state.

@@ -77,6 +77,47 @@ func (b *InPlace) RecordFree(c *pmem.Ctx, addr pmem.PAddr) error {
 	return nil
 }
 
+// RecordAllocBatch writes a group of header slots with one trailing
+// fence. Slots are flushed individually, so a crash mid-batch persists
+// an independently valid prefix (see BatchBookkeeper).
+func (b *InPlace) RecordAllocBatch(c *pmem.Ctx, recs []LiveRecord) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	for _, r := range recs {
+		s, err := b.slot(r.Addr)
+		if err != nil {
+			c.Fence()
+			return err
+		}
+		v := uint64(ipLive) | r.Size
+		if r.Slab {
+			v |= ipSlab
+		}
+		c.PersistU64(pmem.CatMeta, s, v)
+	}
+	c.Fence()
+	return nil
+}
+
+// RecordFreeBatch clears a group of header slots with one trailing
+// fence.
+func (b *InPlace) RecordFreeBatch(c *pmem.Ctx, addrs []pmem.PAddr) error {
+	if len(addrs) == 0 {
+		return nil
+	}
+	for _, addr := range addrs {
+		s, err := b.slot(addr)
+		if err != nil {
+			c.Fence()
+			return err
+		}
+		c.PersistU64(pmem.CatMeta, s, 0)
+	}
+	c.Fence()
+	return nil
+}
+
 // MaybeGC is a no-op: in-place headers need no compaction.
 func (b *InPlace) MaybeGC(*pmem.Ctx) {}
 

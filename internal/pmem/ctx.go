@@ -223,8 +223,13 @@ func (c *Ctx) flushLine(cat Category, line uint64) {
 	c.local.CatFlush[cat]++
 
 	if d.strict {
+		// Take the line's stripe so the whole-line copy cannot observe (or
+		// race with) a concurrent store to another word of the same line.
 		off := line * LineSize
+		mu := d.lineLock(line)
+		mu.Lock()
 		copy(d.media[off:off+LineSize], d.mem[off:off+LineSize])
+		mu.Unlock()
 	}
 }
 
@@ -254,17 +259,22 @@ func (c *Ctx) Local() Stats { return c.local }
 // the same virtual contention as a 40-core testbed: an uncontended
 // resource never delays anyone, and a saturated one serializes its users.
 type Resource struct {
-	mu    sync.Mutex
-	load  int64 // cumulative critical-section virtual ns served
-	start int64 // current holder's section start (valid while locked)
+	mu       sync.Mutex
+	load     int64  // cumulative critical-section virtual ns served
+	start    int64  // current holder's section start (valid while locked)
+	waitNS   int64  // cumulative virtual wait observed by acquirers
+	acquires uint64 // number of Acquire calls (not Lock)
 }
 
 // Acquire locks the resource and queues the worker behind its accumulated
 // virtual load.
 func (r *Resource) Acquire(c *Ctx) {
 	r.mu.Lock()
+	r.acquires++
 	if r.load > c.Now {
-		c.local.LockWaitNS += r.load - c.Now
+		w := r.load - c.Now
+		c.local.LockWaitNS += w
+		r.waitNS += w
 		c.Now = r.load
 	}
 	r.start = c.Now
@@ -279,9 +289,34 @@ func (r *Resource) Release(c *Ctx) {
 	r.mu.Unlock()
 }
 
+// Lock takes the resource's mutex without touching the virtual-time
+// model: no context is needed, no wait is charged, and no counters move.
+// Use it for read-mostly accessors (stats, object walks) that must not
+// perturb the simulation. Pair with Unlock.
+func (r *Resource) Lock() { r.mu.Lock() }
+
+// Unlock releases a Lock-only acquisition.
+func (r *Resource) Unlock() { r.mu.Unlock() }
+
 // Load returns the resource's accumulated virtual load (diagnostics).
 func (r *Resource) Load() int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.load
+}
+
+// WaitNS returns the cumulative virtual wait workers observed acquiring
+// the resource (the resource-side view of Stats.LockWaitNS).
+func (r *Resource) WaitNS() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.waitNS
+}
+
+// Acquires returns the number of Acquire calls served (Lock-only
+// acquisitions are not counted).
+func (r *Resource) Acquires() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.acquires
 }

@@ -154,11 +154,14 @@ func (d *Device) tearLine(line, seed uint64) {
 	rng := splitmix64(seed ^ line*0xA24BAED4963EE407)
 	mask := rng.next() // bit i set => word i persists
 	off := line * LineSize
+	mu := d.lineLock(line)
+	mu.Lock()
 	for w := uint64(0); w < LineSize/8; w++ {
 		if mask&(1<<w) != 0 {
 			copy(d.media[off+w*8:off+w*8+8], d.mem[off+w*8:off+w*8+8])
 		}
 	}
+	mu.Unlock()
 }
 
 // applyFlips flips plan.Flips seeded bits in nonzero persisted lines

@@ -83,6 +83,10 @@ const (
 	BankServiceNS  = 60
 	xpLinesPerBank = 4 // write-combining entries per bank
 	defaultBanks   = 8 // media banks (parallelism limit)
+
+	// lineLockStripes is the number of line-lock stripes in strict mode
+	// (power of two; lines hash by line % stripes).
+	lineLockStripes = 1024
 )
 
 // Config configures a Device.
@@ -110,6 +114,14 @@ type Device struct {
 
 	mem   []byte // cache image: what loads and stores observe
 	media []byte // persisted image (strict mode only)
+
+	// lineLocks, allocated only in strict mode, stripe-locks cache lines:
+	// every typed store takes its line's stripe so the whole-line media
+	// copy in flushLine observes a consistent line even while another
+	// worker writes a neighbouring word of the same line. Bytes() views
+	// bypass the stripes — bulk users must do their own line-level
+	// synchronization if they share lines across goroutines.
+	lineLocks []sync.Mutex
 
 	banks []bank
 
@@ -163,6 +175,7 @@ func New(cfg Config) *Device {
 	}
 	if cfg.Strict {
 		d.media = make([]byte, cfg.Size)
+		d.lineLocks = make([]sync.Mutex, lineLockStripes)
 	}
 	d.crashAfter.Store(-1)
 	return d
@@ -200,9 +213,39 @@ func (d *Device) ReadU64(addr PAddr) uint64 {
 	return binary.LittleEndian.Uint64(d.mem[addr:])
 }
 
+// lineLock returns the stripe lock covering line (strict mode only).
+func (d *Device) lineLock(line uint64) *sync.Mutex {
+	return &d.lineLocks[line%uint64(len(d.lineLocks))]
+}
+
+// lockSpan locks the one or two line stripes covering a small write
+// [addr, addr+n), in stripe order so concurrent spanning writes cannot
+// deadlock, and returns an unlock function. Callers have already checked
+// d.lineLocks != nil.
+func (d *Device) lockSpan(addr PAddr, n int) func() {
+	s := uint64(len(d.lineLocks))
+	f := (uint64(addr) / LineSize) % s
+	l := ((uint64(addr) + uint64(n) - 1) / LineSize) % s
+	if f == l {
+		mu := &d.lineLocks[f]
+		mu.Lock()
+		return mu.Unlock
+	}
+	if f > l {
+		f, l = l, f
+	}
+	a, b := &d.lineLocks[f], &d.lineLocks[l]
+	a.Lock()
+	b.Lock()
+	return func() { b.Unlock(); a.Unlock() }
+}
+
 // WriteU64 stores a little-endian uint64 to the cache image.
 func (d *Device) WriteU64(addr PAddr, v uint64) {
 	d.check(addr, 8)
+	if d.lineLocks != nil {
+		defer d.lockSpan(addr, 8)()
+	}
 	binary.LittleEndian.PutUint64(d.mem[addr:], v)
 }
 
@@ -215,6 +258,9 @@ func (d *Device) ReadU32(addr PAddr) uint32 {
 // WriteU32 stores a little-endian uint32.
 func (d *Device) WriteU32(addr PAddr, v uint32) {
 	d.check(addr, 4)
+	if d.lineLocks != nil {
+		defer d.lockSpan(addr, 4)()
+	}
 	binary.LittleEndian.PutUint32(d.mem[addr:], v)
 }
 
@@ -227,6 +273,9 @@ func (d *Device) ReadU16(addr PAddr) uint16 {
 // WriteU16 stores a little-endian uint16.
 func (d *Device) WriteU16(addr PAddr, v uint16) {
 	d.check(addr, 2)
+	if d.lineLocks != nil {
+		defer d.lockSpan(addr, 2)()
+	}
 	binary.LittleEndian.PutUint16(d.mem[addr:], v)
 }
 
@@ -239,12 +288,36 @@ func (d *Device) ReadU8(addr PAddr) byte {
 // WriteU8 stores one byte.
 func (d *Device) WriteU8(addr PAddr, v byte) {
 	d.check(addr, 1)
+	if d.lineLocks != nil {
+		mu := d.lineLock(uint64(addr) / LineSize)
+		mu.Lock()
+		d.mem[addr] = v
+		mu.Unlock()
+		return
+	}
 	d.mem[addr] = v
 }
 
 // Write copies p into the cache image at addr.
 func (d *Device) Write(addr PAddr, p []byte) {
 	d.check(addr, len(p))
+	if d.lineLocks != nil && len(p) > 0 {
+		// Chunk the copy one line at a time so at most one stripe is held
+		// and arbitrary spans cannot deadlock against each other.
+		for off := 0; off < len(p); {
+			line := (uint64(addr) + uint64(off)) / LineSize
+			chunk := int((line+1)*LineSize - (uint64(addr) + uint64(off)))
+			if chunk > len(p)-off {
+				chunk = len(p) - off
+			}
+			mu := d.lineLock(line)
+			mu.Lock()
+			copy(d.mem[uint64(addr)+uint64(off):], p[off:off+chunk])
+			mu.Unlock()
+			off += chunk
+		}
+		return
+	}
 	copy(d.mem[addr:], p)
 }
 
@@ -259,6 +332,24 @@ func (d *Device) Read(addr PAddr, n int) []byte {
 // Zero clears [addr, addr+n) in the cache image.
 func (d *Device) Zero(addr PAddr, n int) {
 	d.check(addr, n)
+	if d.lineLocks != nil && n > 0 {
+		for off := 0; off < n; {
+			line := (uint64(addr) + uint64(off)) / LineSize
+			chunk := int((line+1)*LineSize - (uint64(addr) + uint64(off)))
+			if chunk > n-off {
+				chunk = n - off
+			}
+			mu := d.lineLock(line)
+			mu.Lock()
+			b := d.mem[uint64(addr)+uint64(off) : uint64(addr)+uint64(off)+uint64(chunk)]
+			for i := range b {
+				b[i] = 0
+			}
+			mu.Unlock()
+			off += chunk
+		}
+		return
+	}
 	b := d.mem[addr : uint64(addr)+uint64(n)]
 	for i := range b {
 		b[i] = 0

@@ -3,6 +3,7 @@ package pmem
 import (
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -379,5 +380,50 @@ func TestModeString(t *testing.T) {
 	if CatMeta.String() != "FlushMeta" || CatWAL.String() != "FlushWAL" ||
 		CatSearch.String() != "Search" || CatOther.String() != "Other" {
 		t.Fatal("category strings")
+	}
+}
+
+func TestStrictConcurrentLineNeighbors(t *testing.T) {
+	// Two workers hammer adjacent words of the same cache line (and the
+	// line straddle at a 64 B boundary) with interleaved flushes. The
+	// device's span locking must keep this free of data races (run under
+	// -race) and no store may be lost.
+	dev := New(Config{Size: 1 << 20, Strict: true})
+	const base = PAddr(4096)
+	const iters = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := dev.NewCtx()
+			// Worker w owns word base+8*w; workers 2,3 straddle the
+			// 64 B boundary region at base+56.
+			addr := base + PAddr(8*w)
+			if w >= 2 {
+				addr = base + 56 + PAddr(8*(w-2))
+			}
+			for i := 1; i <= iters; i++ {
+				dev.WriteU64(addr, uint64(w)<<32|uint64(i))
+				c.Flush(CatMeta, addr, 8)
+				if i%64 == 0 {
+					c.Fence()
+				}
+				if got := dev.ReadU64(addr); got != uint64(w)<<32|uint64(i) {
+					t.Errorf("worker %d: read back %#x at iter %d", w, got, i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < 4; w++ {
+		addr := base + PAddr(8*w)
+		if w >= 2 {
+			addr = base + 56 + PAddr(8*(w-2))
+		}
+		if got := dev.ReadU64(addr); got != uint64(w)<<32|iters {
+			t.Fatalf("worker %d: final value %#x, want %#x", w, got, uint64(w)<<32|iters)
+		}
 	}
 }

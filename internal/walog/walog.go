@@ -136,6 +136,43 @@ func (l *Log) Append(c *pmem.Ctx, e Entry) uint64 {
 	return e.Seq
 }
 
+// AppendBatch appends a group of entries with a single trailing fence:
+// each entry is written and flushed individually (so replay's torn-entry
+// tolerance still sees at most one in-flight slot per fence gap), but
+// the fence cost is amortized over the batch. Returns the sequence
+// number of the last entry. Entries must describe operations whose
+// partial persistence is individually safe — the same idempotent-replay
+// contract Append already imposes.
+func (l *Log) AppendBatch(c *pmem.Ctx, es []Entry) uint64 {
+	if len(es) == 0 {
+		return l.seq
+	}
+	var last uint64
+	for _, e := range es {
+		e.Seq = l.seq
+		l.seq++
+		slot := l.cursor
+		l.cursor = (l.cursor + 1) % l.n
+		if e.Seq > uint64(l.n) && l.ckpt < e.Seq-uint64(l.n) {
+			l.setCheckpoint(c, e.Seq-uint64(l.n/2))
+		}
+		a := l.slotAddr(slot)
+		l.dev.WriteU64(a, e.Seq)
+		l.dev.WriteU64(a+8, uint64(e.Addr))
+		l.dev.WriteU64(a+16, e.Aux)
+		l.dev.WriteU32(a+24, e.Aux2)
+		l.dev.WriteU8(a+28, byte(e.Op))
+		crc := entryCRC(l.dev.Bytes(a, EntrySize))
+		l.dev.WriteU8(a+29, byte(crc))
+		l.dev.WriteU8(a+30, byte(crc>>8))
+		l.dev.WriteU8(a+31, byte(crc>>16))
+		c.Flush(pmem.CatWAL, a, EntrySize)
+		last = e.Seq
+	}
+	c.Fence()
+	return last
+}
+
 // setCheckpoint persists the replay lower bound (sealed).
 func (l *Log) setCheckpoint(c *pmem.Ctx, seq uint64) {
 	if seq <= l.ckpt {
