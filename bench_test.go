@@ -284,6 +284,36 @@ func BenchmarkMallocFreeParallel(b *testing.B) {
 	})
 }
 
+// BenchmarkRemoteFree measures the batched remote-free path: one thread
+// allocates small blocks, a second thread bound to another arena frees
+// them. Frees accumulate in a per-owner buffer and drain in batches —
+// one owner-resource section and one trailing fence per batch instead
+// of one of each per free.
+func BenchmarkRemoteFree(b *testing.B) {
+	dev := pmem.New(pmem.Config{Size: 512 << 20})
+	opts := core.DefaultOptions(core.LOG)
+	opts.Arenas = 2
+	h, err := core.Create(dev, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	thA := h.NewThread() // owner arena: allocates
+	thB := h.NewThread() // other arena: frees remotely
+	defer thA.Close()
+	defer thB.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := thA.Malloc(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := thB.Free(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	thB.(alloc.Flusher).Flush()
+}
+
 // BenchmarkFPTreeInsert measures the real cost of tree inserts over the
 // allocator.
 func BenchmarkFPTreeInsert(b *testing.B) {

@@ -134,8 +134,9 @@ func inspect(heap *nvalloc.Heap) {
 		opts.Stripes, opts.InterleaveBitmap, opts.InterleaveTcache, opts.InterleaveWAL)
 	fmt.Printf("slab morphing:    %v (SU %.0f%%)\n", opts.Morphing, opts.SU*100)
 	fmt.Printf("bookkeeping:      log=%v\n", opts.LogBookkeeping)
-	fmt.Printf("used:             %.1f MiB (peak %.1f MiB)\n",
-		float64(heap.Used())/(1<<20), float64(heap.Peak())/(1<<20))
+	fmt.Printf("used:             %.1f MiB (peak %.1f MiB, lease overhead %.1f MiB)\n",
+		float64(heap.Used())/(1<<20), float64(heap.Peak())/(1<<20),
+		float64(heap.LeaseOverhead())/(1<<20))
 	splits, coalesces, grows := heap.LargeStats()
 	fmt.Printf("extent ops:       %d splits, %d coalesces, %d chunk grows\n", splits, coalesces, grows)
 	morphs, refusals := heap.MorphStats()

@@ -44,6 +44,15 @@ type Thread interface {
 	Close()
 }
 
+// Flusher is implemented by threads that buffer deferred work — batched
+// remote frees, most notably. Flush drains every buffer, so that all
+// operations acknowledged before the call are persistent (recoverable)
+// afterwards. Close flushes implicitly; callers that keep a thread open
+// across an application-level durability point flush explicitly.
+type Flusher interface {
+	Flush()
+}
+
 // Heap is a persistent heap instance bound to a device.
 type Heap interface {
 	// NewThread registers a worker with the heap.

@@ -171,6 +171,23 @@ type Log struct {
 	// escalates from fast to slow GC.
 	SlowGCThreshold uint64
 
+	// GCBudgetChunks bounds how many chunks' worth of live entries one
+	// incremental slow-GC step copies, so GC work interleaves with
+	// appends instead of stalling them on a large live set.
+	GCBudgetChunks int
+
+	// gc holds the state of an in-progress incremental slow GC (nil when
+	// no slow GC is underway).
+	gc *gcState
+
+	// outstanding counts reserved-but-unpublished entry slots (see
+	// reserve/publish). Sharded appenders bump it under the shard lock
+	// around out-of-lock publishes; GC must only run when it is zero, so
+	// it never snapshots, copies or reconciles a slot whose entry word
+	// has not been written yet.
+	outstanding int
+
+	lastGCCopied     int
 	fastGCs, slowGCs uint64
 }
 
@@ -187,14 +204,14 @@ func RegionSize(heapBytes uint64) uint64 {
 
 // New formats a fresh log over [base, base+size).
 func New(dev *pmem.Device, base pmem.PAddr, size uint64, stripes int) *Log {
-	l := newLog(dev, base, size, stripes)
-	c := dev.NewCtx()
-	dev.Zero(base, headerSize)
-	dev.WriteU64(base+offBreak, uint64(base)+headerSize)
-	c.Flush(pmem.CatMeta, base, headerSize)
-	c.Fence()
-	c.Merge()
-	return l
+	// Formatting is lazy: a fresh (zeroed) region already reads as a valid
+	// empty log — zero chain pointers and alt word unseal as zero, and a
+	// zero break word means "nothing carved yet" (see readBreak). The
+	// header's first persistent write happens with the first chunk carve,
+	// so creating a log that is never appended to costs nothing. Like
+	// walog.New, this assumes a fresh device: Create never reformats a
+	// region holding a previous image.
+	return newLog(dev, base, size, stripes)
 }
 
 func newLog(dev *pmem.Device, base pmem.PAddr, size uint64, stripes int) *Log {
@@ -216,6 +233,7 @@ func newLog(dev *pmem.Device, base pmem.PAddr, size uint64, stripes int) *Log {
 		chunks:          rbtree.New[pmem.PAddr, *vchunk](func(a, b pmem.PAddr) bool { return a < b }),
 		index:           make(map[pmem.PAddr]entryRef),
 		SlowGCThreshold: size * 3 / 4,
+		GCBudgetChunks:  defaultGCBudgetChunks,
 	}
 }
 
@@ -276,7 +294,7 @@ func (l *Log) newChunk(c *pmem.Ctx) error {
 		c.Flush(pmem.CatMeta, addr+chunkHdrSize, ChunkSize-chunkHdrSize)
 		l.initAndLink(c, addr)
 	default:
-		brk := pmem.PAddr(l.dev.ReadU64(l.base + offBreak))
+		brk := pmem.PAddr(l.readBreak())
 		if uint64(brk)+ChunkSize > uint64(l.base)+l.size {
 			return fmt.Errorf("blog: log region exhausted (%d bytes)", l.size)
 		}
@@ -293,8 +311,17 @@ func (l *Log) newChunk(c *pmem.Ctx) error {
 }
 
 func (l *Log) breakHasRoom() bool {
+	return l.readBreak()+ChunkSize <= uint64(l.base)+l.size
+}
+
+// readBreak returns the region break, mapping the never-written zero
+// word of a lazily formatted log to its initial value (see New).
+func (l *Log) readBreak() uint64 {
 	brk := l.dev.ReadU64(l.base + offBreak)
-	return brk+ChunkSize <= uint64(l.base)+l.size
+	if brk == 0 {
+		brk = uint64(l.base) + headerSize
+	}
+	return brk
 }
 
 // initAndLink writes a fresh header for an unlinked chunk and splices it
@@ -331,6 +358,23 @@ func (l *Log) append(c *pmem.Ctx, e uint64) (entryRef, error) {
 // still individually flushed, so a crash mid-batch persists an
 // independently valid prefix.
 func (l *Log) appendNoFence(c *pmem.Ctx, e uint64) (entryRef, error) {
+	ref, err := l.reserve(c)
+	if err != nil {
+		return entryRef{}, err
+	}
+	l.publish(c, ref, e)
+	return ref, nil
+}
+
+// reserve claims the next entry slot (carving a new chunk when the
+// current one is full) and marks its validity bit, leaving the
+// persistent entry word zero. Callers hold the log's lock; publish may
+// then run outside it. A crash between the two leaves a zero slot,
+// which recovery skips (the entry scan tolerates interior holes and the
+// cursor resumes after the last occupied slot), and the set vbit keeps
+// fast GC from retiring — and dormant reactivation from wiping — the
+// chunk while the slot is in flight.
+func (l *Log) reserve(c *pmem.Ctx) (entryRef, error) {
 	if l.current == nil || l.cursor >= l.perChunk {
 		if err := l.newChunk(c); err != nil {
 			return entryRef{}, err
@@ -338,10 +382,17 @@ func (l *Log) appendNoFence(c *pmem.Ctx, e uint64) (entryRef, error) {
 	}
 	slot := l.cursor
 	l.cursor++
-	a := l.entryAddr(l.current.addr, slot)
-	c.PersistU64(pmem.CatMeta, a, e)
 	l.current.set(slot)
 	return entryRef{chunk: l.current.addr, slot: slot}, nil
+}
+
+// publish writes and flushes a reserved slot's entry word (no fence).
+// Safe outside the log's lock: the slot is privately owned by the
+// reserver, an 8-byte aligned store is atomic on the media, and the
+// device's line locks order the flush against neighboring slots' writes
+// in the same cache line.
+func (l *Log) publish(c *pmem.Ctx, ref entryRef, e uint64) {
+	c.PersistU64(pmem.CatMeta, l.entryAddr(ref.chunk, ref.slot), e)
 }
 
 // RecordAlloc appends a normal entry for a newly live extent.

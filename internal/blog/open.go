@@ -164,12 +164,15 @@ func Open(dev *pmem.Device, base pmem.PAddr, size uint64, stripes int) (*Log, []
 	l.nextSeq = maxSeq + 1
 
 	// Resume appending in the chain tail if it is active and has room.
+	// The cursor resumes after the *last* occupied slot, not the first
+	// empty one: a scavenge (DropRecord) can zero interior entries, and
+	// resuming inside such a hole would overwrite later live entries.
 	if n := len(chain); n > 0 {
 		l.tail = chain[n-1].addr
 		if v, ok := l.chunks.Get(l.tail); ok {
-			cur := 0
-			for cur < l.perChunk && dev.ReadU64(l.entryAddr(l.tail, cur)) != 0 {
-				cur++
+			cur := l.perChunk
+			for cur > 0 && dev.ReadU64(l.entryAddr(l.tail, cur-1)) == 0 {
+				cur--
 			}
 			if cur < l.perChunk {
 				l.current = v

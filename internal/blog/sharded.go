@@ -1,0 +1,454 @@
+package blog
+
+import (
+	"fmt"
+	"sort"
+
+	"nvalloc/internal/pmem"
+)
+
+// Sharded is N independent, persistently self-contained bookkeeping
+// logs behind one Bookkeeper facade. Each shard owns an equal slice of
+// the log region — its own header (chain pointers, alt bit, break) and
+// chunk chain — plus its own resource, so record and tombstone appends
+// routed to different shards never serialize. Records are routed by a
+// deterministic hash of the extent address (a stable proxy for the
+// owning arena, whose extents are arena-private), which guarantees a
+// free finds the shard its record went to.
+//
+// Unlike *Log, Sharded serializes itself: callers do NOT wrap calls in
+// an external resource (see SelfLocked). GC also runs inline, per
+// shard, inside the same shard section as the free that triggered it.
+type Sharded struct {
+	dev     *pmem.Device
+	base    pmem.PAddr
+	size    uint64 // per-shard region size
+	stripes int
+
+	shards []*Log
+	res    []pmem.Resource
+}
+
+// shardGranule is the routing granularity: all addresses inside one
+// 2 MiB-aligned region hash to the same shard. The granule matches the
+// extent layer's lease quantum and comfortably covers one slab-batch
+// carve, so the records of a batched refill (contiguous addresses) land
+// in one shard — one chunk, one fence — while unrelated regions (other
+// arenas' carves, other pools' leases) still spread across shards.
+const shardGranule = 2 << 20
+
+// ShardIndex routes an extent address to a shard: a golden-ratio
+// multiplicative hash over the address's 2 MiB granule number (see
+// shardGranule). Deterministic: the same address always routes to the
+// same shard, in every session, which is what lets a tombstone find its
+// record.
+func ShardIndex(addr pmem.PAddr, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := uint64(addr) / shardGranule * 0x9E3779B97F4A7C15
+	return int((h >> 33) % uint64(n))
+}
+
+// ShardedRegionSize returns the total log-region size for a heap of the
+// given byte capacity split over n shards: the single-log provision
+// divided evenly, with each shard floored at the minimum useful region
+// and chunk-aligned.
+func ShardedRegionSize(heapBytes uint64, n int) uint64 {
+	if n < 1 {
+		n = 1
+	}
+	per := RegionSize(heapBytes) / uint64(n)
+	if per < 64*ChunkSize {
+		per = 64 * ChunkSize
+	}
+	per = (per + ChunkSize - 1) &^ (ChunkSize - 1)
+	return per * uint64(n)
+}
+
+func shardedLayout(size uint64, n int) uint64 {
+	per := (size / uint64(n)) &^ (ChunkSize - 1)
+	if per < headerSize+ChunkSize {
+		panic(fmt.Sprintf("blog: region %d too small for %d shards", size, n))
+	}
+	return per
+}
+
+// NewSharded formats n fresh log shards over [base, base+size). The
+// region is split into n equal chunk-aligned sub-regions.
+func NewSharded(dev *pmem.Device, base pmem.PAddr, size uint64, stripes, n int) *Sharded {
+	if n < 1 {
+		n = 1
+	}
+	per := shardedLayout(size, n)
+	s := &Sharded{dev: dev, base: base, size: per, stripes: stripes,
+		shards: make([]*Log, n), res: make([]pmem.Resource, n)}
+	for i := 0; i < n; i++ {
+		s.shards[i] = New(dev, base+pmem.PAddr(uint64(i)*per), per, stripes)
+	}
+	return s
+}
+
+// OpenSharded reopens n log shards after a restart or crash. Every
+// shard recovers independently (each is persistently self-contained),
+// and the per-shard live sets are merged into one deterministic,
+// address-ordered record list. A crash with any subset of shards
+// mid-append recovers each shard's valid prefix.
+func OpenSharded(dev *pmem.Device, base pmem.PAddr, size uint64, stripes, n int) (*Sharded, []Record, error) {
+	if n < 1 {
+		n = 1
+	}
+	per := shardedLayout(size, n)
+	s := &Sharded{dev: dev, base: base, size: per, stripes: stripes,
+		shards: make([]*Log, n), res: make([]pmem.Resource, n)}
+	var all []Record
+	for i := 0; i < n; i++ {
+		l, recs, err := Open(dev, base+pmem.PAddr(uint64(i)*per), per, stripes)
+		if err != nil {
+			return nil, nil, fmt.Errorf("blog shard %d: %w", i, err)
+		}
+		s.shards[i] = l
+		all = append(all, recs...)
+	}
+	// Shards hold disjoint address sets (routing is by address), so the
+	// merge is a plain sort: deterministic and collision-free.
+	sort.Slice(all, func(i, j int) bool { return all[i].Addr < all[j].Addr })
+	return s, all, nil
+}
+
+// SelfLocked marks Sharded as serializing its own bookkeeper calls;
+// the extent layer skips its external bookkeeper resource when the
+// bookkeeper provides one (see extent.SelfLockedBookkeeper).
+func (s *Sharded) SelfLocked() {}
+
+// DataOffset implements extent.Bookkeeper: shards live in their own
+// region, so heap chunks carry no per-chunk reservation.
+func (s *Sharded) DataOffset() uint64 { return 0 }
+
+// RecordAlloc persists that [addr,addr+size) is live, in addr's shard.
+//
+// The shard's resource covers only slot reservation (a cursor bump, an
+// index insert, the occasional chunk carve); the entry's flush and the
+// trailing fence run outside it. Concurrent appends that route to the
+// same shard therefore serialize only on the near-free reservation —
+// the media write is slot-private — instead of queueing behind each
+// other's flush+fence. The outstanding counter keeps GC away from the
+// shard while any reserved slot's word is still unwritten.
+func (s *Sharded) RecordAlloc(c *pmem.Ctx, addr pmem.PAddr, size uint64, slab bool) error {
+	t := TypeExtent
+	if slab {
+		t = TypeSlab
+	}
+	e := encode(addr, size, t)
+	i := ShardIndex(addr, len(s.shards))
+	l := s.shards[i]
+	s.res[i].Acquire(c)
+	ref, err := l.reserve(c)
+	if err == nil {
+		l.index[addr] = ref
+		l.outstanding++
+	}
+	s.res[i].Release(c)
+	if err != nil {
+		return err
+	}
+	l.publish(c, ref, e)
+	c.Fence()
+	s.res[i].Lock()
+	l.outstanding--
+	s.res[i].Unlock()
+	return nil
+}
+
+// RecordFree persists a tombstone for addr in its shard and lets that
+// shard run (incremental) GC inside the same section. Like RecordAlloc,
+// the tombstone's flush and fence run outside the shard resource; the
+// index removal and vbit invalidation happen at reservation time.
+func (s *Sharded) RecordFree(c *pmem.Ctx, addr pmem.PAddr) error {
+	e := encode(addr, 0, TypeTombstone)
+	i := ShardIndex(addr, len(s.shards))
+	l := s.shards[i]
+	s.res[i].Acquire(c)
+	if l.outstanding == 0 {
+		l.MaybeGC(c)
+	}
+	ref, ok := l.index[addr]
+	if !ok {
+		s.res[i].Release(c)
+		return fmt.Errorf("blog: free of unrecorded extent %#x", addr)
+	}
+	tref, err := l.reserve(c)
+	if err != nil {
+		s.res[i].Release(c)
+		return err
+	}
+	delete(l.index, addr)
+	if v, ok := l.chunks.Get(ref.chunk); ok {
+		v.clear(ref.slot)
+		l.noteEmpty(v)
+	}
+	l.outstanding++
+	s.res[i].Release(c)
+	l.publish(c, tref, e)
+	c.Fence()
+	s.res[i].Lock()
+	l.outstanding--
+	s.res[i].Unlock()
+	return nil
+}
+
+// MaybeGC implements extent.Bookkeeper. GC runs inline per shard on the
+// free paths (under the shard's own resource), so the external hook is
+// a no-op.
+func (s *Sharded) MaybeGC(c *pmem.Ctx) {}
+
+// recordAllocGroup reserves slots for a same-shard group of records
+// under the shard resource, then publishes every entry and fences once
+// outside it. On a reservation failure (region exhausted) the already
+// reserved prefix is still published and fenced — the same valid-prefix
+// contract as Log.RecordAllocBatch.
+func (s *Sharded) recordAllocGroup(c *pmem.Ctx, i int, recs []Record) error {
+	l := s.shards[i]
+	words := make([]uint64, len(recs))
+	for k, r := range recs {
+		t := TypeExtent
+		if r.Slab {
+			t = TypeSlab
+		}
+		words[k] = encode(r.Addr, r.Size, t)
+	}
+	refs := make([]entryRef, 0, len(recs))
+	s.res[i].Acquire(c)
+	var err error
+	for _, r := range recs {
+		var ref entryRef
+		if ref, err = l.reserve(c); err != nil {
+			break
+		}
+		l.index[r.Addr] = ref
+		refs = append(refs, ref)
+	}
+	if len(refs) > 0 {
+		l.outstanding++ // one increment covers the whole group
+	}
+	s.res[i].Release(c)
+	if len(refs) == 0 {
+		return err
+	}
+	for k, ref := range refs {
+		l.publish(c, ref, words[k])
+	}
+	c.Fence()
+	s.res[i].Lock()
+	l.outstanding--
+	s.res[i].Unlock()
+	return err
+}
+
+// RecordAllocBatch persists a group of records, grouped by shard with
+// one fence per touched shard (see recordAllocGroup for the mid-batch
+// crash contract).
+func (s *Sharded) RecordAllocBatch(c *pmem.Ctx, recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	if len(s.shards) == 1 {
+		return s.recordAllocGroup(c, 0, recs)
+	}
+	groups := make(map[int][]Record)
+	for _, r := range recs {
+		i := ShardIndex(r.Addr, len(s.shards))
+		groups[i] = append(groups[i], r)
+	}
+	for i := 0; i < len(s.shards); i++ {
+		if g := groups[i]; len(g) > 0 {
+			if err := s.recordAllocGroup(c, i, g); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// recordFreeGroup is recordAllocGroup's tombstone counterpart: index
+// removals and vbit invalidations happen at reservation time under the
+// shard resource, publishes and the single fence outside it, with the
+// shard's (incremental) GC run at section start when no publish is in
+// flight.
+func (s *Sharded) recordFreeGroup(c *pmem.Ctx, i int, addrs []pmem.PAddr) error {
+	l := s.shards[i]
+	words := make([]uint64, len(addrs))
+	for k, a := range addrs {
+		words[k] = encode(a, 0, TypeTombstone)
+	}
+	refs := make([]entryRef, 0, len(addrs))
+	s.res[i].Acquire(c)
+	if l.outstanding == 0 {
+		l.MaybeGC(c)
+	}
+	var err error
+	for _, a := range addrs {
+		ref, ok := l.index[a]
+		if !ok {
+			err = fmt.Errorf("blog: free of unrecorded extent %#x", a)
+			break
+		}
+		var tref entryRef
+		if tref, err = l.reserve(c); err != nil {
+			break
+		}
+		delete(l.index, a)
+		if v, ok := l.chunks.Get(ref.chunk); ok {
+			v.clear(ref.slot)
+			l.noteEmpty(v)
+		}
+		refs = append(refs, tref)
+	}
+	if len(refs) > 0 {
+		l.outstanding++
+	}
+	s.res[i].Release(c)
+	if len(refs) == 0 {
+		return err
+	}
+	for k, tref := range refs {
+		l.publish(c, tref, words[k])
+	}
+	c.Fence()
+	s.res[i].Lock()
+	l.outstanding--
+	s.res[i].Unlock()
+	return err
+}
+
+// RecordFreeBatch persists tombstones for each addr, grouped by shard
+// with one fence per touched shard, running each shard's GC inline.
+func (s *Sharded) RecordFreeBatch(c *pmem.Ctx, addrs []pmem.PAddr) error {
+	if len(addrs) == 0 {
+		return nil
+	}
+	if len(s.shards) == 1 {
+		return s.recordFreeGroup(c, 0, addrs)
+	}
+	groups := make(map[int][]pmem.PAddr)
+	for _, a := range addrs {
+		i := ShardIndex(a, len(s.shards))
+		groups[i] = append(groups[i], a)
+	}
+	for i := 0; i < len(s.shards); i++ {
+		if g := groups[i]; len(g) > 0 {
+			if err := s.recordFreeGroup(c, i, g); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SetSlowGCThreshold divides a whole-log slow-GC threshold evenly over
+// the shards (floored at one chunk so an aggressive threshold still
+// triggers per-shard GC).
+func (s *Sharded) SetSlowGCThreshold(total uint64) {
+	per := total / uint64(len(s.shards))
+	if per < ChunkSize {
+		per = ChunkSize
+	}
+	for _, l := range s.shards {
+		l.SlowGCThreshold = per
+	}
+}
+
+// SlowGCAll drives a full slow GC on every shard (recovery-time
+// compaction). Shards that cannot shrink (capacity check) or that have
+// a publish in flight are skipped.
+func (s *Sharded) SlowGCAll(c *pmem.Ctx) {
+	for i, l := range s.shards {
+		s.res[i].Acquire(c)
+		if l.outstanding == 0 {
+			_, _ = l.SlowGC(c)
+		}
+		s.res[i].Release(c)
+	}
+}
+
+// NumShards returns the shard count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// Shard exposes one shard (tests and stats).
+func (s *Sharded) Shard(i int) *Log { return s.shards[i] }
+
+// Res exposes shard i's resource for contention instrumentation.
+func (s *Sharded) Res(i int) *pmem.Resource { return &s.res[i] }
+
+// EntriesPerChunk returns the per-chunk entry capacity (identical for
+// every shard).
+func (s *Sharded) EntriesPerChunk() int { return s.shards[0].EntriesPerChunk() }
+
+// Live returns the number of live (indexed) extents across all shards.
+func (s *Sharded) Live() int {
+	n := 0
+	for _, l := range s.shards {
+		n += l.Live()
+	}
+	return n
+}
+
+// ActiveChunks returns the total active-chain length across all shards.
+func (s *Sharded) ActiveChunks() int {
+	n := 0
+	for _, l := range s.shards {
+		n += l.ActiveChunks()
+	}
+	return n
+}
+
+// FreeChunks returns the total free-chunk count across all shards.
+func (s *Sharded) FreeChunks() int {
+	n := 0
+	for _, l := range s.shards {
+		n += l.FreeChunks()
+	}
+	return n
+}
+
+// GCCounts returns total fast and slow GC passes across all shards.
+func (s *Sharded) GCCounts() (fast, slow uint64) {
+	for _, l := range s.shards {
+		f, sl := l.GCCounts()
+		fast += f
+		slow += sl
+	}
+	return fast, slow
+}
+
+// ScrubSharded repairs every shard of a damaged sharded log region in
+// place (see Scrub), prefixing each repair with its shard index.
+func ScrubSharded(dev *pmem.Device, base pmem.PAddr, size uint64, stripes, n int) []string {
+	if n < 1 {
+		n = 1
+	}
+	per := shardedLayout(size, n)
+	var done []string
+	for i := 0; i < n; i++ {
+		for _, m := range Scrub(dev, base+pmem.PAddr(uint64(i)*per), per, stripes) {
+			done = append(done, fmt.Sprintf("shard %d: %s", i, m))
+		}
+	}
+	return done
+}
+
+// DropRecordSharded zeroes every normal entry for addr across all
+// shards (see DropRecord). The walk covers every shard rather than just
+// addr's routed shard, so it stays correct even against images written
+// with a different routing function.
+func DropRecordSharded(dev *pmem.Device, base pmem.PAddr, size uint64, stripes, n int, addr pmem.PAddr) int {
+	if n < 1 {
+		n = 1
+	}
+	per := shardedLayout(size, n)
+	dropped := 0
+	for i := 0; i < n; i++ {
+		dropped += DropRecord(dev, base+pmem.PAddr(uint64(i)*per), per, stripes, addr)
+	}
+	return dropped
+}

@@ -212,14 +212,17 @@ func (a *arena) acquireSlab(c *pmem.Ctx, class int) *slab.Slab {
 }
 
 // noteCandidate queues a slab whose occupancy fell below the SU
-// threshold. Caller holds the slab lock.
+// threshold. Caller holds the slab lock; MorphCand itself is guarded by
+// candMu, because morphInto manipulates it without the slab lock.
 func (a *arena) noteCandidate(s *slab.Slab) {
-	if !a.h.opts.Morphing || s.MorphCand || s.Dead || s.OldClass >= 0 {
+	if !a.h.opts.Morphing || s.Dead || s.OldClass >= 0 {
 		return
 	}
-	s.MorphCand = true
 	a.candMu.Lock()
-	a.candidates = append(a.candidates, s)
+	if !s.MorphCand {
+		s.MorphCand = true
+		a.candidates = append(a.candidates, s)
+	}
 	a.candMu.Unlock()
 }
 
@@ -233,13 +236,20 @@ func (a *arena) morphInto(c *pmem.Ctx, class int) *slab.Slab {
 	a.candMu.Lock()
 	cands := a.candidates
 	a.candidates = nil
+	// Clear the queued flags while still holding candMu: MorphCand means
+	// exactly "in the candidate list", and these slabs just left it. A
+	// concurrent noteCandidate may re-queue one of them before the merge
+	// below; the merge checks the flag again so the list never holds
+	// duplicates.
+	for _, s := range cands {
+		s.MorphCand = false
+	}
 	a.candMu.Unlock()
 	var keep []*slab.Slab
 	var winner *slab.Slab
 	for len(cands) > 0 && winner == nil {
 		s := cands[len(cands)-1]
 		cands = cands[:len(cands)-1]
-		s.MorphCand = false
 		c.Charge(pmem.CatSearch, 15)
 		if s.Dead || s.Owner != a.index {
 			continue
@@ -252,7 +262,6 @@ func (a *arena) morphInto(c *pmem.Ctx, class int) *slab.Slab {
 			s.Mu.Unlock()
 			a.morphRefusals++
 			if requeue {
-				s.MorphCand = true
 				keep = append(keep, s)
 			}
 			continue
@@ -281,7 +290,12 @@ func (a *arena) morphInto(c *pmem.Ctx, class int) *slab.Slab {
 		winner = s
 	}
 	a.candMu.Lock()
-	a.candidates = append(a.candidates, append(cands, keep...)...)
+	for _, s := range append(cands, keep...) {
+		if !s.MorphCand {
+			s.MorphCand = true
+			a.candidates = append(a.candidates, s)
+		}
+	}
 	a.candMu.Unlock()
 	return winner
 }

@@ -94,6 +94,9 @@ type Options struct {
 	// LargeShards is the number of address-partitioned large-allocation
 	// pools (default 8). Ignored when NoExtentCache is set.
 	LargeShards int
+	// BookShards is the number of independent bookkeeping-log shards
+	// (default: one per arena). Ignored with in-place bookkeeping.
+	BookShards int
 }
 
 // DefaultOptions returns the paper's configuration for a variant.
@@ -133,6 +136,9 @@ func (o Options) withDefaults() Options {
 	if o.LargeShards <= 0 {
 		o.LargeShards = 8
 	}
+	if o.BookShards <= 0 {
+		o.BookShards = o.Arenas
+	}
 	return o
 }
 
@@ -154,16 +160,17 @@ const (
 	sbWALEnts    = 88
 	sbBookMode   = 96
 	sbWALStripes = 104 // stripe count used by WAL + blog entry layout
-	sbChecksum   = 112 // CRC-32C over [0,112) with state and break zeroed
+	sbBookShards = 112 // bookkeeping-log shard count
+	sbChecksum   = 120 // CRC-32C over [0,120) with state and break zeroed
 	sbRoots      = 128 // alloc.NumRootSlots * 8 bytes
 
 	superMagic   = 0x4E56414C4C4F4321 // "NVALLOC!"
-	superVersion = 2
+	superVersion = 3
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
-// superCRC computes the superblock checksum: CRC-32C over the first 112
+// superCRC computes the superblock checksum: CRC-32C over the first 120
 // bytes of the superblock with the run-state word [16,24) and the heap
 // break [56,64) zeroed. Both change at runtime without a checksum
 // update — the state word carries its own seal (pmem.SealU64) and the
@@ -206,7 +213,7 @@ type Heap struct {
 	arenas []*arena
 	large  *extent.Allocator
 	book   extent.Bookkeeper
-	blog   *blog.Log // non-nil iff LogBookkeeping
+	blog   *blog.Sharded // non-nil iff LogBookkeeping
 	// shards are the address-partitioned large-allocation pools (nil when
 	// NoExtentCache is set); requests up to extent.MaxShardAlloc route
 	// through them instead of the global allocator lock.
@@ -252,6 +259,7 @@ func Create(dev *pmem.Device, opts Options) (*Heap, error) {
 		bookMode = 1
 	}
 	w(sbBookMode, bookMode)
+	w(sbBookShards, uint64(opts.BookShards))
 	dev.Zero(superBase+sbRoots, alloc.NumRootSlots*8)
 
 	h.initVolatile(dev, opts)
@@ -261,11 +269,11 @@ func Create(dev *pmem.Device, opts Options) (*Heap, error) {
 	c.Fence()
 	// Fresh persistent structures.
 	if opts.LogBookkeeping {
-		h.blog = blog.New(dev, h.blogBase(), h.blogSize(), h.walStripesForBlog())
+		h.blog = blog.NewSharded(dev, h.blogBase(), h.blogSize(), h.walStripesForBlog(), opts.BookShards)
 		if !opts.BlogGC {
-			h.blog.SlowGCThreshold = ^uint64(0) >> 1
+			h.blog.SetSlowGCThreshold(^uint64(0) >> 1)
 		} else if opts.BlogGCThreshold > 0 {
-			h.blog.SlowGCThreshold = opts.BlogGCThreshold
+			h.blog.SetSlowGCThreshold(opts.BlogGCThreshold)
 		}
 		h.book = h.blog
 	} else {
@@ -297,7 +305,7 @@ func layout(dev *pmem.Device, opts Options) (*Heap, error) {
 	walBytes := uint64(opts.Arenas) * uint64(walog.RegionSize(opts.WALEntries, opts.Stripes))
 	walBase := uint64(8192)
 	blogBase := (walBase + walBytes + 4095) &^ 4095
-	blogSize := blog.RegionSize(dev.Size())
+	blogSize := blog.ShardedRegionSize(dev.Size(), opts.BookShards)
 	heapBase := (blogBase + blogSize + extent.ChunkSize - 1) &^ (extent.ChunkSize - 1)
 	if heapBase+extent.ChunkSize > dev.Size() {
 		return nil, fmt.Errorf("core: device too small (%d bytes) for metadata regions", dev.Size())
@@ -418,9 +426,13 @@ func (h *Heap) flushExtentCaches(c *pmem.Ctx, except *arena) bool {
 	return flushed
 }
 
-// Blog exposes the bookkeeping log (nil when in-place bookkeeping is
-// configured); used by GC-overhead experiments.
-func (h *Heap) Blog() *blog.Log { return h.blog }
+// Blog exposes the sharded bookkeeping log (nil when in-place
+// bookkeeping is configured); used by GC-overhead experiments.
+func (h *Heap) Blog() *blog.Sharded { return h.blog }
+
+// LeaseOverhead returns the bytes of activated-but-idle space parked in
+// arena slab caches and shard-pool leases (see extent.LeaseOverhead).
+func (h *Heap) LeaseOverhead() uint64 { return h.large.LeaseOverhead() }
 
 // LargeStats returns split/coalesce/grow counters.
 func (h *Heap) LargeStats() (splits, coalesces, grows uint64) {
@@ -525,7 +537,24 @@ func (h *Heap) Contention() []ResourceLoad {
 	}
 	out := []ResourceLoad{
 		row("large", &h.large.Res),
-		row("book", &h.large.BookRes),
+	}
+	if h.blog != nil {
+		// The sharded log serializes itself per shard; the "book" row
+		// aggregates all shards (comparable to the old single BookRes)
+		// and each shard also reports its own row.
+		agg := ResourceLoad{Name: "book"}
+		for i := 0; i < h.blog.NumShards(); i++ {
+			r := h.blog.Res(i)
+			agg.LoadNS += r.Load()
+			agg.WaitNS += r.WaitNS()
+			agg.Acquires += r.Acquires()
+		}
+		out = append(out, agg)
+		for i := 0; i < h.blog.NumShards(); i++ {
+			out = append(out, row(fmt.Sprintf("book%d", i), h.blog.Res(i)))
+		}
+	} else {
+		out = append(out, row("book", &h.large.BookRes))
 	}
 	if h.shards != nil {
 		for i := 0; i < h.shards.NumPools(); i++ {

@@ -31,6 +31,7 @@ func validateSuper(dev *pmem.Device) error {
 	bookMode := dev.ReadU64(superBase + sbBookMode)
 	walEnts := dev.ReadU64(superBase + sbWALEnts)
 	walStripes := dev.ReadU64(superBase + sbWALStripes)
+	bookShards := dev.ReadU64(superBase + sbBookShards)
 	switch {
 	case arenas < 1 || arenas > 1024:
 		return pmem.Corrupt("superblock", superBase+sbArenas, "arena count %d out of range", arenas)
@@ -44,6 +45,8 @@ func validateSuper(dev *pmem.Device) error {
 		return pmem.Corrupt("superblock", superBase+sbWALEnts, "WAL ring capacity %d out of range", walEnts)
 	case walStripes < 1 || walStripes > 64:
 		return pmem.Corrupt("superblock", superBase+sbWALStripes, "WAL stripe count %d out of range", walStripes)
+	case bookMode == 1 && (bookShards < 1 || bookShards > 1024):
+		return pmem.Corrupt("superblock", superBase+sbBookShards, "bookkeeping shard count %d out of range", bookShards)
 	}
 	walBase := dev.ReadU64(superBase + sbWALBase)
 	blogBase := dev.ReadU64(superBase + sbBlogBase)
@@ -81,6 +84,11 @@ func Open(dev *pmem.Device, opts Options) (*Heap, int64, error) {
 	opts.WALEntries = int(dev.ReadU64(superBase + sbWALEnts))
 	walStripes := int(dev.ReadU64(superBase + sbWALStripes))
 	opts.InterleaveWAL = walStripes > 1
+	if opts.LogBookkeeping {
+		// The shard count determines the region split and the record
+		// routing, so the persisted value always wins.
+		opts.BookShards = int(dev.ReadU64(superBase + sbBookShards))
+	}
 
 	h := &Heap{dev: dev, opts: opts}
 	h.heapBase = pmem.PAddr(dev.ReadU64(superBase + sbHeapBase))
@@ -99,21 +107,21 @@ func Open(dev *pmem.Device, opts Options) (*Heap, int64, error) {
 	// Reopen the bookkeeper and enumerate live extents.
 	var records []extent.LiveRecord
 	if opts.LogBookkeeping {
-		bl, recs, err := blog.Open(dev, h.blogBase(), h.blogSize(), h.walStripes)
+		// Every shard recovers independently; the merged record list is
+		// address-ordered across shards.
+		bl, recs, err := blog.OpenSharded(dev, h.blogBase(), h.blogSize(), h.walStripes, opts.BookShards)
 		if err != nil {
 			return nil, 0, err
 		}
 		if !opts.BlogGC {
-			bl.SlowGCThreshold = ^uint64(0) >> 1
+			bl.SetSlowGCThreshold(^uint64(0) >> 1)
 		} else if opts.BlogGCThreshold > 0 {
-			bl.SlowGCThreshold = opts.BlogGCThreshold
+			bl.SetSlowGCThreshold(opts.BlogGCThreshold)
 		}
 		// Normal-shutdown recovery performs a slow GC to drop tombstones
 		// (Section 4.4).
 		if opts.BlogGC {
-			if _, err := bl.SlowGC(c); err != nil {
-				return nil, 0, err
-			}
+			bl.SlowGCAll(c)
 		}
 		h.blog = bl
 		h.book = bl

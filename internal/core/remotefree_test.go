@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"nvalloc/internal/pmem"
+	"nvalloc/internal/slab"
+)
+
+// blockFreed reports whether addr no longer holds a live small block on
+// heap h: its slab is gone (released — all blocks freed), or its bit is
+// clear. A live old-class block (morphed slab) counts as not freed.
+func blockFreed(h *Heap, addr pmem.PAddr) bool {
+	s := h.slabs.Lookup(addr &^ (slab.Size - 1))
+	if s == nil {
+		return true
+	}
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	if s.OldBlockIndex(addr) >= 0 {
+		return false
+	}
+	idx := s.BlockIndex(addr)
+	return idx < 0 || !s.BlockAllocated(idx)
+}
+
+// TestRemoteFreeProducerConsumerStress allocates blocks from producer
+// threads and frees every one of them from consumer threads bound to
+// other arenas, exercising the buffered remote-free path (with periodic
+// explicit Flushes) under the race detector. No free may be lost: after
+// the consumers close, every block is free.
+func TestRemoteFreeProducerConsumerStress(t *testing.T) {
+	dev := pmem.New(pmem.Config{Size: 128 << 20})
+	opts := DefaultOptions(LOG)
+	opts.Arenas = 4
+	h, err := Create(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const producers, perProducer = 4, 3000
+	addrCh := make(chan []pmem.PAddr, producers)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			th := h.NewThread()
+			defer th.Close()
+			addrs := make([]pmem.PAddr, 0, perProducer)
+			for i := 0; i < perProducer; i++ {
+				a, err := th.Malloc(uint64(64 + i%4*64))
+				if err != nil {
+					t.Errorf("producer %d: %v", p, err)
+					break
+				}
+				addrs = append(addrs, a)
+			}
+			addrCh <- addrs
+		}(p)
+	}
+	wg.Wait()
+	close(addrCh)
+	var all []pmem.PAddr
+	for addrs := range addrCh {
+		all = append(all, addrs...)
+	}
+
+	// Consumers free everything concurrently, interleaving explicit
+	// Flushes so drains happen both on full buffers and on demand.
+	const consumers = 4
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			th := h.NewThread().(*Thread)
+			defer th.Close()
+			for i := c; i < len(all); i += consumers {
+				if err := th.Free(all[i]); err != nil {
+					t.Errorf("consumer %d: free %#x: %v", c, all[i], err)
+				}
+				if i%97 == c {
+					th.Flush()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	for _, a := range all {
+		if !blockFreed(h, a) {
+			t.Fatalf("free of %#x lost (block still allocated after Close)", a)
+		}
+	}
+}
+
+// TestRemoteFreeFlushPublishes checks the alloc.Flusher contract: frees
+// sitting in a partially full buffer become visible (bits cleared, WAL
+// entries persisted) as soon as Flush returns, without closing the
+// thread.
+func TestRemoteFreeFlushPublishes(t *testing.T) {
+	dev := pmem.New(pmem.Config{Size: 64 << 20})
+	opts := DefaultOptions(LOG)
+	opts.Arenas = 2
+	h, err := Create(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thA := h.NewThread()
+	thB := h.NewThread().(*Thread)
+	defer thA.Close()
+	defer thB.Close()
+
+	var addrs []pmem.PAddr
+	for i := 0; i < 10; i++ { // below remoteBatch: no automatic drain
+		a, err := thA.Malloc(128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, a)
+	}
+	for _, a := range addrs {
+		if err := thB.Free(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	thB.Flush()
+	for _, a := range addrs {
+		if !blockFreed(h, a) {
+			t.Fatalf("block %#x still allocated after Flush", a)
+		}
+	}
+}
+
+// TestRemoteFreeCrashMidDrainRecoversPrefix arms a power cut that lands
+// inside the batched drains and verifies the valid-prefix property: the
+// frees that survive recovery are exactly a prefix of the acknowledged
+// free order (each drain appends its WAL batch in buffer order and
+// fences it before any bitmap line is cleared, and replay re-applies
+// the durable entries).
+func TestRemoteFreeCrashMidDrainRecoversPrefix(t *testing.T) {
+	const K = 64
+	for _, cut := range []int64{1, 2, 5, 11, 23, 47, 95, 191, 383} {
+		t.Run(fmt.Sprintf("cut%d", cut), func(t *testing.T) {
+			dev := pmem.New(pmem.Config{Size: 128 << 20, Strict: true})
+			opts := DefaultOptions(LOG)
+			opts.Arenas = 2
+			h, err := Create(dev, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			thA := h.NewThread()
+			thB := h.NewThread().(*Thread)
+			addrs := make([]pmem.PAddr, 0, K)
+			for i := 0; i < K; i++ {
+				a, err := thA.Malloc(256)
+				if err != nil {
+					t.Fatal(err)
+				}
+				addrs = append(addrs, a)
+			}
+			// Everything above is durable; the cut races the frees below.
+			dev.CrashAfterFlushes(cut)
+			for _, a := range addrs {
+				if err := thB.Free(a); err != nil {
+					t.Fatalf("free %#x: %v", a, err)
+				}
+			}
+			thB.Flush()
+			dev.Crash()
+
+			h2, _, err := Open(dev, DefaultOptions(LOG))
+			if err != nil {
+				t.Fatalf("cut=%d: recovery failed: %v", cut, err)
+			}
+			// The applied frees must form a prefix of the free order: once
+			// one free is missing, none after it may have been applied.
+			lost := -1
+			for i, a := range addrs {
+				if blockFreed(h2, a) {
+					if lost >= 0 {
+						t.Fatalf("cut=%d: free %d applied but earlier free %d lost", cut, i, lost)
+					}
+				} else if lost < 0 {
+					lost = i
+				}
+			}
+		})
+	}
+}

@@ -100,7 +100,8 @@ func repairOne(dev *pmem.Device, ce *pmem.CorruptError) (string, bool) {
 		base := pmem.PAddr(dev.ReadU64(superBase + sbBlogBase))
 		size := dev.ReadU64(superBase + sbBlogSize)
 		stripes := int(dev.ReadU64(superBase + sbWALStripes))
-		if done := blog.Scrub(dev, base, size, stripes); len(done) > 0 {
+		shards := int(dev.ReadU64(superBase + sbBookShards))
+		if done := blog.ScrubSharded(dev, base, size, stripes, shards); len(done) > 0 {
 			return strings.Join(done, "; "), true
 		}
 		return "", false
@@ -124,7 +125,8 @@ func repairOne(dev *pmem.Device, ce *pmem.CorruptError) (string, bool) {
 			base := pmem.PAddr(dev.ReadU64(superBase + sbBlogBase))
 			size := dev.ReadU64(superBase + sbBlogSize)
 			stripes := int(dev.ReadU64(superBase + sbWALStripes))
-			if n := blog.DropRecord(dev, base, size, stripes, ce.Addr); n > 0 {
+			shards := int(dev.ReadU64(superBase + sbBookShards))
+			if n := blog.DropRecordSharded(dev, base, size, stripes, shards, ce.Addr); n > 0 {
 				return fmt.Sprintf("dropped %d bookkeeping-log record(s) for %#x", n, ce.Addr), true
 			}
 			return "", false

@@ -18,10 +18,22 @@ type Thread struct {
 	arena  *arena
 	ctx    *pmem.Ctx
 	caches []*tcache.Cache
+	// remote holds one cross-arena free buffer per owner arena (LOG
+	// variant only): frees of blocks another arena owns accumulate here
+	// and drain in one owner-resource section (see drainRemote).
+	remote []tcache.RemoteBuf
 	closed bool
 }
 
-var _ alloc.Thread = (*Thread)(nil)
+var (
+	_ alloc.Thread  = (*Thread)(nil)
+	_ alloc.Flusher = (*Thread)(nil)
+)
+
+// remoteBatch bounds each per-owner-arena remote-free buffer: a drain
+// amortizes one owner-resource acquisition and two fences (one for the
+// WAL batch, one for the bitmap clears) over up to this many frees.
+const remoteBatch = 16
 
 // NewThread registers a worker with the heap, assigning it to the arena
 // with the fewest threads (Section 4.2).
@@ -47,6 +59,7 @@ func (h *Heap) NewThread() alloc.Thread {
 		arena:  best,
 		ctx:    h.dev.NewCtx(),
 		caches: make([]*tcache.Cache, sizeclass.NumClasses()),
+		remote: make([]tcache.RemoteBuf, len(h.arenas)),
 	}
 	return t
 }
@@ -160,7 +173,7 @@ func (t *Thread) Free(addr pmem.PAddr) error {
 	if s == nil {
 		return t.freeLarge(addr)
 	}
-	return t.freeSmall(s, addr)
+	return t.freeSmall(s, addr, true)
 }
 
 // freeSmall returns a block to its slab through a single critical
@@ -168,8 +181,10 @@ func (t *Thread) Free(addr pmem.PAddr) error {
 // slab's published geometry snapshot; pointer identity of the snapshot
 // is revalidated under s.Mu (or the arena lock on the bypass path)
 // before the index is applied, and the whole operation retries on the
-// rare concurrent morph.
-func (t *Thread) freeSmall(s *slab.Slab, addr pmem.PAddr) error {
+// rare concurrent morph. In the WAL variant a cross-arena free is
+// buffered instead (buffer=true) and applied later by drainRemote;
+// drain retries pass buffer=false to keep the retry path acyclic.
+func (t *Thread) freeSmall(s *slab.Slab, addr pmem.PAddr, buffer bool) error {
 	owner := t.h.arenas[s.Owner]
 	for {
 		g := s.Geometry()
@@ -191,6 +206,12 @@ func (t *Thread) freeSmall(s *slab.Slab, addr pmem.PAddr) error {
 		idx := g.BlockIndex(s.Base, addr)
 		if idx < 0 {
 			return alloc.ErrBadAddress
+		}
+		if buffer && t.h.useWAL && s.Owner != t.arena.index {
+			// Cross-arena free: buffer it for a batched drain instead of
+			// taking the owner's resource (and paying two fences) per free.
+			t.bufferRemoteFree(s, g, addr, idx)
+			return nil
 		}
 		tc := t.cache(g.Class)
 		if tc.Full() {
@@ -249,6 +270,126 @@ func (t *Thread) freeOld(owner *arena, s *slab.Slab, oldIdx int) error {
 		owner.freelistPush(s)
 	}
 	return nil
+}
+
+// bufferRemoteFree queues a cross-arena free for its owner arena,
+// draining the buffer when it reaches remoteBatch. The free is
+// acknowledged immediately; until the drain persists its WAL entry a
+// crash leaks the block (the block stays allocated on media, exactly as
+// if the free had never been called), while a clean Close — and any
+// explicit Flush — always drains. Callers that need the stronger
+// "freed-before-crash" guarantee use FreeFrom, whose own WAL record is
+// fenced before this buffering ever runs.
+func (t *Thread) bufferRemoteFree(s *slab.Slab, g *slab.Geom, addr pmem.PAddr, idx int) {
+	ai := s.Owner
+	if t.remote[ai].Add(tcache.RemoteFree{Slab: s, Geom: g, Addr: uint64(addr), Idx: idx}) >= remoteBatch {
+		t.drainRemote(ai)
+	}
+}
+
+// drainRemote applies every buffered free for owner arena ai in one
+// owner-resource critical section: one batched WAL append (per-entry
+// flush, single fence), then the bitmap clears (per-line flush) closed
+// by a single trailing fence — two fences for the whole batch. A crash
+// between the two persists a valid prefix of WAL entries whose replay
+// re-clears the bits, so partially drained frees are never lost once
+// their WAL entry is in. Entries whose slab morphed since buffering are
+// retried through the unbuffered path afterwards.
+func (t *Thread) drainRemote(ai int) {
+	frees := t.remote[ai].Take()
+	if len(frees) == 0 {
+		return
+	}
+	owner := t.h.arenas[ai]
+	var stale, apply []tcache.RemoteFree
+	entries := make([]walog.Entry, 0, len(frees))
+	owner.res.Acquire(t.ctx)
+	for _, f := range frees {
+		s := f.Slab.(*slab.Slab)
+		// Geometry only changes under the owner's resource (morphs run in
+		// morphInto), which we hold: one snapshot comparison decides each
+		// entry for the whole drain.
+		if s.Geometry() != f.Geom.(*slab.Geom) {
+			stale = append(stale, f)
+			continue
+		}
+		entries = append(entries, walog.Entry{
+			Op: walog.OpFreeBit, Addr: s.Base, Aux: uint64(f.Idx), Aux2: uint32(f.Geom.(*slab.Geom).Class),
+		})
+		apply = append(apply, f)
+	}
+	if len(apply) == 0 {
+		owner.res.Release(t.ctx)
+		for _, f := range stale {
+			_ = t.freeSmall(f.Slab.(*slab.Slab), pmem.PAddr(f.Addr), false)
+		}
+		return
+	}
+	owner.wal.AppendBatch(t.ctx, entries)
+	slabs := make([]*slab.Slab, 0, len(apply))
+	for _, f := range apply {
+		s := f.Slab.(*slab.Slab)
+		s.Mu.Lock()
+		s.FreeBlockBatched(t.ctx, f.Idx, t.h.persistSmall)
+		if s.Usage() < t.h.opts.SU {
+			owner.noteCandidate(s)
+		}
+		s.Mu.Unlock()
+		seen := false
+		for _, x := range slabs {
+			if x == s {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			slabs = append(slabs, s)
+		}
+	}
+	t.ctx.Fence()
+	// Per-slab list maintenance, mirroring freeBypass: refreshed slabs
+	// rejoin their freelist, and a fully empty slab beyond the per-class
+	// spare is released (outside the resource, like every release).
+	var release []*slab.Slab
+	for _, s := range slabs {
+		s.Mu.Lock()
+		empty := s.Allocated == 0 && s.Reserved == 0
+		old := s.OldClass >= 0
+		s.Mu.Unlock()
+		wasOff := !owner.onFreelist(s)
+		if wasOff && !empty {
+			owner.freelistPush(s)
+		}
+		owner.lruTouch(s)
+		if empty && !old {
+			if owner.spareExists(s) {
+				if owner.onFreelist(s) {
+					owner.freelistRemove(s)
+				}
+				owner.lruRemove(s)
+				release = append(release, s)
+				continue
+			}
+			if wasOff {
+				owner.freelistPush(s)
+			}
+		}
+	}
+	owner.res.Release(t.ctx)
+	for _, s := range release {
+		owner.releaseSlab(t.ctx, s)
+	}
+	for _, f := range stale {
+		_ = t.freeSmall(f.Slab.(*slab.Slab), pmem.PAddr(f.Addr), false)
+	}
+}
+
+// Flush drains every buffered remote free (alloc.Flusher): after Flush
+// returns, every free acknowledged before it is persistent.
+func (t *Thread) Flush() {
+	for ai := range t.remote {
+		t.drainRemote(ai)
+	}
 }
 
 func (t *Thread) freeLarge(addr pmem.PAddr) error {
@@ -319,6 +460,7 @@ func (t *Thread) Close() {
 		return
 	}
 	t.closed = true
+	t.Flush()
 	for _, tc := range t.caches {
 		if tc == nil {
 			continue

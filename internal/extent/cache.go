@@ -64,6 +64,8 @@ func (sc *SlabCache) Get(c *pmem.Ctx) (pmem.PAddr, bool) {
 	}
 	addr := sc.free[len(sc.free)-1]
 	sc.free = sc.free[:len(sc.free)-1]
+	// Leaving the cache to become a live slab: no longer overhead.
+	sc.a.cacheOverhead.Add(-int64(sc.size))
 	return addr, true
 }
 
@@ -74,6 +76,9 @@ func (sc *SlabCache) Put(c *pmem.Ctx, addr pmem.PAddr) {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
 	sc.free = append(sc.free, addr)
+	// Back in the cache: idle again. (Extents dropped by the overflow
+	// flush are un-counted inside releaseUnrecorded.)
+	sc.a.cacheOverhead.Add(int64(sc.size))
 	if len(sc.free) > 2*sc.batch {
 		keep := sc.batch
 		drop := len(sc.free) - keep

@@ -10,6 +10,7 @@ package extent
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"nvalloc/internal/pmem"
 	"nvalloc/internal/rbtree"
@@ -65,6 +66,16 @@ type Bookkeeper interface {
 	DataOffset() uint64
 }
 
+// SelfLockedBookkeeper marks bookkeepers that serialize their own calls
+// internally (the sharded log takes a per-shard resource inside each
+// record append). The allocator skips its external BookRes for such
+// bookkeepers, so appends routed to different shards never serialize.
+type SelfLockedBookkeeper interface {
+	// SelfLocked is a marker; implementations serialize every Bookkeeper
+	// method themselves and may be called concurrently.
+	SelfLocked()
+}
+
 // BatchBookkeeper is implemented by bookkeepers that can persist a group
 // of tombstones with a single trailing fence. Entries are still written
 // and flushed individually, so a crash mid-batch persists a prefix —
@@ -109,11 +120,12 @@ type Allocator struct {
 	// moves off the global lock.
 	BookRes pmem.Resource
 
-	dev      *pmem.Device
-	book     Bookkeeper
-	heapBase pmem.PAddr
-	heapEnd  pmem.PAddr
-	brkAddr  pmem.PAddr // persistent cell holding the heap break
+	dev            *pmem.Device
+	book           Bookkeeper
+	bookSelfLocked bool
+	heapBase       pmem.PAddr
+	heapEnd        pmem.PAddr
+	brkAddr        pmem.PAddr // persistent cell holding the heap break
 
 	activated map[pmem.PAddr]*VEH
 	bySize    [2]*rbtree.Tree[sizeKey, *VEH] // [Reclaimed-?], indexed by state-1... see idx()
@@ -128,6 +140,15 @@ type Allocator struct {
 	reclaimedBytes uint64
 	retainedBytes  uint64
 	peak           uint64
+
+	// cacheOverhead counts activated-but-idle bytes parked in arena slab
+	// caches and shard-pool leases: space that is carved out of the free
+	// lists (so it sits in activatedBytes) but holds no live data. Used
+	// subtracts it so usage tables report live sub-allocation bytes and
+	// compare apples-to-apples with cache-free configurations; the raw
+	// value is exposed as LeaseOverhead. Atomic because the cache and
+	// shard paths adjust it without holding Res.
+	cacheOverhead atomic.Int64
 
 	decay decayState
 
@@ -187,14 +208,48 @@ func newAllocator(dev *pmem.Device, book Bookkeeper, cfg Config) *Allocator {
 	a.bySize[1] = rbtree.New[sizeKey, *VEH](sizeLess)
 	a.decay.init()
 	a.peak = a.metaBytes
+	_, a.bookSelfLocked = book.(SelfLockedBookkeeper)
 	return a
 }
 
+// bookAcquire serializes a bookkeeper call through BookRes unless the
+// bookkeeper locks itself (the sharded log).
+func (a *Allocator) bookAcquire(c *pmem.Ctx) {
+	if !a.bookSelfLocked {
+		a.BookRes.Acquire(c)
+	}
+}
+
+func (a *Allocator) bookRelease(c *pmem.Ctx) {
+	if !a.bookSelfLocked {
+		a.BookRes.Release(c)
+	}
+}
+
 // Used returns committed bytes: metadata regions, live extents and dirty
-// (reclaimed) free extents. Retained and released memory is unmapped and
-// not counted.
+// (reclaimed) free extents, minus cache/lease overhead — activated space
+// parked in slab caches and shard leases holds no live data and would
+// otherwise inflate usage by whole 2 MiB leases. Retained and released
+// memory is unmapped and not counted.
 func (a *Allocator) Used() uint64 {
-	return a.metaBytes + a.activatedBytes + a.reclaimedBytes
+	u := a.metaBytes + a.activatedBytes + a.reclaimedBytes
+	if ov := a.cacheOverhead.Load(); ov > 0 {
+		if uint64(ov) >= u {
+			return 0
+		}
+		u -= uint64(ov)
+	}
+	return u
+}
+
+// LeaseOverhead returns the bytes of activated-but-idle space currently
+// parked in arena slab caches and shard-pool leases (the amount Used
+// subtracts).
+func (a *Allocator) LeaseOverhead() uint64 {
+	if ov := a.cacheOverhead.Load(); ov > 0 {
+		return uint64(ov)
+	}
+	return 0
 }
 
 // Peak returns the high-water mark of Used.
@@ -424,9 +479,9 @@ func (a *Allocator) Record(c *pmem.Ctx, addr pmem.PAddr) error {
 	if !ok {
 		return fmt.Errorf("extent: record of unknown extent %#x", addr)
 	}
-	a.BookRes.Acquire(c)
+	a.bookAcquire(c)
 	err := a.book.RecordAlloc(c, v.Addr, v.Size, v.Slab)
-	a.BookRes.Release(c)
+	a.bookRelease(c)
 	return err
 }
 
@@ -437,9 +492,9 @@ func (a *Allocator) Record(c *pmem.Ctx, addr pmem.PAddr) error {
 // have persisted the extent's own initialization (slab header, object
 // contents) first — the record makes the space survive recovery.
 func (a *Allocator) RecordExtent(c *pmem.Ctx, addr pmem.PAddr, size uint64, slab bool) error {
-	a.BookRes.Acquire(c)
+	a.bookAcquire(c)
 	err := a.book.RecordAlloc(c, addr, size, slab)
-	a.BookRes.Release(c)
+	a.bookRelease(c)
 	return err
 }
 
@@ -450,12 +505,12 @@ func (a *Allocator) RecordExtent(c *pmem.Ctx, addr pmem.PAddr, size uint64, slab
 // later record for overlapping space can never coexist with the old one
 // after a crash.
 func (a *Allocator) TombstoneExtent(c *pmem.Ctx, addr pmem.PAddr) error {
-	a.BookRes.Acquire(c)
+	a.bookAcquire(c)
 	err := a.book.RecordFree(c, addr)
 	if err == nil {
 		a.book.MaybeGC(c)
 	}
-	a.BookRes.Release(c)
+	a.bookRelease(c)
 	return err
 }
 
@@ -466,9 +521,9 @@ func (a *Allocator) Free(c *pmem.Ctx, addr pmem.PAddr) error {
 	if !ok {
 		return fmt.Errorf("extent: free of unknown extent %#x", addr)
 	}
-	a.BookRes.Acquire(c)
+	a.bookAcquire(c)
 	err := a.book.RecordFree(c, addr)
-	a.BookRes.Release(c)
+	a.bookRelease(c)
 	if err != nil {
 		return err
 	}
@@ -476,9 +531,9 @@ func (a *Allocator) Free(c *pmem.Ctx, addr pmem.PAddr) error {
 	a.activatedBytes -= v.Size
 	a.insertFree(v, Reclaimed, c.Now)
 	a.coalesce(c, v)
-	a.BookRes.Acquire(c)
+	a.bookAcquire(c)
 	a.book.MaybeGC(c)
-	a.BookRes.Release(c)
+	a.bookRelease(c)
 	a.maybeDecay(c)
 	return nil
 }
@@ -500,7 +555,7 @@ func (a *Allocator) FreeBatch(c *pmem.Ctx, addrs []pmem.PAddr) error {
 	if len(vs) == 0 {
 		return nil
 	}
-	a.BookRes.Acquire(c)
+	a.bookAcquire(c)
 	var err error
 	if bb, ok := a.book.(BatchBookkeeper); ok {
 		err = bb.RecordFreeBatch(c, addrs)
@@ -514,7 +569,7 @@ func (a *Allocator) FreeBatch(c *pmem.Ctx, addrs []pmem.PAddr) error {
 	if err == nil {
 		a.book.MaybeGC(c)
 	}
-	a.BookRes.Release(c)
+	a.bookRelease(c)
 	if err != nil {
 		return err
 	}
@@ -538,13 +593,33 @@ func (a *Allocator) AllocSlabBatch(c *pmem.Ctx, size uint64, n int, out []pmem.P
 	a.Res.Acquire(c)
 	defer a.Res.Release(c)
 	for i := 0; i < n; i++ {
+		// Counted as overhead before the carve so the cache-bound extent
+		// never spikes the peak (it holds no live data yet).
+		a.cacheOverhead.Add(int64(size))
 		addr, err := a.AllocDeferRecord(c, size, pmem.PAddr(size), true)
 		if err != nil {
+			a.cacheOverhead.Add(-int64(size))
 			break
 		}
 		out = append(out, addr)
 	}
 	return out
+}
+
+// AllocLease carves one activated-but-unrecorded, overhead-counted
+// extent in a single Res critical section — the shard pools' lease
+// primitive. Like cached slab extents, a lease dissolves at recovery;
+// only its recorded sub-allocations survive.
+func (a *Allocator) AllocLease(c *pmem.Ctx, size uint64, alignTo pmem.PAddr) (pmem.PAddr, error) {
+	a.Res.Acquire(c)
+	defer a.Res.Release(c)
+	a.cacheOverhead.Add(int64(size))
+	addr, err := a.AllocDeferRecord(c, size, alignTo, true)
+	if err != nil {
+		a.cacheOverhead.Add(-int64(size))
+		return pmem.Null, err
+	}
+	return addr, nil
 }
 
 // ReleaseUnrecordedBatch returns activated-but-unrecorded extents (cache
@@ -571,6 +646,9 @@ func (a *Allocator) releaseUnrecorded(c *pmem.Ctx, addr pmem.PAddr) {
 	}
 	delete(a.activated, addr)
 	a.activatedBytes -= v.Size
+	// Every unrecorded release comes from a cache or a lease, whose
+	// bytes were counted as overhead on entry.
+	a.cacheOverhead.Add(-int64(v.Size))
 	a.insertFree(v, Reclaimed, c.Now)
 	a.coalesce(c, v)
 }

@@ -144,6 +144,9 @@ func (sh *Shard) Alloc(c *pmem.Ctx, size uint64) (pmem.PAddr, error) {
 		sh.Res.Release(c)
 		return pmem.Null, err
 	}
+	// The carved bytes hold live data now; the rest of the lease stays
+	// counted as overhead.
+	sh.owner.a.cacheOverhead.Add(-int64(size))
 	sh.allocs++
 	sh.Res.Release(c)
 	return addr, nil
@@ -189,10 +192,7 @@ func (sh *Shard) leaseOf(addr pmem.PAddr) *lease {
 // addLease takes one LeaseSize extent from the global allocator and
 // registers its granules in the lease page map. Caller holds Res.
 func (sh *Shard) addLease(c *pmem.Ctx) error {
-	a := sh.owner.a
-	a.Res.Acquire(c)
-	base, err := a.AllocDeferRecord(c, LeaseSize, LeaseAlign, true)
-	a.Res.Release(c)
+	base, err := sh.owner.a.AllocLease(c, LeaseSize, LeaseAlign)
 	if err != nil {
 		return err
 	}
@@ -252,6 +252,7 @@ func (s *Shards) Free(c *pmem.Ctx, addr pmem.PAddr) (handled bool, err error) {
 		delete(sh.allocated, addr)
 		l.insert(uint32(addr-l.base), uint32(size))
 		l.live--
+		s.a.cacheOverhead.Add(int64(size))
 		sh.frees++
 		if l.live == 0 && l.empty() && sh.spareEmptyLease(l) {
 			sh.dropLease(c, l)

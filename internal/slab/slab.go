@@ -340,6 +340,12 @@ func (s *Slab) BlockReserved(idx int) bool {
 // setPersistentBit updates one interleaved bitmap bit in PM and optionally
 // flushes its cache line (attributed to FlushMeta).
 func (s *Slab) setPersistentBit(c *pmem.Ctx, idx int, val, persist bool) {
+	s.writePersistentBit(c, idx, val, persist, true)
+}
+
+// writePersistentBit is setPersistentBit with the trailing fence under
+// caller control: batched clears flush each line but fence once.
+func (s *Slab) writePersistentBit(c *pmem.Ctx, idx int, val, persist, fence bool) {
 	off := s.m.BitOffset(idx)
 	addr := s.Base + pmem.PAddr(s.bitmapBase) + pmem.PAddr(off/8)
 	b := s.dev.ReadU8(addr)
@@ -351,7 +357,9 @@ func (s *Slab) setPersistentBit(c *pmem.Ctx, idx int, val, persist bool) {
 	s.dev.WriteU8(addr, b)
 	if persist {
 		c.Flush(pmem.CatMeta, addr, 1)
-		c.Fence()
+		if fence {
+			c.Fence()
+		}
 	}
 }
 
@@ -375,6 +383,20 @@ func (s *Slab) FreeBlock(c *pmem.Ctx, idx int, persist bool) {
 	s.freeBits[idx/64] &^= 1 << (idx % 64)
 	s.Allocated--
 	s.setPersistentBit(c, idx, false, persist)
+}
+
+// FreeBlockBatched is FreeBlock without the trailing fence: the
+// remote-free drain clears a whole batch of bits and fences once after
+// the last flush. Each bit's line is still flushed individually, so a
+// crash mid-batch persists a prefix — safe, because every cleared bit
+// is covered by an already-fenced WAL entry that replay reapplies.
+func (s *Slab) FreeBlockBatched(c *pmem.Ctx, idx int, persist bool) {
+	if !s.bitTest(idx) {
+		panic(fmt.Sprintf("slab %#x: double free of block %d", s.Base, idx))
+	}
+	s.freeBits[idx/64] &^= 1 << (idx % 64)
+	s.Allocated--
+	s.writePersistentBit(c, idx, false, persist, false)
 }
 
 // Reserve takes up to n free blocks out of the volatile bitmap without

@@ -88,3 +88,39 @@ func (c *Cache) Drain() []Block {
 
 // Stripes returns the number of sub-tcaches.
 func (c *Cache) Stripes() int { return len(c.subs) }
+
+// RemoteFree is one buffered cross-arena free: the slab handle and the
+// geometry snapshot (both opaque to this package, managed by the caller)
+// the block index was resolved under, plus the block's address so a
+// stale entry can be retried through the unbuffered path.
+type RemoteFree struct {
+	Slab any
+	Geom any
+	Addr uint64
+	Idx  int
+}
+
+// RemoteBuf accumulates one thread's frees of blocks owned by a single
+// remote arena, so they can be drained in one owner-arena critical
+// section (a batched WAL append plus the bitmap clears, two fences
+// total) instead of one acquisition and two fences per free.
+type RemoteBuf struct {
+	frees []RemoteFree
+}
+
+// Add appends one free and returns the new buffer length.
+func (b *RemoteBuf) Add(f RemoteFree) int {
+	b.frees = append(b.frees, f)
+	return len(b.frees)
+}
+
+// Len returns the number of buffered frees.
+func (b *RemoteBuf) Len() int { return len(b.frees) }
+
+// Take removes and returns every buffered free. The returned slice is
+// owned by the caller (the buffer does not reuse its backing array).
+func (b *RemoteBuf) Take() []RemoteFree {
+	out := b.frees
+	b.frees = nil
+	return out
+}
