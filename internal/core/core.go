@@ -430,6 +430,25 @@ func (h *Heap) flushExtentCaches(c *pmem.Ctx, except *arena) bool {
 // bookkeeping is configured); used by GC-overhead experiments.
 func (h *Heap) Blog() *blog.Sharded { return h.blog }
 
+// BlockAllocated reports whether addr holds a live small block: its slab
+// still exists and the block's bit (or, on a morphed slab, its old-class
+// index entry) is set. It is the read-only probe crash tests use to ask
+// whether a free survived recovery — unlike Free, it never mutates and
+// is safe on already-freed addresses.
+func (h *Heap) BlockAllocated(addr pmem.PAddr) bool {
+	s := h.slabs.Lookup(addr &^ (slab.Size - 1))
+	if s == nil {
+		return false
+	}
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	if s.OldBlockIndex(addr) >= 0 {
+		return true
+	}
+	idx := s.BlockIndex(addr)
+	return idx >= 0 && s.BlockAllocated(idx)
+}
+
 // LeaseOverhead returns the bytes of activated-but-idle space parked in
 // arena slab caches and shard-pool leases (see extent.LeaseOverhead).
 func (h *Heap) LeaseOverhead() uint64 { return h.large.LeaseOverhead() }

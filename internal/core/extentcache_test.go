@@ -1,10 +1,8 @@
 package core
 
 import (
-	"fmt"
 	"testing"
 
-	"nvalloc/internal/alloc"
 	"nvalloc/internal/extent"
 	"nvalloc/internal/pmem"
 )
@@ -204,44 +202,6 @@ func TestCacheBackPressure(t *testing.T) {
 	}
 }
 
-// TestCrashSweepShards cuts power across a shard-heavy workload
-// (40–480 KiB published objects) and verifies recovery: acknowledged
-// publications survive as ordinary extents, leases dissolve, and the
-// recovered heap allocates without overlap.
-func TestCrashSweepShards(t *testing.T) {
-	for _, cut := range []int64{5, 23, 111, 409, 1500, 4000} {
-		t.Run(fmt.Sprintf("cut%d", cut), func(t *testing.T) {
-			dev := pmem.New(pmem.Config{Size: 192 << 20, Strict: true})
-			opts := DefaultOptions(LOG)
-			opts.Arenas = 2
-			h, err := Create(dev, opts)
-			if err != nil {
-				t.Fatal(err)
-			}
-			dev.CrashAfterFlushes(cut)
-			th := h.NewThread()
-			slot := 0
-			for i := 0; i < 1500 && !dev.Crashed(); i++ {
-				switch i % 3 {
-				case 0, 1:
-					size := uint64(40<<10 + (i%12)*(36<<10)) // 40..436 KiB
-					if _, err := th.MallocTo(h.RootSlot(slot%alloc.NumRootSlots), size); err == nil {
-						slot++
-					}
-				case 2:
-					s := h.RootSlot((slot + 5) % alloc.NumRootSlots)
-					if dev.ReadU64(s) != 0 {
-						_ = th.FreeFrom(s)
-					}
-				}
-			}
-			th.Ctx().Merge()
-			dev.Crash()
-			h2, _, err := Open(dev, DefaultOptions(LOG))
-			if err != nil {
-				t.Fatalf("cut=%d: recovery failed: %v", cut, err)
-			}
-			verifyAfterRecovery(t, cut, h2)
-		})
-	}
-}
+// The shard-heavy crash sweep (40–480 KiB published objects across power
+// cuts) now runs at every flush boundary in the crash-point model
+// checker: internal/crashmc's TestCrashSweepShards.

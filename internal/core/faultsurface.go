@@ -1,10 +1,44 @@
 package core
 
 import (
+	"nvalloc/internal/alloc"
 	"nvalloc/internal/pmem"
 	"nvalloc/internal/slab"
 	"nvalloc/internal/walog"
 )
+
+// Region is one labeled device range of the NVAlloc on-media layout.
+// Crash harnesses use the labels to classify which persistent structure
+// a flush (or a fault) landed in.
+type Region struct {
+	Name  string // "superblock", "roots", "wal", "blog" or "heap"
+	Range pmem.Range
+}
+
+// Regions returns the labeled layout of an NVAlloc device: the
+// checksummed superblock fields, the root-slot array, the WAL rings, the
+// bookkeeping-log region (log-structured mode only) and the slab/extent
+// heap area. The device must hold a valid superblock.
+func Regions(dev *pmem.Device) []Region {
+	rs := []Region{
+		{Name: "superblock", Range: pmem.Range{Start: superBase, End: superBase + sbRoots}},
+		{Name: "roots", Range: pmem.Range{Start: superBase + sbRoots, End: superBase + sbRoots + 8*alloc.NumRootSlots}},
+	}
+	arenas := dev.ReadU64(superBase + sbArenas)
+	walEnts := int(dev.ReadU64(superBase + sbWALEnts))
+	stripes := int(dev.ReadU64(superBase + sbStripes))
+	walBase := pmem.PAddr(dev.ReadU64(superBase + sbWALBase))
+	region := pmem.PAddr(walog.RegionSize(walEnts, stripes))
+	rs = append(rs, Region{Name: "wal", Range: pmem.Range{Start: walBase, End: walBase + pmem.PAddr(arenas)*region}})
+	if dev.ReadU64(superBase+sbBookMode) == 1 {
+		blogBase := pmem.PAddr(dev.ReadU64(superBase + sbBlogBase))
+		blogSize := dev.ReadU64(superBase + sbBlogSize) // total across shards
+		rs = append(rs, Region{Name: "blog", Range: pmem.Range{Start: blogBase, End: blogBase + pmem.PAddr(blogSize)}})
+	}
+	heapBase := pmem.PAddr(dev.ReadU64(superBase + sbHeapBase))
+	rs = append(rs, Region{Name: "heap", Range: pmem.Range{Start: heapBase, End: pmem.PAddr(dev.Size())}})
+	return rs
+}
 
 // MetaRanges returns the device regions holding checksummed or sealed
 // NVAlloc metadata: the superblock fields, the WAL rings, the

@@ -236,14 +236,16 @@ func (h *Heap) replayWALs(c *pmem.Ctx) error {
 		seq   uint64
 	}
 	type pair struct{ slot, addr pmem.PAddr }
-	pubs := map[pmem.PAddr][]tagged{} // OpMallocTo entries by block address
-	rets := map[pair][]tagged{}       // OpFreeFrom entries by (slot, block)
+	pubs := map[pmem.PAddr][]tagged{}     // OpMallocTo entries by block address
+	slotPubs := map[pmem.PAddr][]tagged{} // OpMallocTo entries by slot address
+	rets := map[pair][]tagged{}           // OpFreeFrom entries by (slot, block)
 	for i, a := range h.arenas {
 		_, err := a.wal.Replay(c, func(e walog.Entry) {
 			switch e.Op {
 			case walog.OpMallocTo:
 				p := pmem.PAddr(e.Aux)
 				pubs[p] = append(pubs[p], tagged{i, e.Seq})
+				slotPubs[e.Addr] = append(slotPubs[e.Addr], tagged{i, e.Seq})
 			case walog.OpFreeFrom:
 				k := pair{e.Addr, pmem.PAddr(e.Aux)}
 				rets[k] = append(rets[k], tagged{i, e.Seq})
@@ -283,7 +285,11 @@ func (h *Heap) replayWALs(c *pmem.Ctx) error {
 			case walog.OpMallocTo:
 				// A later retraction of this very pair means the slot must
 				// stay clear — completing the publish would resurrect it.
-				if supersededBy(rets[pair{e.Addr, pmem.PAddr(e.Aux)}], i, e.Seq) {
+				// Likewise a later publish of a *different* block to the same
+				// slot (MallocTo overwrites occupied slots): completing this
+				// one would clobber the newer root with a stale address.
+				if supersededBy(rets[pair{e.Addr, pmem.PAddr(e.Aux)}], i, e.Seq) ||
+					supersededBy(slotPubs[e.Addr], i, e.Seq) {
 					return
 				}
 				// Complete the publish if the slot write was lost.

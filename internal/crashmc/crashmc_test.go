@@ -1,0 +1,134 @@
+package crashmc
+
+import (
+	"bytes"
+	"testing"
+
+	"nvalloc/internal/alloc"
+	"nvalloc/internal/pmem"
+	"nvalloc/internal/torture"
+)
+
+// replay executes tr against a fresh heap of tg on dev, mirroring
+// Record's execution exactly (including data markers) but without the
+// journal: the reference for the journal/crash-image equivalence test.
+func replay(t *testing.T, tg torture.Target, tr Trace, dev *pmem.Device) {
+	t.Helper()
+	h, err := tg.Create(dev)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	var results []pmem.PAddr
+	threads := make([]alloc.Thread, tr.Threads)
+	thread := func(i int) alloc.Thread {
+		if threads[i] == nil {
+			threads[i] = h.NewThread()
+		}
+		return threads[i]
+	}
+	for i, op := range tr.Ops {
+		th := thread(op.Thread)
+		var addr pmem.PAddr
+		switch op.Kind {
+		case OpMalloc:
+			addr, _ = th.Malloc(op.Size)
+		case OpFree:
+			if a := results[op.Ref]; a != 0 {
+				th.Free(a)
+			}
+		case OpMallocTo:
+			a, err := th.MallocTo(h.RootSlot(op.Slot), op.Size)
+			if err == nil {
+				addr = a
+				dev.WriteU64(a, markerFor(i))
+				c := th.Ctx()
+				c.Flush(pmem.CatOther, a, 8)
+				c.Fence()
+			}
+		case OpFreeFrom:
+			th.FreeFrom(h.RootSlot(op.Slot))
+		case OpFlush:
+			if f, ok := th.(alloc.Flusher); ok {
+				f.Flush()
+			}
+		}
+		results = append(results, addr)
+	}
+	for _, th := range threads {
+		if th != nil {
+			th.Close()
+		}
+	}
+	h.Close()
+}
+
+// TestJournalMatchesCrashImages is the model checker's foundation: the
+// image the flush journal reconstructs at boundary k must be
+// byte-identical to what arming CrashAfterFlushes(k) during a replay of
+// the same trace, then cutting power, leaves on the media.
+func TestJournalMatchesCrashImages(t *testing.T) {
+	tg := Targets()[0] // NVAlloc-LOG with smoke tuning
+	tr := WorkloadTrace(1, 48)
+	rec, err := Record(tg, tr, RecordOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(rec.Journal)
+	if n < 100 {
+		t.Fatalf("trace too small to be interesting: %d flushes", n)
+	}
+	ks := []int{0, 1, 2, rec.CreatedAt - 1, rec.CreatedAt, rec.CreatedAt + 7,
+		n / 3, n / 2, 2 * n / 3, n - 2, n - 1, n}
+	cursor := pmem.NewImageCursor(rec.DeviceBytes, rec.Journal)
+	prev := -1
+	for _, k := range ks {
+		if k <= prev || k > n {
+			continue
+		}
+		prev = k
+		cursor.Advance(k)
+		dev := pmem.New(pmem.Config{Size: rec.DeviceBytes, Strict: true})
+		dev.CrashAfterFlushes(int64(k))
+		replay(t, tg, tr, dev)
+		dev.Crash()
+		got := dev.Bytes(0, int(rec.DeviceBytes))
+		if !bytes.Equal(got, cursor.Image()) {
+			// Locate the first divergence for the failure message.
+			i := 0
+			for i < len(got) && got[i] == cursor.Image()[i] {
+				i++
+			}
+			t.Fatalf("boundary %d: journal image diverges from crash image at byte %#x (line %d)",
+				k, i, i/pmem.LineSize)
+		}
+	}
+}
+
+// TestSmokeTraceAllTargets records the smoke trace on every allocator
+// and exhaustively verifies all of its persistence boundaries (torn
+// variants included). Short mode samples boundaries instead.
+func TestSmokeTraceAllTargets(t *testing.T) {
+	for _, tg := range Targets() {
+		tg := tg
+		t.Run(tg.Name, func(t *testing.T) {
+			t.Parallel()
+			rec, err := Record(tg, SmokeTrace(42), RecordOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := Config{Torn: true, TornSeed: 0xDECAF, CheckEvery: 64}
+			if testing.Short() {
+				cfg.MaxBoundaries = 120
+				cfg.CheckEvery = 16
+			}
+			rep := Verify(rec, cfg)
+			t.Logf("%s", rep)
+			if !rep.Passed() {
+				t.Errorf("%d oracle violations", rep.ViolationCount)
+			}
+			if !testing.Short() && rep.Explored != rep.Boundaries {
+				t.Errorf("coverage %d/%d, want exhaustive", rep.Explored, rep.Boundaries)
+			}
+		})
+	}
+}

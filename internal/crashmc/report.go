@@ -1,0 +1,216 @@
+package crashmc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nvalloc/internal/core"
+	"nvalloc/internal/pmem"
+	"nvalloc/internal/slab"
+)
+
+// Violation is one oracle failure at one crash image.
+type Violation struct {
+	Boundary int
+	Torn     bool
+	Detail   string
+}
+
+func (v Violation) String() string {
+	t := ""
+	if v.Torn {
+		t = " (torn)"
+	}
+	return fmt.Sprintf("boundary %d%s: %s", v.Boundary, t, v.Detail)
+}
+
+// Report summarizes one enumeration run over one recording.
+type Report struct {
+	Target string
+	Trace  string
+	// Boundaries is the recording's total persistence-boundary count;
+	// Explored is how many this run verified (== Boundaries at stride 1
+	// with no caps: 100% coverage).
+	Boundaries int
+	Explored   int
+	// TornExplored counts torn-line variants verified on top of the
+	// clean-cut images.
+	TornExplored int
+	// OpenFailures counts boundaries before CreatedAt where recovery
+	// refused the image with a typed error (allowed: the heap did not
+	// exist yet).
+	OpenFailures int
+	// Checks counts offline consistency-checker (Target.Check) runs.
+	Checks int
+	// ViolationCount is the total number of violations; Violations holds
+	// the first maxViolations of them.
+	ViolationCount int
+	Violations     []Violation
+	// Classes counts explored boundaries by the class of the in-flight
+	// line (wal-entry, bitmap-stripe, blog-entry, slab-header, ...);
+	// TornClasses counts the torn variants per class.
+	Classes     map[string]int
+	TornClasses map[string]int
+	// Paths counts distinct recovery paths hit: (trace phase, in-flight
+	// line class) pairs.
+	Paths map[string]int
+}
+
+// maxViolations bounds the violations retained per report; the count is
+// always exact.
+const maxViolations = 64
+
+// Coverage is Explored / Boundaries.
+func (r *Report) Coverage() float64 {
+	if r.Boundaries == 0 {
+		return 0
+	}
+	return float64(r.Explored) / float64(r.Boundaries)
+}
+
+// Passed reports whether the enumeration found no violations.
+func (r *Report) Passed() bool { return r.ViolationCount == 0 }
+
+func (r *Report) addViolation(v Violation) {
+	r.ViolationCount++
+	if len(r.Violations) < maxViolations {
+		r.Violations = append(r.Violations, v)
+	}
+}
+
+func (r *Report) merge(o *Report) {
+	r.Explored += o.Explored
+	r.TornExplored += o.TornExplored
+	r.OpenFailures += o.OpenFailures
+	r.Checks += o.Checks
+	r.ViolationCount += o.ViolationCount
+	for _, v := range o.Violations {
+		if len(r.Violations) < maxViolations {
+			r.Violations = append(r.Violations, v)
+		}
+	}
+	for k, n := range o.Classes {
+		r.Classes[k] += n
+	}
+	for k, n := range o.TornClasses {
+		r.TornClasses[k] += n
+	}
+	for k, n := range o.Paths {
+		r.Paths[k] += n
+	}
+}
+
+// ClassNames returns the explored line classes in sorted order.
+func (r *Report) ClassNames() []string {
+	out := make([]string, 0, len(r.Classes))
+	for k := range r.Classes {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%s: %d/%d boundaries (%.1f%%), %d torn, %d paths, %d checks, %d violations",
+		r.Target, r.Trace, r.Explored, r.Boundaries, 100*r.Coverage(),
+		r.TornExplored, len(r.Paths), r.Checks, r.ViolationCount)
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "\n  %s", v)
+	}
+	return b.String()
+}
+
+// classifier maps a journaled flush to the persistent structure it was
+// updating, using the recorded device's superblock layout. Nil for
+// targets without a labeled layout (the baselines), which fall back to
+// flush-category classes.
+type classifier struct {
+	regions  []core.Region
+	heapBase pmem.PAddr
+}
+
+func newClassifier(rec *Recording) *classifier {
+	if !strings.HasPrefix(rec.Target.Name, "NVAlloc") {
+		return nil
+	}
+	cl := &classifier{regions: core.Regions(rec.Dev)}
+	for _, r := range cl.regions {
+		if r.Name == "heap" {
+			cl.heapBase = r.Range.Start
+		}
+	}
+	return cl
+}
+
+// classify names the structure the delta's line belongs to. The classes
+// the fault model cares about are the unfenced-line classes: "wal-entry"
+// (WAL batch prefixes), "bitmap-stripe" (slab bitmap words),
+// "blog-entry" (bookkeeping-log appends and GC copies) and
+// "slab-header"; the rest ("superblock", "root-slot", "object-data",
+// "other") complete the partition.
+func (cl *classifier) classify(fd *pmem.FlushDelta) string {
+	addr := pmem.PAddr(fd.Line * pmem.LineSize)
+	if cl == nil {
+		// No layout: classify by what the allocator said it was flushing.
+		switch fd.Cat {
+		case pmem.CatWAL:
+			return "wal-entry"
+		case pmem.CatMeta:
+			return "metadata"
+		default:
+			return "object-data"
+		}
+	}
+	for _, r := range cl.regions {
+		if addr < r.Range.Start || addr >= r.Range.End {
+			continue
+		}
+		switch r.Name {
+		case "superblock":
+			return "superblock"
+		case "roots":
+			return "root-slot"
+		case "wal":
+			return "wal-entry"
+		case "blog":
+			return "blog-entry"
+		case "heap":
+			if (addr-cl.heapBase)%slab.Size < pmem.LineSize {
+				return "slab-header"
+			}
+			if fd.Cat == pmem.CatMeta {
+				return "bitmap-stripe"
+			}
+			return "object-data"
+		}
+	}
+	return "other"
+}
+
+// phase names the trace region boundary k falls in: the in-flight op's
+// kind, or one of the bracketing phases.
+func (rec *Recording) phase(k int) string {
+	if k < rec.CreatedAt {
+		return "create"
+	}
+	if k >= rec.CloseStart {
+		return "close"
+	}
+	// Ops are in trace order with non-overlapping windows; find the op
+	// whose window contains k.
+	lo, hi := 0, len(rec.Ops)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if rec.Ops[mid].FlushEnd <= k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(rec.Ops) && rec.Ops[lo].FlushStart < k && k < rec.Ops[lo].FlushEnd {
+		return rec.Ops[lo].Op.Kind.String()
+	}
+	return "quiescent"
+}

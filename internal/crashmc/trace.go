@@ -1,0 +1,191 @@
+package crashmc
+
+import "fmt"
+
+// OpKind identifies one trace operation.
+type OpKind int
+
+const (
+	// OpMalloc is an anonymous allocation (crash-safe only once
+	// published; GC/IC variants may leak it).
+	OpMalloc OpKind = iota
+	// OpFree releases the block allocated by the trace op at index Ref.
+	OpFree
+	// OpMallocTo atomically allocates and publishes into root slot Slot,
+	// then writes and flushes a data marker into the block.
+	OpMallocTo
+	// OpFreeFrom atomically frees the block published in root slot Slot.
+	OpFreeFrom
+	// OpFlush drains the thread's deferred buffers (batched remote
+	// frees), making every acknowledged operation durable.
+	OpFlush
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpMalloc:
+		return "malloc"
+	case OpFree:
+		return "free"
+	case OpMallocTo:
+		return "malloc_to"
+	case OpFreeFrom:
+		return "free_from"
+	case OpFlush:
+		return "flush"
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// Op is one operation of a trace. Ops execute serially, in order, on the
+// thread handle named by Thread — multiple handles (bound to different
+// arenas) make cross-arena paths like buffered remote frees reachable
+// from a deterministic single-goroutine trace.
+type Op struct {
+	Kind   OpKind
+	Thread int    // thread-handle index, < Trace.Threads
+	Slot   int    // root-slot index (OpMallocTo / OpFreeFrom)
+	Size   uint64 // request bytes (OpMalloc / OpMallocTo)
+	Ref    int    // OpFree: index of the OpMalloc being freed
+}
+
+// Trace is a deterministic operation sequence over one allocator.
+type Trace struct {
+	Name    string
+	Threads int
+	Ops     []Op
+}
+
+// splitmix64 mirrors the device's deterministic mixer so trace
+// generation is reproducible from a seed.
+type splitmix64 uint64
+
+func (s *splitmix64) next() uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := uint64(*s)
+	z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+	z = (z ^ z>>27) * 0x94D049BB133111EB
+	return z ^ z>>31
+}
+
+// SmokeTrace is the model checker's canonical mixed trace: root
+// publishes with data markers, seeded anonymous churn, republish cycles,
+// large extent allocations (bookkeeping-log traffic, and with the smoke
+// targets' low GC threshold, incremental slow-GC steps), and a
+// cross-arena remote-free batch drained by an explicit flush. It is
+// deliberately small: its value is that *every* persistence boundary it
+// crosses gets verified.
+func SmokeTrace(seed uint64) Trace {
+	rng := splitmix64(seed)
+	tr := Trace{Name: "smoke", Threads: 2}
+	add := func(op Op) int {
+		tr.Ops = append(tr.Ops, op)
+		return len(tr.Ops) - 1
+	}
+	sizes := []uint64{64, 112, 256, 768, 2048}
+
+	// Publish roots 0..15 with markers.
+	for s := 0; s < 16; s++ {
+		add(Op{Kind: OpMallocTo, Slot: s, Size: sizes[s%len(sizes)]})
+	}
+	// Seeded anonymous churn.
+	var live []int
+	for i := 0; i < 80; i++ {
+		if len(live) == 0 || rng.next()%100 < 60 {
+			live = append(live, add(Op{Kind: OpMalloc, Size: 64 + rng.next()%960}))
+		} else {
+			j := int(rng.next() % uint64(len(live)))
+			add(Op{Kind: OpFree, Ref: live[j]})
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+	// Republish a few roots (FreeFrom then MallocTo on the same slot).
+	for s := 0; s < 6; s++ {
+		add(Op{Kind: OpFreeFrom, Slot: s})
+		add(Op{Kind: OpMallocTo, Slot: s, Size: sizes[(s+2)%len(sizes)]})
+	}
+	// Large extents: published and churned, driving the bookkeeping log
+	// (and its slow GC, given the smoke targets' low threshold).
+	add(Op{Kind: OpMallocTo, Slot: 30, Size: 64 << 10})
+	add(Op{Kind: OpMallocTo, Slot: 31, Size: 96 << 10})
+	add(Op{Kind: OpFreeFrom, Slot: 30})
+	add(Op{Kind: OpMallocTo, Slot: 30, Size: 128 << 10})
+	for i := 0; i < 8; i++ {
+		r := add(Op{Kind: OpMalloc, Size: 64 << 10})
+		add(Op{Kind: OpFree, Ref: r})
+	}
+	// Remote frees: thread 0 allocates, thread 1 (second arena) frees —
+	// buffered — then drains explicitly.
+	var remote []int
+	for i := 0; i < 20; i++ {
+		remote = append(remote, add(Op{Kind: OpMalloc, Size: 256}))
+	}
+	for _, r := range remote {
+		add(Op{Kind: OpFree, Thread: 1, Ref: r})
+	}
+	add(Op{Kind: OpFlush, Thread: 1})
+	// Tail publishes: boundaries right before shutdown.
+	for s := 40; s < 44; s++ {
+		add(Op{Kind: OpMallocTo, Slot: s, Size: sizes[s%len(sizes)]})
+	}
+	return tr
+}
+
+// WorkloadTrace generates a seeded random operation mix of length n over
+// two thread handles: the fuzzing front end of the model checker. Every
+// trace it returns is valid (slots publish-before-free, blocks free at
+// most once) for any seed.
+func WorkloadTrace(seed uint64, n int) Trace {
+	rng := splitmix64(seed)
+	tr := Trace{Name: fmt.Sprintf("workload-%#x", seed), Threads: 2}
+	add := func(op Op) int {
+		tr.Ops = append(tr.Ops, op)
+		return len(tr.Ops) - 1
+	}
+	const slots = 24
+	occupied := make([]bool, slots)
+	var live []int
+	for i := 0; i < n; i++ {
+		th := int(rng.next() % 2)
+		switch rng.next() % 10 {
+		case 0, 1, 2: // publish a free slot
+			s := int(rng.next() % slots)
+			for j := 0; j < slots && occupied[s]; j++ {
+				s = (s + 1) % slots
+			}
+			if occupied[s] {
+				break
+			}
+			size := 64 + rng.next()%2000
+			if rng.next()%16 == 0 {
+				size = 64 << 10
+			}
+			add(Op{Kind: OpMallocTo, Thread: th, Slot: s, Size: size})
+			occupied[s] = true
+		case 3: // unpublish an occupied slot
+			s := int(rng.next() % slots)
+			for j := 0; j < slots && !occupied[s]; j++ {
+				s = (s + 1) % slots
+			}
+			if !occupied[s] {
+				break
+			}
+			add(Op{Kind: OpFreeFrom, Thread: th, Slot: s})
+			occupied[s] = false
+		case 4, 5, 6: // anonymous allocation
+			live = append(live, add(Op{Kind: OpMalloc, Thread: th, Size: 64 + rng.next()%960}))
+		case 7, 8: // free a live anonymous block, possibly cross-arena
+			if len(live) == 0 {
+				break
+			}
+			j := int(rng.next() % uint64(len(live)))
+			add(Op{Kind: OpFree, Thread: th, Ref: live[j]})
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+		case 9:
+			add(Op{Kind: OpFlush, Thread: th})
+		}
+	}
+	return tr
+}

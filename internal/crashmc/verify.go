@@ -1,0 +1,365 @@
+package crashmc
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"nvalloc/internal/alloc"
+	"nvalloc/internal/pmem"
+	"nvalloc/internal/torture"
+)
+
+// Config parameterizes an enumeration run.
+type Config struct {
+	// From and To bound the boundary range verified, inclusive; To <= 0
+	// means the last boundary. Defaults cover the whole recording.
+	From, To int
+	// Stride samples every Stride'th boundary (default 1: exhaustive).
+	Stride int
+	// MaxBoundaries caps the number of explored boundaries by raising
+	// the stride (0 = no cap). Coverage drops below 100% accordingly.
+	MaxBoundaries int
+	// Torn additionally verifies, at every explored boundary with a
+	// flush in flight, the torn-line image where only a seeded subset of
+	// the in-flight line's words persisted.
+	Torn bool
+	// TornSeed seeds the torn-word masks.
+	TornSeed uint64
+	// CheckEvery runs the target's offline consistency checker
+	// (torture.Target.Check) on every Nth explored boundary at or past
+	// CreatedAt (0 = never). The checker opens a clone, so it sees the
+	// pristine crash image.
+	CheckEvery int
+	// ProbeAllocs is the number of fresh allocations probed against the
+	// surviving roots per boundary (default 64; < 0 disables).
+	ProbeAllocs int
+	// Pool executes fn(0..n-1) on a worker pool; nil runs serially. The
+	// experiment engine's pool is injected here so crashmc does not
+	// depend on internal/experiment.
+	Pool func(n int, fn func(i int))
+	// Extra, when non-nil, adds per-test invariants to every recovered
+	// heap (e.g. shard-count persistence, duplicate-object walks).
+	// Returned strings are violations.
+	Extra func(h alloc.Heap, boundary int, torn bool) []string
+}
+
+func (cfg Config) withDefaults(rec *Recording) Config {
+	last := rec.Boundaries() - 1
+	if cfg.To <= 0 || cfg.To > last {
+		cfg.To = last
+	}
+	if cfg.From < 0 {
+		cfg.From = 0
+	}
+	if cfg.Stride < 1 {
+		cfg.Stride = 1
+	}
+	if cfg.MaxBoundaries > 0 {
+		for (cfg.To-cfg.From)/cfg.Stride+1 > cfg.MaxBoundaries {
+			cfg.Stride++
+		}
+	}
+	if cfg.ProbeAllocs == 0 {
+		cfg.ProbeAllocs = 64
+	}
+	return cfg
+}
+
+// slotOp is one root-slot transition derived from the trace: the slot's
+// value before and after the op at Ops[opIdx].
+type slotOp struct {
+	opIdx     int
+	pre, post uint64
+	marker    uint64 // post block's durable data marker (publishes only)
+	size      uint64 // post block's requested size
+}
+
+// slotHistory derives every root slot's transition sequence from the
+// recorded ops (failed ops leave the slot untouched).
+func slotHistory(rec *Recording) map[int][]slotOp {
+	hist := map[int][]slotOp{}
+	cur := map[int]uint64{}
+	for i, or := range rec.Ops {
+		if or.Err {
+			continue
+		}
+		switch or.Op.Kind {
+		case OpMallocTo:
+			s := or.Op.Slot
+			hist[s] = append(hist[s], slotOp{
+				opIdx: i, pre: cur[s], post: uint64(or.Addr),
+				marker: or.Marker, size: or.Op.Size,
+			})
+			cur[s] = uint64(or.Addr)
+		case OpFreeFrom:
+			s := or.Op.Slot
+			hist[s] = append(hist[s], slotOp{opIdx: i, pre: cur[s], post: 0})
+			cur[s] = 0
+		}
+	}
+	return hist
+}
+
+// Verify enumerates the recording's persistence boundaries per cfg and
+// validates every crash image against the oracle. It is the model
+// checker's core loop: reconstruct image k (incrementally, via
+// pmem.ImageCursor), reopen it with the shared guarded open, and check
+//
+//   - boundaries before CreatedAt may be refused, but only with a typed
+//     corruption error — never a panic, and never an open that then
+//     fails verification;
+//   - from CreatedAt on, recovery MUST succeed (clean and torn cuts are
+//     intact-media crashes under the fault model);
+//   - every root slot holds a legal value: the value durable at k, or —
+//     when an operation's flush window straddles k — that operation's
+//     pre- or post-value (recovery may roll either way, but nowhere
+//     else);
+//   - no two roots alias; each published block frees exactly once; a
+//     durably published block still carries its data marker;
+//   - fresh allocations never collide with surviving roots;
+//   - space accounting stays within the recording's bounds.
+func Verify(rec *Recording, cfg Config) *Report {
+	cfg = cfg.withDefaults(rec)
+	hist := slotHistory(rec)
+	cl := newClassifier(rec)
+
+	// The explored boundary list, partitioned into contiguous chunks:
+	// each chunk advances its own image cursor forward, so the whole
+	// enumeration costs one journal replay per chunk plus one image copy
+	// per boundary.
+	var ks []int
+	for k := cfg.From; k <= cfg.To; k += cfg.Stride {
+		ks = append(ks, k)
+	}
+	report := &Report{
+		Target:     rec.Target.Name,
+		Trace:      rec.Trace.Name,
+		Boundaries: rec.Boundaries(),
+		Classes:    map[string]int{},
+		TornClasses: map[string]int{},
+		Paths:      map[string]int{},
+	}
+	if len(ks) == 0 {
+		return report
+	}
+	nChunk := 1
+	if cfg.Pool != nil {
+		if nChunk = runtime.GOMAXPROCS(0); nChunk > len(ks) {
+			nChunk = len(ks)
+		}
+	}
+	parts := make([]*Report, nChunk)
+	run := func(ci int) {
+		lo := ci * len(ks) / nChunk
+		hi := (ci + 1) * len(ks) / nChunk
+		part := &Report{
+			Classes:     map[string]int{},
+			TornClasses: map[string]int{},
+			Paths:       map[string]int{},
+		}
+		cursor := pmem.NewImageCursor(rec.DeviceBytes, rec.Journal)
+		scratch := pmem.New(pmem.Config{Size: rec.DeviceBytes})
+		for i := lo; i < hi; i++ {
+			k := ks[i]
+			cursor.Advance(k)
+			class := "end-of-trace"
+			if k < len(rec.Journal) {
+				class = cl.classify(&rec.Journal[k])
+			}
+			part.Explored++
+			part.Classes[class]++
+			part.Paths[rec.phase(k)+"@"+class]++
+
+			cursor.MaterializeInto(scratch)
+			if cfg.CheckEvery > 0 && i%cfg.CheckEvery == 0 &&
+				k >= rec.CreatedAt && rec.Target.Check != nil {
+				part.Checks++
+				for _, p := range rec.Target.Check(scratch) {
+					part.addViolation(Violation{Boundary: k, Detail: "check: " + p})
+				}
+				// The checker clones before opening; the image is intact.
+			}
+			verifyImage(rec, cfg, hist, part, scratch, k, false)
+
+			if cfg.Torn && cursor.MaterializeTornInto(scratch, cfg.TornSeed) {
+				part.TornExplored++
+				part.TornClasses[class]++
+				verifyImage(rec, cfg, hist, part, scratch, k, true)
+			}
+		}
+		parts[ci] = part
+	}
+	if cfg.Pool == nil || nChunk == 1 {
+		for ci := 0; ci < nChunk; ci++ {
+			run(ci)
+		}
+	} else {
+		cfg.Pool(nChunk, run)
+	}
+	for _, part := range parts {
+		report.merge(part)
+	}
+	return report
+}
+
+// verifyImage opens one crash image and runs every oracle check,
+// appending violations to part.
+func verifyImage(rec *Recording, cfg Config, hist map[int][]slotOp, part *Report, scratch *pmem.Device, k int, torn bool) {
+	fail := func(format string, args ...any) {
+		part.addViolation(Violation{Boundary: k, Torn: torn, Detail: fmt.Sprintf(format, args...)})
+	}
+	h2, err := torture.OpenGuarded(rec.Target, scratch)
+	if err != nil {
+		var pe *torture.PanicError
+		if errors.As(err, &pe) {
+			fail("recovery panicked: %v", pe.Value)
+			return
+		}
+		if k < rec.CreatedAt && errors.Is(err, pmem.ErrCorrupted) {
+			// The heap did not fully exist yet; a typed refusal is the
+			// correct answer for a mid-create image.
+			part.OpenFailures++
+			return
+		}
+		fail("intact-media crash not recovered: %v", err)
+		return
+	}
+
+	used := h2.Used()
+
+	// Root-slot legality and the surviving live set.
+	type liveBlock struct {
+		slot   int
+		addr   uint64
+		size   uint64
+		marker uint64 // assert only when the publish was fully durable
+	}
+	var live []liveBlock
+	seen := map[uint64]int{}
+	for s := 0; s < alloc.NumRootSlots; s++ {
+		ops := hist[s]
+		actual := scratch.ReadU64(h2.RootSlot(s))
+		var durable uint64
+		durableIdx := -1
+		var inflight *slotOp
+		for idx := range ops {
+			or := &rec.Ops[ops[idx].opIdx]
+			if or.FlushEnd <= k {
+				durable = ops[idx].post
+				durableIdx = idx
+			} else {
+				// A torn image at boundary k carries a partial application
+				// of flush k itself, so the op whose window *starts* at k
+				// is already in flight there.
+				if or.FlushStart < k || (torn && or.FlushStart == k) {
+					inflight = &ops[idx]
+				}
+				break
+			}
+		}
+		legal := actual == durable
+		if inflight != nil && (actual == inflight.pre || actual == inflight.post) {
+			legal = true
+		}
+		if !legal {
+			want := fmt.Sprintf("%#x", durable)
+			if inflight != nil {
+				want = fmt.Sprintf("%#x or %#x/%#x (op %d in flight)",
+					durable, inflight.pre, inflight.post, inflight.opIdx)
+			}
+			fail("slot %d holds %#x, legal: %s", s, actual, want)
+			continue
+		}
+		if actual == 0 {
+			continue
+		}
+		if prev, dup := seen[actual]; dup {
+			fail("slots %d and %d alias block %#x", prev, s, actual)
+			continue
+		}
+		seen[actual] = s
+		lb := liveBlock{slot: s, addr: actual}
+		if inflight != nil && actual == inflight.post {
+			// Rolled forward mid-publish: live, but the marker flush may
+			// have been the part that was cut off.
+			lb.size = inflight.size
+		} else if durableIdx >= 0 && actual == durable {
+			lb.size = ops[durableIdx].size
+			lb.marker = ops[durableIdx].marker
+		}
+		live = append(live, lb)
+	}
+
+	// Durable data markers: a fully persisted publish must still carry
+	// the value the application flushed into it.
+	for _, lb := range live {
+		if lb.marker == 0 {
+			continue
+		}
+		if got := scratch.ReadU64(pmem.PAddr(lb.addr)); got != lb.marker {
+			fail("block %#x (slot %d) lost its marker: %#x, want %#x", lb.addr, lb.slot, got, lb.marker)
+		}
+	}
+
+	// Space accounting: the heap must account for every surviving
+	// published byte, and recovery must not have manufactured usage far
+	// beyond the recording's high-water mark (GC/IC may leak anonymous
+	// blocks — leak-only — so the bound is the peak plus slack, not the
+	// boundary's exact live size).
+	var lower uint64
+	for _, lb := range live {
+		lower += lb.size
+	}
+	if used < lower {
+		fail("Used()=%d below the %d bytes of surviving published blocks", used, lower)
+	}
+	if upper := rec.MaxUsed + rec.MaxUsed/2 + (2 << 20); used > upper {
+		fail("Used()=%d exceeds bound %d (recorded peak %d)", used, upper, rec.MaxUsed)
+	}
+	if lo, ok := h2.(interface{ LeaseOverhead() uint64 }); ok {
+		if v, bound := lo.LeaseOverhead(), rec.MaxLease+(4<<20); v > bound {
+			fail("LeaseOverhead()=%d exceeds bound %d (recorded peak %d)", v, bound, rec.MaxLease)
+		}
+	}
+
+	// Fresh allocations must not collide with surviving roots, and the
+	// checker must observe no overlaps among them.
+	if cfg.ProbeAllocs > 0 {
+		ck := alloc.NewChecker(h2)
+		th := ck.NewThread()
+		for i := 0; i < cfg.ProbeAllocs; i++ {
+			p, err := th.Malloc(uint64(64 + i%256))
+			if err != nil {
+				fail("probe alloc %d failed after recovery: %v", i, err)
+				break
+			}
+			if s, dup := seen[uint64(p)]; dup {
+				fail("published block %#x (slot %d) handed out again", p, s)
+			}
+		}
+		for _, e := range ck.Errors() {
+			fail("probe checker: %s", e)
+		}
+		th.Close()
+	}
+
+	// Every surviving published block must be allocated: freeing it
+	// succeeds exactly once (raw thread — recovery has no record of the
+	// checker's probes).
+	if len(live) > 0 {
+		thRaw := h2.NewThread()
+		for _, lb := range live {
+			if err := thRaw.Free(pmem.PAddr(lb.addr)); err != nil {
+				fail("published block %#x (slot %d) not allocated after recovery: %v", lb.addr, lb.slot, err)
+			}
+		}
+		thRaw.Close()
+	}
+
+	if cfg.Extra != nil {
+		for _, p := range cfg.Extra(h2, k, torn) {
+			fail("%s", p)
+		}
+	}
+}

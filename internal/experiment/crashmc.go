@@ -1,0 +1,108 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"nvalloc/internal/crashmc"
+)
+
+func init() {
+	register("crashmc", runCrashMC)
+}
+
+// runCrashMC runs the crash-point model checker's smoke enumeration over
+// every allocator: record the smoke trace once per target, then verify
+// the recovery oracle at every persistence boundary (and its torn-line
+// variant) using the experiment worker pool. The first table is the
+// headline coverage report — boundaries, coverage, distinct recovery
+// paths, violations — the second breaks explored boundaries down by
+// in-flight line class (wal-entry, bitmap-stripe, blog-entry,
+// slab-header, ...), and the third lists the recovery paths (trace phase
+// × line class) the enumeration actually drove.
+func runCrashMC(cfg Config) []*Table {
+	targets := crashmc.Targets()
+	seed := uint64(42)
+	recs := make([]*crashmc.Recording, len(targets))
+	errs := make([]error, len(targets))
+	jobs := make([]func(), len(targets))
+	for i := range targets {
+		i := i
+		jobs[i] = func() {
+			recs[i], errs[i] = crashmc.Record(targets[i], crashmc.SmokeTrace(seed),
+				crashmc.RecordOptions{})
+		}
+	}
+	runJobs(cfg, jobs)
+
+	head := &Table{
+		ID:    "crashmc",
+		Title: fmt.Sprintf("crash-point model checker, smoke trace (seed %d), every boundary + torn variants", seed),
+		Columns: []string{"allocator", "boundaries", "explored", "coverage",
+			"torn", "paths", "checks", "violations"},
+	}
+	classes := &Table{
+		ID:      "crashmc-classes",
+		Title:   "explored boundaries by in-flight line class (clean/torn counts)",
+		Columns: []string{"allocator", "class", "clean", "torn"},
+	}
+	pathAgg := map[string]int{}
+	for i, tg := range targets {
+		if errs[i] != nil {
+			head.Rows = append(head.Rows, []string{tg.Name,
+				"record failed: " + errs[i].Error(), "", "", "", "", "", ""})
+			continue
+		}
+		vcfg := crashmc.Config{
+			Torn: true, TornSeed: 0xDECAF, CheckEvery: 64,
+			Pool: cfg.RunCells,
+		}
+		if cfg.Scale < 1 {
+			// Scaled-down runs (the micro-scale smoke test) sample the
+			// boundary space instead of enumerating it; -exp crashmc at the
+			// default scale stays exhaustive.
+			vcfg.MaxBoundaries = cfg.ops(750)
+		}
+		rep := crashmc.Verify(recs[i], vcfg)
+		head.Rows = append(head.Rows, []string{
+			tg.Name,
+			fmt.Sprint(rep.Boundaries),
+			fmt.Sprint(rep.Explored),
+			pct(rep.Coverage()),
+			fmt.Sprint(rep.TornExplored),
+			fmt.Sprint(len(rep.Paths)),
+			fmt.Sprint(rep.Checks),
+			fmt.Sprint(rep.ViolationCount),
+		})
+		for _, cl := range rep.ClassNames() {
+			classes.Rows = append(classes.Rows, []string{
+				tg.Name, cl,
+				fmt.Sprint(rep.Classes[cl]),
+				fmt.Sprint(rep.TornClasses[cl]),
+			})
+		}
+		for p, n := range rep.Paths {
+			pathAgg[p] += n
+		}
+		for _, v := range rep.Violations {
+			// Violations are a CI failure; surface them in the text output.
+			head.Rows = append(head.Rows, []string{"", "  " + v.String(),
+				"", "", "", "", "", ""})
+		}
+	}
+
+	paths := &Table{
+		ID:      "crashmc-paths",
+		Title:   "distinct recovery paths driven (trace phase × in-flight line class), all allocators",
+		Columns: []string{"path", "boundaries"},
+	}
+	names := make([]string, 0, len(pathAgg))
+	for p := range pathAgg {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+	for _, p := range names {
+		paths.Rows = append(paths.Rows, []string{p, fmt.Sprint(pathAgg[p])})
+	}
+	return []*Table{head, classes, paths}
+}

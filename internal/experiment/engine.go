@@ -78,6 +78,12 @@ func runCells(cfg Config, n int, fn func(i int)) {
 	}
 }
 
+// RunCells exposes the worker pool to other packages (the crash-point
+// model checker injects it as its boundary-verification pool): it
+// executes fn(0), ..., fn(n-1) on at most cfg.Workers workers, with the
+// same independence requirements as the internal engine.
+func (c Config) RunCells(n int, fn func(i int)) { runCells(c, n, fn) }
+
 // grid runs fn over an r×c cell grid and returns the results indexed
 // [row][col], in deterministic order regardless of scheduling.
 func grid[T any](cfg Config, rows, cols int, fn func(r, c int) T) [][]T {

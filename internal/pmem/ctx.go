@@ -229,7 +229,16 @@ func (c *Ctx) flushLine(cat Category, line uint64) {
 		mu := d.lineLock(line)
 		mu.Lock()
 		copy(d.media[off:off+LineSize], d.mem[off:off+LineSize])
-		mu.Unlock()
+		if d.journalOn {
+			fd := FlushDelta{Line: line, Cat: cat}
+			copy(fd.Data[:], d.mem[off:off+LineSize])
+			mu.Unlock()
+			d.journalMu.Lock()
+			d.journal = append(d.journal, fd)
+			d.journalMu.Unlock()
+		} else {
+			mu.Unlock()
+		}
 	}
 }
 

@@ -104,6 +104,10 @@ type Config struct {
 	// TraceFlushes, when > 0, records the address and category of the
 	// first N flushed lines (used to reproduce Figure 2).
 	TraceFlushes int
+	// Journal records every flushed line as a copy-on-flush delta (see
+	// journal.go), so crash images at arbitrary persistence boundaries
+	// can be reconstructed incrementally. Requires Strict.
+	Journal bool
 }
 
 // Device is a simulated persistent memory DIMM.
@@ -135,6 +139,10 @@ type Device struct {
 	trace    []FlushRecord
 	traceCap int
 
+	journalOn bool
+	journalMu sync.Mutex
+	journal   []FlushDelta
+
 	statsMu sync.Mutex
 	stats   Stats
 }
@@ -165,13 +173,17 @@ func New(cfg Config) *Device {
 	if nb <= 0 {
 		nb = defaultBanks
 	}
+	if cfg.Journal && !cfg.Strict {
+		panic("pmem: Config.Journal requires Config.Strict")
+	}
 	d := &Device{
-		mode:     cfg.Mode,
-		strict:   cfg.Strict,
-		size:     cfg.Size,
-		mem:      make([]byte, cfg.Size),
-		banks:    make([]bank, nb),
-		traceCap: cfg.TraceFlushes,
+		mode:      cfg.Mode,
+		strict:    cfg.Strict,
+		size:      cfg.Size,
+		mem:       make([]byte, cfg.Size),
+		banks:     make([]bank, nb),
+		traceCap:  cfg.TraceFlushes,
+		journalOn: cfg.Journal,
 	}
 	if cfg.Strict {
 		d.media = make([]byte, cfg.Size)
@@ -366,6 +378,12 @@ func (d *Device) CrashAfterFlushes(n int64) {
 
 // Crashed reports whether armed fault injection has triggered.
 func (d *Device) Crashed() bool { return d.crashed.Load() }
+
+// FlushTotal returns the number of line flushes issued over the device's
+// lifetime, counted independently of per-Ctx stats merging (and including
+// flushes dropped after an armed crash fired). It is the coordinate system
+// CrashAfterFlushes cuts in.
+func (d *Device) FlushTotal() uint64 { return d.flushTotal.Load() }
 
 // Crash simulates power loss: in strict ADR mode the cache image is
 // replaced by the persisted image, discarding every unflushed store. On

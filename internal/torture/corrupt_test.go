@@ -8,20 +8,16 @@ import (
 	"nvalloc/internal/pmem"
 )
 
-// openGuarded opens a target's heap, converting any panic into a test
-// failure: a garbage image may be rejected, never crash the process.
+// openGuarded opens a target's heap via the package's shared guarded
+// open, converting a recovered panic into a test failure: a garbage
+// image may be rejected, never crash the process.
 func openGuarded(t *testing.T, tg Target, dev *pmem.Device) (alloc.Heap, error) {
 	t.Helper()
-	var h alloc.Heap
-	var err error
-	func() {
-		defer func() {
-			if r := recover(); r != nil {
-				t.Errorf("%s: Open panicked: %v", tg.Name, r)
-			}
-		}()
-		h, err = tg.Open(dev)
-	}()
+	h, err := OpenGuarded(tg, dev)
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		t.Errorf("%s: Open panicked: %v\n%s", tg.Name, pe.Value, pe.Stack)
+	}
 	return h, err
 }
 

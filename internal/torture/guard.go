@@ -1,0 +1,37 @@
+package torture
+
+import (
+	"fmt"
+	"runtime/debug"
+
+	"nvalloc/internal/alloc"
+	"nvalloc/internal/pmem"
+)
+
+// PanicError reports a panic recovered during a guarded heap open. Under
+// the fault model, recovery panicking on any image is a bug — harnesses
+// match this type (errors.As) to classify the failure as Panicked rather
+// than Detected.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("recovery panicked: %v", e.Value)
+}
+
+// OpenGuarded opens tg's heap on dev with panics converted into a
+// *PanicError: a garbage image may be rejected with a typed error, but it
+// must never crash the process. Every harness that reopens a damaged or
+// half-written image (torture plans, the corrupt-image tests, the
+// crash-point model checker) shares this helper so panic guarding has one
+// implementation.
+func OpenGuarded(tg Target, dev *pmem.Device) (h alloc.Heap, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			h, err = nil, &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return tg.Open(dev)
+}

@@ -16,6 +16,7 @@
 package torture
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -131,6 +132,11 @@ type Target struct {
 	Open func(dev *pmem.Device) (alloc.Heap, error)
 	// MetaRanges lists the metadata regions BitFlip plans corrupt.
 	MetaRanges func(dev *pmem.Device) []pmem.Range
+	// Check, when non-nil, runs the allocator's offline consistency
+	// checker against the image (read-only: it must clone the device)
+	// and returns every problem found. Harnesses use it to cross-check
+	// a recovered heap beyond the behavioural Verify probes.
+	Check func(dev *pmem.Device) []string
 }
 
 // DeviceBytes sizes each torture device: small enough that hundreds of
@@ -191,6 +197,9 @@ func nvallocTarget(name string, v core.Variant) Target {
 			return h, nil
 		},
 		MetaRanges: core.MetaRanges,
+		Check: func(dev *pmem.Device) []string {
+			return core.Check(dev, core.DefaultOptions(v))
+		},
 	}
 }
 
@@ -272,8 +281,14 @@ func Run(tg Target, p Plan) (res Result) {
 	workload(h, dev)
 	dev.Crash()
 
-	h2, err := tg.Open(dev)
+	h2, err := OpenGuarded(tg, dev)
 	if err != nil {
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			res.Outcome = Panicked
+			res.Detail = fmt.Sprint(pe.Value)
+			return res
+		}
 		res.Outcome = Detected
 		res.Detail = err.Error()
 		if p.Kind != BitFlip {
