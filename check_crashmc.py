@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Compare an `nvbench -exp crashmc` CSV dump against crashmc_baseline.json.
+
+Usage: check_crashmc.py <out-dir>
+
+Enforced (see the baseline's comment field):
+  - serial sweep: per-allocator boundary floors, 100% coverage, zero
+    oracle violations, every required torn line class exercised;
+  - concurrent families: per-family conflicting-pair floors, DPOR
+    pruning at or above min_pruning, at least min_schedules_run variant
+    schedules executed, and zero violations across every explored
+    schedule x boundary.
+
+Exits non-zero with a list of regressions. Regenerate the baseline
+(never in CI) with: go run ./cmd/nvbench -exp crashmc -crashmc.update
+"""
+import csv
+import json
+import sys
+
+outdir = sys.argv[1] if len(sys.argv) > 1 else "crashmc_out"
+base = json.load(open("crashmc_baseline.json"))
+fail = []
+
+# Table 0: headline serial coverage. Table 1: torn classes.
+head = {r["allocator"]: r for r in csv.DictReader(open(f"{outdir}/crashmc_table0.csv"))
+        if r["allocator"]}
+torn = {}
+for r in csv.DictReader(open(f"{outdir}/crashmc_table1.csv")):
+    if int(r["torn"] or 0) > 0:
+        torn.setdefault(r["allocator"], set()).add(r["class"])
+
+for name, floor in base["min_boundaries"].items():
+    r = head.get(name)
+    if r is None:
+        fail.append(f"{name}: missing from report")
+        continue
+    try:
+        b, e, v = int(r["boundaries"]), int(r["explored"]), int(r["violations"])
+    except ValueError:
+        fail.append(f"{name}: {r['boundaries']}")
+        continue
+    if b < floor:
+        fail.append(f"{name}: {b} boundaries < baseline floor {floor}")
+    if e < b:
+        fail.append(f"{name}: coverage {e}/{b} < 100%")
+    if v and base["require_zero_violations"]:
+        fail.append(f"{name}: {v} oracle violations")
+    print(f"{name}: {b} boundaries (floor {floor}), {e} explored, {v} violations")
+for name, req in base["required_torn_classes"].items():
+    missing = set(req) - torn.get(name, set())
+    if missing:
+        fail.append(f"{name}: torn sweep missed line classes {sorted(missing)}")
+
+# Table 3: the concurrent families' DPOR schedule enumeration.
+conc = base.get("concurrent")
+if conc:
+    rows = [r for r in csv.DictReader(open(f"{outdir}/crashmc_table3.csv"))
+            if r["allocator"]]
+    seen = set()
+    for r in rows:
+        who = f"{r['allocator']}/{r['family']}"
+        try:
+            conflicts = int(r["conflicts"])
+            run = int(r["schedules_run"])
+            pruning = float(r["pruning"].rstrip("%")) / 100
+            v = int(r["violations"])
+        except ValueError:
+            fail.append(f"{who}: {r['conflicts']}")
+            continue
+        seen.add(r["family"])
+        floor = conc["min_conflicts"].get(r["family"])
+        if floor is not None and conflicts < floor:
+            fail.append(f"{who}: {conflicts} conflicting pairs < baseline floor {floor}")
+        if run < conc["min_schedules_run"]:
+            fail.append(f"{who}: only {run} variant schedules executed")
+        if pruning < conc["min_pruning"]:
+            fail.append(f"{who}: DPOR pruned {pruning:.0%} of the naive "
+                        f"schedule space < floor {conc['min_pruning']:.0%}")
+        if v and conc["require_zero_violations"]:
+            fail.append(f"{who}: {v} oracle violations under variant schedules")
+        print(f"{who}: {conflicts} conflicts (floor {floor}), {run} schedules, "
+              f"{pruning:.0%} pruned, {v} violations")
+    missing = set(conc["min_conflicts"]) - seen
+    if missing:
+        fail.append(f"concurrent families missing from report: {sorted(missing)}")
+
+if fail:
+    sys.exit("crashmc coverage regression:\n  " + "\n  ".join(fail))
+print("coverage baseline satisfied")

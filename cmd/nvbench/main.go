@@ -39,10 +39,20 @@ func main() {
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		traceOut = flag.String("trace", "", "write a runtime execution trace to this file")
 		cont     = flag.Bool("contention", false, "shorthand for -exp contention (per-resource lock-load report)")
+		mcBudget = flag.Int("crashmc.budget", 0, "variant schedules per concurrent crashmc family (0 = smoke default 6, negative = unlimited)")
+		mcUpdate = flag.Bool("crashmc.update", false, "regenerate crashmc_baseline.json from this run (refused in CI, on violations, or on sampled runs)")
 	)
 	flag.Parse()
 	if *cont && *exp == "" {
 		*exp = "contention"
+	}
+	mcBaselineOut := ""
+	if *mcUpdate {
+		if os.Getenv("CI") != "" {
+			fmt.Fprintln(os.Stderr, "nvbench: -crashmc.update is disabled in CI — the baseline is an input, not an output, there")
+			os.Exit(2)
+		}
+		mcBaselineOut = "crashmc_baseline.json"
 	}
 
 	if *cpuProf != "" {
@@ -106,7 +116,10 @@ func main() {
 		}
 		ths = append(ths, n)
 	}
-	cfg := experiment.Config{Threads: ths, Scale: *scale, DeviceBytes: *devMiB << 20, Workers: *parallel}
+	cfg := experiment.Config{
+		Threads: ths, Scale: *scale, DeviceBytes: *devMiB << 20, Workers: *parallel,
+		CrashMCSchedBudget: *mcBudget, CrashMCBaselineOut: mcBaselineOut,
+	}
 
 	ids := []string{*exp}
 	if *exp == "all" {

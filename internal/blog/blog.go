@@ -189,6 +189,13 @@ type Log struct {
 
 	lastGCCopied     int
 	fastGCs, slowGCs uint64
+
+	// gcWhileOutstanding counts GC passes that began (or stepped) while a
+	// reserved slot's publish was still in flight. The sharded facade's
+	// outstanding gate must keep this at zero: a nonzero value means GC
+	// snapshotted, copied or reconciled an entry word that had not been
+	// written yet. Exposed for the race tests.
+	gcWhileOutstanding uint64
 }
 
 // RegionSize returns a reasonable region size for a heap of the given
@@ -497,3 +504,7 @@ func (l *Log) FreeChunks() int { return len(l.free) }
 
 // GCCounts returns how many fast and slow GC passes have run.
 func (l *Log) GCCounts() (fast, slow uint64) { return l.fastGCs, l.slowGCs }
+
+// GCWhileOutstanding returns how many GC passes began while a publish
+// was in flight — zero whenever the outstanding gate works.
+func (l *Log) GCWhileOutstanding() uint64 { return l.gcWhileOutstanding }

@@ -20,6 +20,9 @@ const defaultGCBudgetChunks = 4
 // in place when a new chunk is needed. Returns the number of chunks
 // retired.
 func (l *Log) FastGC(c *pmem.Ctx) int {
+	if l.outstanding != 0 {
+		l.gcWhileOutstanding++
+	}
 	retired := 0
 	for _, v := range l.empties {
 		v.queued = false
@@ -76,6 +79,9 @@ func (l *Log) GCActive() bool { return l.gc != nil }
 // rejects a GC that could not complete even if nothing changes (a full
 // region with everything live cannot shrink).
 func (l *Log) startSlowGC(c *pmem.Ctx) error {
+	if l.outstanding != 0 {
+		l.gcWhileOutstanding++
+	}
 	if l.gc != nil {
 		return nil
 	}
@@ -178,6 +184,9 @@ func (l *Log) abortSlowGC() {
 // snapshot is exhausted. Returns done=true when the GC has committed.
 // On error the GC is aborted and must be restarted from scratch.
 func (l *Log) slowGCStep(c *pmem.Ctx, budget int) (bool, error) {
+	if l.outstanding != 0 {
+		l.gcWhileOutstanding++
+	}
 	g := l.gc
 	if g == nil {
 		return true, nil

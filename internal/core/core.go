@@ -194,6 +194,13 @@ const (
 	stateRunning  = 1
 	stateShutdown = 2
 	stateRecovery = 3
+	// stateClosing: Close has begun checkpointing WALs. Every operation
+	// acknowledged before Close is already durably applied, but the
+	// arena-by-arena checkpoints destroy cross-arena superseding
+	// witnesses (a checkpointed OpMallocTo no longer shields another
+	// arena's surviving OpFreeFrom for the same reused address), so a
+	// crash in this window must recover WITHOUT replaying WALs.
+	stateClosing = 4
 )
 
 // arenaFlagsBase: per-arena run-state flags live in the superblock page.
@@ -510,6 +517,12 @@ func (h *Heap) Close() error {
 			return true
 		})
 	}
+	// Seal "no operation is in flight" before the first checkpoint: WAL
+	// rings are truncated one arena at a time, and replaying the survivors
+	// of a partial truncation can free a block whose republication witness
+	// sat in an already-truncated ring (see stateClosing).
+	c.PersistU64(pmem.CatMeta, superBase+sbState, pmem.SealU64(stateClosing))
+	c.Fence()
 	for i, a := range h.arenas {
 		if a.wal != nil {
 			a.res.Acquire(c)

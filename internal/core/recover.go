@@ -100,9 +100,15 @@ func Open(dev *pmem.Device, opts Options) (*Heap, int64, error) {
 		return nil, 0, pmem.Corrupt("superblock", superBase+sbState, "run-state word fails seal check")
 	}
 	crashed := state != stateShutdown
+	closing := state == stateClosing
 	// Mark recovery in progress so a crash *during* recovery is detected.
-	c.PersistU64(pmem.CatMeta, superBase+sbState, pmem.SealU64(stateRecovery))
-	c.Fence()
+	// A closing-state crash keeps its marker instead: recovery from it is
+	// idempotent, and downgrading to stateRecovery would re-arm WAL replay
+	// on a second crash — exactly the unsafe path the marker forbids.
+	if !closing {
+		c.PersistU64(pmem.CatMeta, superBase+sbState, pmem.SealU64(stateRecovery))
+		c.Fence()
+	}
 
 	// Reopen the bookkeeper and enumerate live extents.
 	var records []extent.LiveRecord
@@ -191,7 +197,22 @@ func Open(dev *pmem.Device, opts Options) (*Heap, int64, error) {
 	if crashed {
 		switch opts.Variant {
 		case LOG:
-			if err := h.replayWALs(c); err != nil {
+			if closing {
+				// The crash hit Close's checkpoint window: every logged
+				// operation already persisted in full before Close began, and
+				// some rings may be truncated. Replaying the remainder could
+				// apply an OpFreeFrom whose superseding OpMallocTo (another
+				// arena, same recycled address) was checkpointed away — so
+				// retire the surviving entries unapplied. Replay with a no-op
+				// visitor still CRC-validates the rings and advances each
+				// log's sequence so the checkpoint lands past the survivors.
+				for _, a := range h.arenas {
+					if _, err := a.wal.Replay(c, func(walog.Entry) {}); err != nil {
+						return nil, 0, err
+					}
+					a.wal.Checkpoint(c)
+				}
+			} else if err := h.replayWALs(c); err != nil {
 				return nil, 0, err
 			}
 		case GC:

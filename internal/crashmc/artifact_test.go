@@ -1,0 +1,35 @@
+package crashmc
+
+import "testing"
+
+// checkReport asserts a single-recording report passed; on violation it
+// writes a reproduction artifact (target, trace, seed, schedule key,
+// boundary provenance) and fails with the artifact path, so a CI log
+// line is enough to replay the exact crash image locally.
+func checkReport(t *testing.T, rec *Recording, rep *Report, seed, tornSeed uint64) {
+	t.Helper()
+	if rep.Passed() {
+		return
+	}
+	path, err := WriteRepro("", ReproFromReport(rec, rep, seed, tornSeed))
+	if err != nil {
+		t.Errorf("%d oracle violations (repro write failed: %v)\n%s", rep.ViolationCount, err, rep)
+		return
+	}
+	t.Errorf("%d oracle violations, repro: %s\n%s", rep.ViolationCount, path, rep)
+}
+
+// checkConcReport is checkReport for a family enumeration; violations
+// carry per-schedule keys.
+func checkConcReport(t *testing.T, rep *ConcReport, seed, tornSeed uint64) {
+	t.Helper()
+	if rep.Passed() {
+		return
+	}
+	path, err := WriteRepro("", ReproFromConc(rep, seed, tornSeed))
+	if err != nil {
+		t.Errorf("%d oracle violations (repro write failed: %v)\n%s", rep.ViolationCount, err, rep)
+		return
+	}
+	t.Errorf("%d oracle violations, repro: %s\n%s", rep.ViolationCount, path, rep)
+}

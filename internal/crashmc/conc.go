@@ -1,0 +1,168 @@
+package crashmc
+
+// The concurrent trace families: small two-thread traces aimed at the
+// allocator's genuinely concurrent persistence machinery, where the
+// ordering decisions live outside any lock — sharded bookkeeping-log
+// appends racing that shard's inline GC, batched remote-free drains
+// racing the owner arena's allocations, and extent-cache refills racing
+// extent frees. Each family keeps a single scheduled writer per root
+// slot, so the per-slot oracle stays the two-value legality rule while
+// the cross-thread flush interleavings roam free. Each also mixes in
+// cross-thread traffic with *disjoint* footprints (other arenas' slabs,
+// buffered frees that flush nothing) — those pairs are what DPOR proves
+// independent and prunes.
+
+// ConcShardGC is the shard-append×GC family: thread 0 streams large
+// publishes/unpublishes through the bookkeeping log while thread 1's
+// frees of pre-allocated extents drop tombstones into the same shards,
+// triggering the shard's inline incremental GC under the smoke targets'
+// low threshold. Conflicts: shard resources and blog-entry lines.
+func ConcShardGC(seed uint64) ConcTrace {
+	rng := splitmix64(seed)
+	big := func() uint64 { return (64 + rng.next()%64) << 10 }
+	// One fixed small size class per family: the slabs are created during
+	// setup (below), so scheduled small churn is pure arena-private
+	// tcache/bitmap traffic — the independent pairs DPOR should prune.
+	small := func() Op { return Op{Kind: OpMalloc, Size: 96} }
+	ct := ConcTrace{Name: "shard-append-gc"}
+	// Setup: published extents for the raced FreeFroms, plus anonymous
+	// extents thread 1 will free (tombstone + GC traffic).
+	for s := 0; s < 4; s++ {
+		ct.Setup = append(ct.Setup, Op{Kind: OpMallocTo, Slot: s, Size: big()})
+	}
+	var anon []int
+	for i := 0; i < 5; i++ {
+		ct.Setup = append(ct.Setup, Op{Kind: OpMalloc, Size: big()})
+		anon = append(anon, len(ct.Setup)-1)
+	}
+	// Warm both threads' small class so slab creation (a bookkeeping
+	// record, hence a conflict) happens before the scheduled phase.
+	ct.Setup = append(ct.Setup,
+		Op{Kind: OpMalloc, Size: 96},
+		Op{Kind: OpMalloc, Thread: 1, Size: 96},
+	)
+	ct.Threads = [][]Op{
+		{ // t0: append stream — publishes and unpublishes of fresh
+			// extents — padded with arena-private slab churn.
+			{Kind: OpMallocTo, Slot: 10, Size: big()},
+			small(), small(),
+			{Kind: OpMallocTo, Slot: 11, Size: big()},
+			small(), small(),
+			{Kind: OpFreeFrom, Slot: 10},
+			small(), small(),
+			{Kind: OpMallocTo, Slot: 12, Size: big()},
+			small(),
+			{Kind: OpFreeFrom, Slot: 11},
+			{Kind: OpMallocTo, Slot: 13, Size: big()},
+		},
+		{ // t1: tombstones driving the shards' inline GC, same padding.
+			{Kind: OpFree, Thread: -1, Ref: anon[0]},
+			small(), small(),
+			{Kind: OpFree, Thread: -1, Ref: anon[1]},
+			small(), small(),
+			{Kind: OpFreeFrom, Slot: 0},
+			small(), small(),
+			{Kind: OpFree, Thread: -1, Ref: anon[2]},
+			small(),
+			{Kind: OpFree, Thread: -1, Ref: anon[3]},
+			{Kind: OpFreeFrom, Slot: 1},
+		},
+	}
+	return ct
+}
+
+// ConcRemoteFree is the remote-free×owner-alloc family: thread 1 frees
+// blocks owned by thread 0's arena — buffered locally, flushing nothing
+// — then drains the batch with an explicit flush while thread 0 keeps
+// allocating from the same size class. Conflicts: the drain's WAL/bin
+// traffic against the owner's allocation path. The buffered frees
+// themselves are footprint-free, so DPOR prunes every pair they are in.
+func ConcRemoteFree(seed uint64) ConcTrace {
+	rng := splitmix64(seed)
+	ct := ConcTrace{Name: "remote-free-drain"}
+	var owned []int
+	for i := 0; i < 8; i++ {
+		ct.Setup = append(ct.Setup, Op{Kind: OpMalloc, Size: 256})
+		owned = append(owned, len(ct.Setup)-1)
+	}
+	// A shard-pool extent (leased to the setup thread's arena): thread
+	// 1's drain hands it back to the owner's pool while thread 0 is
+	// carving from the same pool — the remote-free×owner-alloc race at
+	// the extent layer, and the conflict that persists even where small
+	// frees never touch media (the GC variant's volatile bitmaps).
+	ct.Setup = append(ct.Setup, Op{Kind: OpMalloc, Size: 48 << 10})
+	ext := len(ct.Setup) - 1
+	ct.Setup = append(ct.Setup,
+		Op{Kind: OpMallocTo, Slot: 0, Size: 256 + rng.next()%256},
+		Op{Kind: OpMallocTo, Slot: 1, Size: 256 + rng.next()%256},
+	)
+	t1 := []Op{}
+	for _, r := range owned {
+		t1 = append(t1, Op{Kind: OpFree, Thread: -1, Ref: r})
+	}
+	t1 = append(t1,
+		Op{Kind: OpFlush},
+		Op{Kind: OpFree, Thread: -1, Ref: ext},
+		Op{Kind: OpMalloc, Size: 512},
+	)
+	ct.Threads = [][]Op{
+		{ // t0: owner keeps allocating the drained size class, with a
+			// late shard-pool carve racing thread 1's extent return.
+			{Kind: OpMalloc, Size: 256},
+			{Kind: OpMalloc, Size: 256},
+			{Kind: OpMallocTo, Slot: 10, Size: 256},
+			{Kind: OpMalloc, Size: 256},
+			{Kind: OpMalloc, Size: 256},
+			{Kind: OpFreeFrom, Slot: 0},
+			{Kind: OpMallocTo, Slot: 11, Size: 256 + rng.next()%128},
+			{Kind: OpMalloc, Size: 256},
+			{Kind: OpMalloc, Size: 48 << 10},
+		},
+		t1,
+	}
+	return ct
+}
+
+// ConcExtentRefill is the extent-refill×free family: thread 0's large
+// publishes force its arena's extent cache to refill from the global
+// extent state while thread 1 frees previously published extents back
+// into it. Conflicts: global extent metadata and bookkeeping entries;
+// the small-slab churn on both sides stays arena-private and prunes.
+func ConcExtentRefill(seed uint64) ConcTrace {
+	rng := splitmix64(seed)
+	big := func() uint64 { return (96 + rng.next()%64) << 10 }
+	ct := ConcTrace{Name: "extent-refill-free"}
+	for s := 0; s < 6; s++ {
+		ct.Setup = append(ct.Setup, Op{Kind: OpMallocTo, Slot: s, Size: big()})
+	}
+	ct.Threads = [][]Op{
+		{ // t0: refill pressure — fresh large extents.
+			{Kind: OpMallocTo, Slot: 10, Size: big()},
+			{Kind: OpMalloc, Size: 64 + rng.next()%256},
+			{Kind: OpMallocTo, Slot: 11, Size: big()},
+			{Kind: OpMallocTo, Slot: 12, Size: big()},
+			{Kind: OpMalloc, Size: 64 + rng.next()%256},
+			{Kind: OpMallocTo, Slot: 13, Size: big()},
+		},
+		{ // t1: extent returns.
+			{Kind: OpFreeFrom, Slot: 0},
+			{Kind: OpMalloc, Size: 64 + rng.next()%256},
+			{Kind: OpFreeFrom, Slot: 1},
+			{Kind: OpFreeFrom, Slot: 2},
+			{Kind: OpMalloc, Size: 64 + rng.next()%256},
+			{Kind: OpFreeFrom, Slot: 3},
+			{Kind: OpFreeFrom, Slot: 4},
+		},
+	}
+	return ct
+}
+
+// ConcFamilies returns the three conflicting-pair trace families the
+// concurrent checker explores, seeded deterministically.
+func ConcFamilies(seed uint64) []ConcTrace {
+	return []ConcTrace{
+		ConcShardGC(seed),
+		ConcRemoteFree(seed ^ 0x9E3779B97F4A7C15),
+		ConcExtentRefill(seed ^ 0xA24BAED4963EE407),
+	}
+}

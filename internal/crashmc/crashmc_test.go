@@ -123,9 +123,7 @@ func TestSmokeTraceAllTargets(t *testing.T) {
 			}
 			rep := Verify(rec, cfg)
 			t.Logf("%s", rep)
-			if !rep.Passed() {
-				t.Errorf("%d oracle violations", rep.ViolationCount)
-			}
+			checkReport(t, rec, rep, 42, cfg.TornSeed)
 			if !testing.Short() && rep.Explored != rep.Boundaries {
 				t.Errorf("coverage %d/%d, want exhaustive", rep.Explored, rep.Boundaries)
 			}

@@ -1,0 +1,359 @@
+package crashmc
+
+// The schedule enumerator with DPOR-style reduction. Exhaustively
+// interleaving even two short threads at flush granularity is
+// combinatorially hopeless; dynamic partial-order reduction observes
+// that two schedules differing only in the order of *independent* ops
+// reach the same persistent states, so only conflicting op pairs are
+// worth reordering. Conflict is judged from the baseline recording's
+// dynamic footprints: two cross-thread ops conflict iff their journaled
+// flush deltas touch an overlapping cache line, or they acquired the
+// same pmem.Resource (same shard, same arena lock — ordering through a
+// lock changes who flushes what even when the line sets end up
+// disjoint). For every conflicting pair the enumerator replays the
+// trace under preemptive schedules that force the reversed order, and
+// verifies recovery across the boundaries of the disturbed window. The
+// pruned independent pairs are counted, so the coverage table can state
+// exactly how much of the naive schedule space the reduction discarded.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nvalloc/internal/torture"
+)
+
+// ConcOptions parameterizes EnumerateConc.
+type ConcOptions struct {
+	Record RecordOptions
+	// PairGap is how close (in completion order) two cross-thread ops
+	// must be to count as a reorder candidate (default 3). Ops further
+	// apart are separated by full round-robin turns of intervening ops
+	// and their flush windows do not interact.
+	PairGap int
+	// PreemptsPerPair caps the preemption points tried per conflicting
+	// pair (default 3, spread evenly over the earlier op's switchable
+	// yields).
+	PreemptsPerPair int
+	// MaxSchedules caps the executed variant schedules (<= 0: no cap).
+	// Skipped schedules are reported, never silently dropped.
+	MaxSchedules int
+	// Slack widens the verified boundary window around a reordered
+	// pair's flush span (default 8 boundaries each side).
+	Slack int
+	// Torn adds torn-line variants at every verified boundary.
+	Torn     bool
+	TornSeed uint64
+	// Pool parallelizes the baseline full verification (variant windows
+	// are small and run serially).
+	Pool func(n int, fn func(i int))
+	// MaxBoundaries samples the baseline sweep down to at most this many
+	// boundaries (<= 0: enumerate every one). Conflict detection and the
+	// pruning accounting read the recording, not the sweep, so sampling
+	// the baseline never changes which schedules run.
+	MaxBoundaries int
+	// CheckEvery runs the offline checker on every Nth baseline boundary.
+	CheckEvery int
+}
+
+func (o ConcOptions) withDefaults() ConcOptions {
+	if o.PairGap <= 0 {
+		o.PairGap = 3
+	}
+	if o.PreemptsPerPair <= 0 {
+		o.PreemptsPerPair = 3
+	}
+	if o.Slack <= 0 {
+		o.Slack = 8
+	}
+	return o
+}
+
+// site names one scheduled op: thread t, op index j.
+type site struct{ t, j int }
+
+// ConflictPair is one candidate reorder that the footprints proved
+// dependent, with the schedules generated for it.
+type ConflictPair struct {
+	A, B      site
+	Kinds     string // "malloc_to×free": the ops' kinds, A first
+	Shared    string // why they conflict: "line" or "resource"
+	Schedules []Schedule
+}
+
+// ConcReport aggregates one family's enumeration: the baseline full
+// sweep plus every conflict-forced variant schedule.
+type ConcReport struct {
+	Target string
+	Trace  string
+	// Candidates is the naive reorder set (cross-thread op pairs within
+	// PairGap); Conflicts is how many survived the footprint test.
+	Candidates int
+	Conflicts  int
+	// NaiveSchedules is what a reduction-free enumerator would run
+	// (Candidates x PreemptsPerPair); PlannedSchedules is the post-DPOR
+	// plan; SchedulesRun is what actually executed (budget-capped);
+	// SchedulesSkipped = PlannedSchedules - SchedulesRun.
+	NaiveSchedules   int
+	PlannedSchedules int
+	SchedulesRun     int
+	SchedulesSkipped int
+	// Boundaries/Torn verified across the baseline and every variant.
+	BoundariesVerified int
+	TornVerified       int
+	Checks             int
+	ViolationCount     int
+	Violations         []Violation
+	// ConflictKinds counts conflicting pairs by kind pair;
+	// ConflictClasses counts them by the line class of the overlap (or
+	// "resource" for lock-only conflicts). Paths merges every
+	// sub-report's (phase@class) recovery paths — for variant schedules
+	// the phase strings join the in-flight set, so conflict-pair
+	// interleavings show up as distinct "kind+kind@class" paths.
+	ConflictKinds   map[string]int
+	ConflictClasses map[string]int
+	Paths           map[string]int
+	Steps           int32 // baseline scheduled-phase yield steps
+}
+
+// Pruning is the fraction of the naive schedule space DPOR discarded
+// before budgeting: 1 - Planned/Naive.
+func (r *ConcReport) Pruning() float64 {
+	if r.NaiveSchedules == 0 {
+		return 0
+	}
+	return 1 - float64(r.PlannedSchedules)/float64(r.NaiveSchedules)
+}
+
+// Passed reports whether no schedule produced an oracle violation.
+func (r *ConcReport) Passed() bool { return r.ViolationCount == 0 }
+
+func (r *ConcReport) addViolations(rep *Report) {
+	r.ViolationCount += rep.ViolationCount
+	for _, v := range rep.Violations {
+		if len(r.Violations) < maxViolations {
+			r.Violations = append(r.Violations, v)
+		}
+	}
+}
+
+func (r *ConcReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%s: %d candidates -> %d conflicts, %d/%d schedules (naive %d, pruned %.0f%%), %d boundaries, %d torn, %d violations",
+		r.Target, r.Trace, r.Candidates, r.Conflicts, r.SchedulesRun, r.PlannedSchedules,
+		r.NaiveSchedules, 100*r.Pruning(), r.BoundariesVerified, r.TornVerified, r.ViolationCount)
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "\n  %s", v)
+	}
+	return b.String()
+}
+
+// conflicts computes the candidate and conflicting cross-thread pairs of
+// a baseline recording, and builds each conflict's preempt schedules.
+func conflicts(base *ConcRecording, opt ConcOptions, cl *classifier) (cands int, pairs []ConflictPair) {
+	// Completion order over scheduled ops only.
+	type done struct {
+		s   site
+		rec int
+	}
+	var order []done
+	for t := range base.Meta {
+		for j := range base.Meta[t] {
+			if base.Meta[t][j].RecIdx >= 0 {
+				order = append(order, done{site{t, j}, base.Meta[t][j].RecIdx})
+			}
+		}
+	}
+	sort.Slice(order, func(i, k int) bool { return order[i].rec < order[k].rec })
+
+	lines := make(map[site]map[uint64]bool)
+	for _, d := range order {
+		lines[d.s] = base.Lines(d.s.t, d.s.j)
+	}
+	for p := 0; p < len(order); p++ {
+		for q := p + 1; q < len(order) && q-p <= opt.PairGap; q++ {
+			a, b := order[p].s, order[q].s
+			if a.t == b.t {
+				continue
+			}
+			cands++
+			shared, class := dependent(base, a, b, lines, cl)
+			if shared == "" {
+				continue
+			}
+			cp := ConflictPair{
+				A: a, B: b,
+				Kinds:  base.Ops[order[p].rec].Op.Kind.String() + "×" + base.Ops[order[q].rec].Op.Kind.String(),
+				Shared: class,
+			}
+			// Force B's completion inside A: preempt A's thread at a
+			// switchable yield within A, run B's thread through op B.
+			steps := base.Meta[a.t][a.j].SwitchSteps
+			for _, at := range sample(steps, opt.PreemptsPerPair) {
+				cp.Schedules = append(cp.Schedules, Schedule{
+					Preempt: &Preempt{At: at, To: b.t, UntilOp: b.j},
+				})
+			}
+			pairs = append(pairs, cp)
+		}
+	}
+	return cands, pairs
+}
+
+// dependent reports whether a and b conflict, returning ("line"|
+// "resource", class label) or ("", "") when independent.
+func dependent(base *ConcRecording, a, b site, lines map[site]map[uint64]bool, cl *classifier) (how, class string) {
+	la, lb := lines[a], lines[b]
+	for ln := range la {
+		if lb[ln] {
+			// Classify the overlapping line via its journal delta's class.
+			c := "line"
+			for k := range base.Journal {
+				if base.Journal[k].Line == ln {
+					c = cl.classify(&base.Journal[k])
+					break
+				}
+			}
+			return "line", c
+		}
+	}
+	for _, ra := range base.Meta[a.t][a.j].Res {
+		for _, rb := range base.Meta[b.t][b.j].Res {
+			if ra == rb {
+				return "resource", "resource"
+			}
+		}
+	}
+	return "", ""
+}
+
+// sample picks up to n values spread evenly across steps.
+func sample(steps []int32, n int) []int32 {
+	if len(steps) == 0 {
+		return nil
+	}
+	if len(steps) <= n {
+		out := make([]int32, len(steps))
+		copy(out, steps)
+		return out
+	}
+	out := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, steps[i*(len(steps)-1)/(n-1)])
+	}
+	// Adjacent picks can coincide when steps cluster; dedup.
+	ded := out[:1]
+	for _, v := range out[1:] {
+		if v != ded[len(ded)-1] {
+			ded = append(ded, v)
+		}
+	}
+	return ded
+}
+
+// EnumerateConc records ct under the baseline round-robin schedule,
+// verifies every boundary of that recording, then explores the
+// DPOR-reduced schedule space: each conflicting cross-thread op pair is
+// re-recorded under preemptive schedules forcing the reversed order,
+// and recovery is verified across the disturbed window (plus the final
+// boundary) of each variant.
+func EnumerateConc(tg torture.Target, ct ConcTrace, opt ConcOptions) (*ConcReport, error) {
+	opt = opt.withDefaults()
+	base, err := ConcRecord(tg, ct, Schedule{}, opt.Record)
+	if err != nil {
+		return nil, err
+	}
+	report := &ConcReport{
+		Target:          tg.Name,
+		Trace:           ct.Name,
+		ConflictKinds:   map[string]int{},
+		ConflictClasses: map[string]int{},
+		Paths:           map[string]int{},
+		Steps:           base.Steps,
+	}
+
+	// Baseline: full boundary sweep, like the single-threaded checker.
+	baseRep := Verify(base.Recording, Config{
+		Torn: opt.Torn, TornSeed: opt.TornSeed,
+		Pool: opt.Pool, CheckEvery: opt.CheckEvery,
+		MaxBoundaries: opt.MaxBoundaries,
+	})
+	report.BoundariesVerified += baseRep.Explored
+	report.TornVerified += baseRep.TornExplored
+	report.Checks += baseRep.Checks
+	report.addViolations(baseRep)
+	for k, n := range baseRep.Paths {
+		report.Paths[k] += n
+	}
+
+	cl := newClassifier(base.Recording)
+	cands, pairs := conflicts(base, opt, cl)
+	report.Candidates = cands
+	report.Conflicts = len(pairs)
+	report.NaiveSchedules = cands * opt.PreemptsPerPair
+	for _, cp := range pairs {
+		report.PlannedSchedules += len(cp.Schedules)
+		report.ConflictKinds[cp.Kinds]++
+		report.ConflictClasses[cp.Shared]++
+	}
+
+	for _, cp := range pairs {
+		for _, sched := range cp.Schedules {
+			if opt.MaxSchedules > 0 && report.SchedulesRun >= opt.MaxSchedules {
+				report.SchedulesSkipped = report.PlannedSchedules - report.SchedulesRun
+				return report, nil
+			}
+			vrec, err := ConcRecord(tg, ct, sched, opt.Record)
+			if err != nil {
+				return nil, fmt.Errorf("schedule %s: %w", sched.Key(), err)
+			}
+			report.SchedulesRun++
+
+			// Verify the boundaries the reordering disturbed: the union of
+			// the pair's flush windows in the *variant* recording, plus
+			// slack, plus the final boundary (full-trace recovery).
+			lo, hi := vrec.pairWindow(cp.A, cp.B)
+			lo -= opt.Slack
+			hi += opt.Slack
+			cfg := Config{From: lo, To: hi, Torn: opt.Torn, TornSeed: opt.TornSeed}
+			rep := Verify(vrec.Recording, cfg)
+			last := vrec.Boundaries() - 1
+			var fin *Report
+			if last > hi {
+				fin = Verify(vrec.Recording, Config{From: last, To: last, Torn: opt.Torn, TornSeed: opt.TornSeed})
+			}
+			for _, r := range []*Report{rep, fin} {
+				if r == nil {
+					continue
+				}
+				report.BoundariesVerified += r.Explored
+				report.TornVerified += r.TornExplored
+				report.addViolations(r)
+				for k, n := range r.Paths {
+					report.Paths[k] += n
+				}
+			}
+		}
+	}
+	return report, nil
+}
+
+// pairWindow returns the union of two scheduled ops' flush windows in
+// this recording (falling back to the whole scheduled phase if either
+// never completed, which cannot happen for ops chosen from a baseline).
+func (cr *ConcRecording) pairWindow(a, b site) (lo, hi int) {
+	ra, rb := cr.Meta[a.t][a.j].RecIdx, cr.Meta[b.t][b.j].RecIdx
+	if ra < 0 || rb < 0 {
+		return 0, cr.Boundaries() - 1
+	}
+	oa, ob := &cr.Ops[ra], &cr.Ops[rb]
+	lo, hi = oa.FlushStart, oa.FlushEnd
+	if ob.FlushStart < lo {
+		lo = ob.FlushStart
+	}
+	if ob.FlushEnd > hi {
+		hi = ob.FlushEnd
+	}
+	return lo, hi
+}

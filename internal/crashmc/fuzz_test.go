@@ -60,7 +60,8 @@ func FuzzCrashRecover(f *testing.F) {
 		}
 		rep := Verify(rec, cfg)
 		if !rep.Passed() {
-			t.Fatalf("seed=%#x k=%d tear=%#x: %s", traceSeed, k, tearSeed, rep)
+			path, _ := WriteRepro("", ReproFromReport(rec, rep, traceSeed, tearSeed))
+			t.Fatalf("seed=%#x k=%d tear=%#x repro=%s: %s", traceSeed, k, tearSeed, path, rep)
 		}
 	})
 }

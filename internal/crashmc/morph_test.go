@@ -83,9 +83,7 @@ func TestMorphCrashSweep(t *testing.T) {
 			}
 			rep := Verify(rec, cfg)
 			t.Logf("%s", rep)
-			if !rep.Passed() {
-				t.Errorf("%d oracle violations", rep.ViolationCount)
-			}
+			checkReport(t, rec, rep, 0, cfg.TornSeed)
 		})
 	}
 }

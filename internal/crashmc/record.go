@@ -31,8 +31,20 @@ type Recording struct {
 	Trace       Trace
 	DeviceBytes uint64
 	// Journal is the device's flush journal; boundary k is the image
-	// after the first k flushes, for k in [0, len(Journal)].
-	Journal []pmem.FlushDelta
+	// after the first k flushes, for k in [JournalBase, JournalBase +
+	// len(Journal)]. JournalBase is 0 (and BaseImage nil) unless the
+	// recording ran with a checkpointed journal
+	// (RecordOptions.JournalCheckpointEvery), in which case BaseImage is
+	// the media image at boundary JournalBase and earlier boundaries are
+	// no longer enumerable.
+	Journal     []pmem.FlushDelta
+	JournalBase int
+	BaseImage   []byte
+	// Sched is the schedule key the recording was made under ("" for
+	// single-threaded recordings, "rr"/"rr+p@..." for ConcRecord ones).
+	// Non-empty Sched means op flush windows may overlap: ops are in
+	// completion order (FlushEnd nondecreasing), not trace order.
+	Sched string
 	// CreatedAt is the boundary at which Create had fully returned:
 	// before it, recovery may refuse the image (typed error); from it
 	// on, every boundary MUST recover.
@@ -49,9 +61,9 @@ type Recording struct {
 }
 
 // Boundaries returns the number of persistence boundaries in the
-// recording (every k in [0, Boundaries()) is a valid crash point, where
-// Boundaries()-1 is the fully flushed final image).
-func (r *Recording) Boundaries() int { return len(r.Journal) + 1 }
+// recording (every k in [JournalBase, Boundaries()) is a valid crash
+// point, where Boundaries()-1 is the fully flushed final image).
+func (r *Recording) Boundaries() int { return r.JournalBase + len(r.Journal) + 1 }
 
 // RecordOptions parameterizes Record.
 type RecordOptions struct {
@@ -60,6 +72,11 @@ type RecordOptions struct {
 	// Probe, when non-nil, is sampled after every op (e.g. a morph
 	// counter, to locate the op that triggered a structure transition).
 	Probe func(h alloc.Heap) uint64
+	// JournalCheckpointEvery, when > 0, records on a checkpointed journal
+	// (pmem.Config.JournalCheckpointEvery): journal memory stays bounded
+	// for long traces, at the cost of losing boundaries below the fold
+	// point (Recording.JournalBase).
+	JournalCheckpointEvery int
 }
 
 // markerFor derives the data marker written into the block published by
@@ -76,7 +93,10 @@ func Record(tg torture.Target, tr Trace, opts RecordOptions) (*Recording, error)
 	if opts.DeviceBytes == 0 {
 		opts.DeviceBytes = DefaultDeviceBytes
 	}
-	dev := pmem.New(pmem.Config{Size: opts.DeviceBytes, Strict: true, Journal: true})
+	dev := pmem.New(pmem.Config{
+		Size: opts.DeviceBytes, Strict: true, Journal: true,
+		JournalCheckpointEvery: opts.JournalCheckpointEvery,
+	})
 	h, err := tg.Create(dev)
 	if err != nil {
 		return nil, fmt.Errorf("crashmc: create %s: %w", tg.Name, err)
@@ -171,5 +191,7 @@ func Record(tg torture.Target, tr Trace, opts RecordOptions) (*Recording, error)
 		return nil, fmt.Errorf("crashmc: close %s: %w", tg.Name, err)
 	}
 	rec.Journal = dev.JournalSnapshot()
+	rec.JournalBase = dev.JournalBase()
+	rec.BaseImage = dev.JournalCheckpoint()
 	return rec, nil
 }

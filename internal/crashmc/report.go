@@ -10,11 +10,23 @@ import (
 	"nvalloc/internal/slab"
 )
 
-// Violation is one oracle failure at one crash image.
+// Violation is one oracle failure at one crash image, carrying enough
+// provenance to reproduce it: the boundary index, the schedule key of
+// the recording (multi-threaded runs), and the in-flight flush delta's
+// class, line and (thread, schedule step) stamp.
 type Violation struct {
 	Boundary int
 	Torn     bool
 	Detail   string
+	// Schedule is Recording.Sched ("" for single-threaded recordings).
+	Schedule string
+	// Class is the in-flight line's structure class at the boundary;
+	// Line/Thread/Step are that journal delta's provenance (Thread 0 and
+	// Step -1 outside scheduled phases; all zero at end-of-trace).
+	Class  string
+	Line   uint64
+	Thread int32
+	Step   int32
 }
 
 func (v Violation) String() string {
@@ -22,7 +34,14 @@ func (v Violation) String() string {
 	if v.Torn {
 		t = " (torn)"
 	}
-	return fmt.Sprintf("boundary %d%s: %s", v.Boundary, t, v.Detail)
+	s := fmt.Sprintf("boundary %d%s", v.Boundary, t)
+	if v.Schedule != "" {
+		s += " sched=" + v.Schedule
+	}
+	if v.Class != "" && v.Class != "end-of-trace" {
+		s += fmt.Sprintf(" inflight=%s line=%#x t%d@%d", v.Class, v.Line, v.Thread, v.Step)
+	}
+	return s + ": " + v.Detail
 }
 
 // Report summarizes one enumeration run over one recording.
@@ -190,13 +209,33 @@ func (cl *classifier) classify(fd *pmem.FlushDelta) string {
 }
 
 // phase names the trace region boundary k falls in: the in-flight op's
-// kind, or one of the bracketing phases.
+// kind — or, in a multi-threaded recording, the "+"-joined kinds of
+// every op in flight (one per thread, in completion order) — or one of
+// the bracketing phases.
 func (rec *Recording) phase(k int) string {
 	if k < rec.CreatedAt {
 		return "create"
 	}
 	if k >= rec.CloseStart {
 		return "close"
+	}
+	if rec.Sched != "" {
+		// Schedule-aware recording: windows overlap, so collect the full
+		// in-flight set (FlushStart is not monotone; scan everything).
+		var joined string
+		for i := range rec.Ops {
+			or := &rec.Ops[i]
+			if or.FlushStart < k && k < or.FlushEnd {
+				if joined != "" {
+					joined += "+"
+				}
+				joined += or.Op.Kind.String()
+			}
+		}
+		if joined == "" {
+			return "quiescent"
+		}
+		return joined
 	}
 	// Ops are in trace order with non-overlapping windows; find the op
 	// whose window contains k.

@@ -49,8 +49,10 @@ func (cfg Config) withDefaults(rec *Recording) Config {
 	if cfg.To <= 0 || cfg.To > last {
 		cfg.To = last
 	}
-	if cfg.From < 0 {
-		cfg.From = 0
+	if cfg.From < rec.JournalBase {
+		// Boundaries below a checkpointed journal's fold point are no
+		// longer reconstructible.
+		cfg.From = rec.JournalBase
 	}
 	if cfg.Stride < 1 {
 		cfg.Stride = 1
@@ -158,14 +160,19 @@ func Verify(rec *Recording, cfg Config) *Report {
 			TornClasses: map[string]int{},
 			Paths:       map[string]int{},
 		}
-		cursor := pmem.NewImageCursor(rec.DeviceBytes, rec.Journal)
+		var cursor *pmem.ImageCursor
+		if rec.BaseImage != nil {
+			cursor = pmem.NewImageCursorAt(rec.JournalBase, rec.BaseImage, rec.Journal)
+		} else {
+			cursor = pmem.NewImageCursor(rec.DeviceBytes, rec.Journal)
+		}
 		scratch := pmem.New(pmem.Config{Size: rec.DeviceBytes})
 		for i := lo; i < hi; i++ {
 			k := ks[i]
 			cursor.Advance(k)
 			class := "end-of-trace"
-			if k < len(rec.Journal) {
-				class = cl.classify(&rec.Journal[k])
+			if k-rec.JournalBase < len(rec.Journal) {
+				class = cl.classify(&rec.Journal[k-rec.JournalBase])
 			}
 			part.Explored++
 			part.Classes[class]++
@@ -176,16 +183,16 @@ func Verify(rec *Recording, cfg Config) *Report {
 				k >= rec.CreatedAt && rec.Target.Check != nil {
 				part.Checks++
 				for _, p := range rec.Target.Check(scratch) {
-					part.addViolation(Violation{Boundary: k, Detail: "check: " + p})
+					part.addViolation(rec.violation(k, false, class, "check: "+p))
 				}
 				// The checker clones before opening; the image is intact.
 			}
-			verifyImage(rec, cfg, hist, part, scratch, k, false)
+			verifyImage(rec, cfg, hist, part, scratch, k, false, class)
 
 			if cfg.Torn && cursor.MaterializeTornInto(scratch, cfg.TornSeed) {
 				part.TornExplored++
 				part.TornClasses[class]++
-				verifyImage(rec, cfg, hist, part, scratch, k, true)
+				verifyImage(rec, cfg, hist, part, scratch, k, true, class)
 			}
 		}
 		parts[ci] = part
@@ -203,11 +210,24 @@ func Verify(rec *Recording, cfg Config) *Report {
 	return report
 }
 
+// violation builds a Violation carrying full reproduction provenance:
+// the schedule key the recording ran under, the in-flight line's class,
+// and that line's journal delta (line number, flushing thread, schedule
+// step). Together with the trace name this pins the exact crash image.
+func (rec *Recording) violation(k int, torn bool, class, detail string) Violation {
+	v := Violation{Boundary: k, Torn: torn, Detail: detail, Schedule: rec.Sched, Class: class}
+	if j := k - rec.JournalBase; j >= 0 && j < len(rec.Journal) {
+		fd := &rec.Journal[j]
+		v.Line, v.Thread, v.Step = fd.Line, fd.Thread, fd.Step
+	}
+	return v
+}
+
 // verifyImage opens one crash image and runs every oracle check,
 // appending violations to part.
-func verifyImage(rec *Recording, cfg Config, hist map[int][]slotOp, part *Report, scratch *pmem.Device, k int, torn bool) {
+func verifyImage(rec *Recording, cfg Config, hist map[int][]slotOp, part *Report, scratch *pmem.Device, k int, torn bool, class string) {
 	fail := func(format string, args ...any) {
-		part.addViolation(Violation{Boundary: k, Torn: torn, Detail: fmt.Sprintf(format, args...)})
+		part.addViolation(rec.violation(k, torn, class, fmt.Sprintf(format, args...)))
 	}
 	h2, err := torture.OpenGuarded(rec.Target, scratch)
 	if err != nil {
@@ -228,7 +248,14 @@ func verifyImage(rec *Recording, cfg Config, hist map[int][]slotOp, part *Report
 
 	used := h2.Used()
 
-	// Root-slot legality and the surviving live set.
+	// Root-slot legality and the surviving live set. In a multi-threaded
+	// recording several ops can straddle k at once (at most one per
+	// thread); conc trace families keep a single scheduled writer per
+	// slot, so each slot sees at most one of them, and legality stays the
+	// per-slot two-value rule — durable value, or the straddling op's
+	// pre/post. Any combination across slots is accepted: that is exactly
+	// the set of linearization-consistent recovery states, since recovery
+	// may roll each in-flight op forward or back independently.
 	type liveBlock struct {
 		slot   int
 		addr   uint64

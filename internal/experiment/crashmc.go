@@ -1,10 +1,13 @@
 package experiment
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"sort"
 
 	"nvalloc/internal/crashmc"
+	"nvalloc/internal/torture"
 )
 
 func init() {
@@ -19,7 +22,10 @@ func init() {
 // paths, violations — the second breaks explored boundaries down by
 // in-flight line class (wal-entry, bitmap-stripe, blog-entry,
 // slab-header, ...), and the third lists the recovery paths (trace phase
-// × line class) the enumeration actually drove.
+// × line class) the enumeration actually drove. The fourth table is the
+// concurrent checker: each conflicting-pair trace family is enumerated
+// under DPOR-reduced preemptive schedules on the NVAlloc targets, with
+// the candidate/conflict/pruning accounting the baseline enforces.
 func runCrashMC(cfg Config) []*Table {
 	targets := crashmc.Targets()
 	seed := uint64(42)
@@ -47,10 +53,15 @@ func runCrashMC(cfg Config) []*Table {
 		Columns: []string{"allocator", "class", "clean", "torn"},
 	}
 	pathAgg := map[string]int{}
+	bl := &baselineBuild{
+		Boundaries:  map[string]int{},
+		TornClasses: map[string][]string{},
+	}
 	for i, tg := range targets {
 		if errs[i] != nil {
 			head.Rows = append(head.Rows, []string{tg.Name,
 				"record failed: " + errs[i].Error(), "", "", "", "", "", ""})
+			bl.refuse("%s: record failed: %v", tg.Name, errs[i])
 			continue
 		}
 		vcfg := crashmc.Config{
@@ -64,6 +75,19 @@ func runCrashMC(cfg Config) []*Table {
 			vcfg.MaxBoundaries = cfg.ops(750)
 		}
 		rep := crashmc.Verify(recs[i], vcfg)
+		bl.Boundaries[tg.Name] = rep.Boundaries
+		if rep.Explored < rep.Boundaries {
+			bl.refuse("%s: sampled %d/%d boundaries (run with -scale >= 1 to enumerate)",
+				tg.Name, rep.Explored, rep.Boundaries)
+		}
+		if rep.ViolationCount > 0 {
+			bl.refuse("%s: %d oracle violations", tg.Name, rep.ViolationCount)
+		}
+		for _, cl := range rep.ClassNames() {
+			if rep.TornClasses[cl] > 0 {
+				bl.TornClasses[tg.Name] = append(bl.TornClasses[tg.Name], cl)
+			}
+		}
 		head.Rows = append(head.Rows, []string{
 			tg.Name,
 			fmt.Sprint(rep.Boundaries),
@@ -104,5 +128,200 @@ func runCrashMC(cfg Config) []*Table {
 	for _, p := range names {
 		paths.Rows = append(paths.Rows, []string{p, fmt.Sprint(pathAgg[p])})
 	}
-	return []*Table{head, classes, paths}
+
+	conc := runCrashMCConc(cfg, targets, seed, bl)
+
+	if cfg.CrashMCBaselineOut != "" {
+		bl.write(cfg.CrashMCBaselineOut)
+	}
+	return []*Table{head, classes, paths, conc}
+}
+
+// concTargetNames are the allocators the concurrent families target: the
+// two NVAlloc consistency modes whose sharded-log, remote-free and
+// extent machinery the families race. (IC shares LOG's code paths for
+// all three families; the baselines have no concurrent machinery.)
+var concTargetNames = []string{"NVAlloc-LOG", "NVAlloc-GC"}
+
+// runCrashMCConc enumerates the concurrent trace families under
+// DPOR-reduced preemptive schedules and reports the schedule-space
+// accounting CI enforces: candidates vs conflicts, naive vs planned vs
+// executed schedules, the pruning fraction, and the verified
+// schedule × boundary space.
+func runCrashMCConc(cfg Config, targets []torture.Target, seed uint64, bl *baselineBuild) *Table {
+	budget := cfg.CrashMCSchedBudget
+	switch {
+	case budget == 0:
+		budget = 6 // the PR-smoke default: bounded, still > PreemptsPerPair
+	case budget < 0:
+		budget = 0 // ConcOptions: <= 0 means uncapped (the nightly run)
+	}
+	families := crashmc.ConcFamilies(seed)
+	var tgs []torture.Target
+	for _, tg := range targets {
+		for _, n := range concTargetNames {
+			if tg.Name == n {
+				tgs = append(tgs, tg)
+			}
+		}
+	}
+
+	reps := make([]*crashmc.ConcReport, len(tgs)*len(families))
+	errs := make([]error, len(reps))
+	jobs := make([]func(), len(reps))
+	for i := range reps {
+		i := i
+		tg, ct := tgs[i/len(families)], families[i%len(families)]
+		jobs[i] = func() {
+			opt := crashmc.ConcOptions{
+				Torn: true, TornSeed: 0xDECAF,
+				MaxSchedules: budget,
+			}
+			if cfg.Scale < 1 {
+				// Scaled-down smoke: two variant schedules per family and a
+				// sampled baseline sweep. Conflict counts and pruning come
+				// from the recording, so they match the full run exactly.
+				opt.MaxSchedules = 2
+				opt.MaxBoundaries = cfg.ops(200)
+			}
+			reps[i], errs[i] = crashmc.EnumerateConc(tg, ct, opt)
+		}
+	}
+	runJobs(cfg, jobs)
+
+	conc := &Table{
+		ID: "crashmc-concurrent",
+		Title: fmt.Sprintf("concurrent families (seed %d): DPOR-reduced schedule enumeration, "+
+			"recovery verified at every schedule × boundary", seed),
+		Columns: []string{"allocator", "family", "candidates", "conflicts",
+			"schedules_run", "schedules_planned", "naive", "pruning",
+			"boundaries", "torn", "violations"},
+	}
+	for i := range reps {
+		tg, ct := tgs[i/len(families)], families[i%len(families)]
+		if errs[i] != nil {
+			conc.Rows = append(conc.Rows, []string{tg.Name, ct.Name,
+				"enumeration failed: " + errs[i].Error(), "", "", "", "", "", "", "", ""})
+			bl.refuse("%s/%s: enumeration failed: %v", tg.Name, ct.Name, errs[i])
+			continue
+		}
+		rep := reps[i]
+		bl.Conc = append(bl.Conc, rep)
+		if rep.ViolationCount > 0 {
+			bl.refuse("%s/%s: %d oracle violations", tg.Name, ct.Name, rep.ViolationCount)
+		}
+		conc.Rows = append(conc.Rows, []string{
+			tg.Name, ct.Name,
+			fmt.Sprint(rep.Candidates),
+			fmt.Sprint(rep.Conflicts),
+			fmt.Sprint(rep.SchedulesRun),
+			fmt.Sprint(rep.PlannedSchedules),
+			fmt.Sprint(rep.NaiveSchedules),
+			pct(rep.Pruning()),
+			fmt.Sprint(rep.BoundariesVerified),
+			fmt.Sprint(rep.TornVerified),
+			fmt.Sprint(rep.ViolationCount),
+		})
+		for _, v := range rep.Violations {
+			conc.Rows = append(conc.Rows, []string{"", "  " + v.String(),
+				"", "", "", "", "", "", "", "", ""})
+		}
+	}
+	return conc
+}
+
+// crashBaseline mirrors crashmc_baseline.json. The serial fields are the
+// PR 5 schema; "concurrent" is the schedule-aware extension: per-family
+// conflict floors (conflict detection is deterministic for a fixed seed,
+// so the floor is the measured minimum across targets), a pruning floor
+// of 50% of the naive schedule space, and zero violations across every
+// executed schedule.
+type crashBaseline struct {
+	Comment               string              `json:"comment"`
+	RequireCoverage       float64             `json:"require_coverage"`
+	RequireZeroViolations bool                `json:"require_zero_violations"`
+	MinBoundaries         map[string]int      `json:"min_boundaries"`
+	RequiredTornClasses   map[string][]string `json:"required_torn_classes"`
+	Concurrent            *concBaseline       `json:"concurrent,omitempty"`
+}
+
+type concBaseline struct {
+	RequireZeroViolations bool           `json:"require_zero_violations"`
+	MinPruning            float64        `json:"min_pruning"`
+	MinSchedulesRun       int            `json:"min_schedules_run"`
+	MinConflicts          map[string]int `json:"min_conflicts"`
+}
+
+// baselineBuild accumulates one run's measurements for -crashmc.update,
+// plus the reasons (if any) the regeneration must be refused.
+type baselineBuild struct {
+	Boundaries  map[string]int
+	TornClasses map[string][]string
+	Conc        []*crashmc.ConcReport
+	Refusals    []string
+}
+
+func (b *baselineBuild) refuse(format string, args ...any) {
+	b.Refusals = append(b.Refusals, fmt.Sprintf(format, args...))
+}
+
+// write regenerates the baseline file from this run, or refuses loudly:
+// a baseline snapshotted from a sampled, failed, or violating run would
+// codify the regression it is meant to catch.
+func (b *baselineBuild) write(path string) {
+	if len(b.Refusals) > 0 {
+		fmt.Fprintf(os.Stderr, "crashmc: refusing to update %s:\n", path)
+		for _, r := range b.Refusals {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
+		return
+	}
+	doc := crashBaseline{
+		Comment: "Crash-point model-checker coverage baseline. CI fails if nvbench -exp crashmc " +
+			"reports fewer boundaries than min_boundaries (floors ~70% of the measured smoke-trace " +
+			"counts, absorbing geometry drift), less than 100% coverage, any violation, a missing " +
+			"required torn line class, or — for the concurrent families — fewer conflicting pairs " +
+			"than min_conflicts, DPOR pruning below min_pruning, or any schedule-variant violation. " +
+			"Regenerate with: go run ./cmd/nvbench -exp crashmc -crashmc.update",
+		RequireCoverage:       1.0,
+		RequireZeroViolations: true,
+		MinBoundaries:         map[string]int{},
+		RequiredTornClasses:   map[string][]string{},
+	}
+	for name, n := range b.Boundaries {
+		// ~70% of measured, rounded down to a multiple of 10.
+		doc.MinBoundaries[name] = n * 7 / 10 / 10 * 10
+	}
+	for name, classes := range b.TornClasses {
+		// Only the NVAlloc targets carry torn-class requirements: the
+		// baseline-model allocators' line classes are emulation details.
+		if len(name) >= 7 && name[:7] == "NVAlloc" {
+			doc.RequiredTornClasses[name] = classes
+		}
+	}
+	if len(b.Conc) > 0 {
+		cb := &concBaseline{
+			RequireZeroViolations: true,
+			MinPruning:            0.5,
+			MinSchedulesRun:       1,
+			MinConflicts:          map[string]int{},
+		}
+		for _, rep := range b.Conc {
+			// Per-family floor: the minimum conflict count across targets.
+			if cur, ok := cb.MinConflicts[rep.Trace]; !ok || rep.Conflicts < cur {
+				cb.MinConflicts[rep.Trace] = rep.Conflicts
+			}
+		}
+		doc.Concurrent = cb
+	}
+	data, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crashmc: encoding baseline: %v\n", err)
+		return
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "crashmc: writing baseline: %v\n", err)
+		return
+	}
+	fmt.Printf("  regenerated %s\n", path)
 }

@@ -1,0 +1,80 @@
+package experiment
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCrashMCConcTableShape checks the concurrent-family table the CI
+// baseline enforces: every NVAlloc target × family row must report real
+// conflicts, executed variant schedules, >= 50% DPOR pruning, and zero
+// violations. Conflict and pruning numbers are recording-derived, so the
+// scaled-down run asserts the same floors as CI's full enumeration.
+func TestCrashMCConcTableShape(t *testing.T) {
+	tabs := runCrashMC(Config{Threads: []int{1}, Scale: 0.05, DeviceBytes: 256 << 20}.withDefaults())
+	if len(tabs) != 4 {
+		t.Fatalf("runCrashMC produced %d tables, want 4", len(tabs))
+	}
+	conc := tabs[3]
+	if conc.ID != "crashmc-concurrent" {
+		t.Fatalf("fourth table is %q", conc.ID)
+	}
+	wantRows := len(concTargetNames) * 3 // three families per target
+	if len(conc.Rows) != wantRows {
+		t.Fatalf("concurrent table has %d rows, want %d:\n%v", len(conc.Rows), wantRows, conc.Rows)
+	}
+	for ri, row := range conc.Rows {
+		who := row[0] + "/" + row[1]
+		if c := cell(t, conc, ri, colIndex(t, conc, "conflicts")); c < 1 {
+			t.Errorf("%s: no conflicting pairs", who)
+		}
+		if s := cell(t, conc, ri, colIndex(t, conc, "schedules_run")); s < 1 {
+			t.Errorf("%s: no variant schedules executed", who)
+		}
+		if p := cell(t, conc, ri, colIndex(t, conc, "pruning")); p < 50 {
+			t.Errorf("%s: DPOR pruned only %.0f%%, want >= 50%%", who, p)
+		}
+		if v := cell(t, conc, ri, colIndex(t, conc, "violations")); v != 0 {
+			t.Errorf("%s: %.0f oracle violations", who, v)
+		}
+	}
+}
+
+// TestCrashMCBaselineWrite checks the -crashmc.update generator: a clean
+// run writes a parseable baseline whose floors the run itself satisfies,
+// and any refusal reason suppresses the write entirely.
+func TestCrashMCBaselineWrite(t *testing.T) {
+	dir := t.TempDir()
+	bl := &baselineBuild{
+		Boundaries:  map[string]int{"NVAlloc-LOG": 638, "PMDK": 760},
+		TornClasses: map[string][]string{"NVAlloc-LOG": {"wal-entry"}, "PMDK": {"other"}},
+	}
+	path := filepath.Join(dir, "baseline.json")
+	bl.write(path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("clean run wrote nothing: %v", err)
+	}
+	var doc crashBaseline
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("generated baseline does not parse: %v", err)
+	}
+	if got := doc.MinBoundaries["NVAlloc-LOG"]; got <= 0 || got > 638 {
+		t.Errorf("floor %d not in (0, 638]", got)
+	}
+	if _, ok := doc.RequiredTornClasses["PMDK"]; ok {
+		t.Error("baseline-model allocator got a torn-class requirement")
+	}
+	if _, ok := doc.RequiredTornClasses["NVAlloc-LOG"]; !ok {
+		t.Error("NVAlloc torn classes missing")
+	}
+
+	refused := filepath.Join(dir, "refused.json")
+	bl.refuse("synthetic violation")
+	bl.write(refused)
+	if _, err := os.Stat(refused); !os.IsNotExist(err) {
+		t.Errorf("refused update still wrote a file (stat err %v)", err)
+	}
+}

@@ -34,6 +34,57 @@ func (c Category) String() string {
 	}
 }
 
+// SchedPoint names a class of scheduler yield points: the places where
+// a concurrency model checker may interleave another worker's execution.
+// They are exactly the synchronization events of the allocator's
+// persistence protocol — resource acquisition/release, line flushes and
+// store fences — so a scheduler driving hooked contexts observes every
+// ordering decision that matters to crash consistency.
+type SchedPoint int
+
+const (
+	// PointAcquire fires immediately before a Resource is locked.
+	PointAcquire SchedPoint = iota
+	// PointRelease fires immediately after a Resource is unlocked.
+	PointRelease
+	// PointFlush fires after a line flush has reached the media (and,
+	// with the journal enabled, after its delta was journaled).
+	PointFlush
+	// PointFence fires at a store fence.
+	PointFence
+)
+
+func (p SchedPoint) String() string {
+	switch p {
+	case PointAcquire:
+		return "acquire"
+	case PointRelease:
+		return "release"
+	case PointFlush:
+		return "flush"
+	case PointFence:
+		return "fence"
+	}
+	return "point?"
+}
+
+// SchedHook receives every schedule point reached by a hooked Ctx. The
+// crash-point model checker's deterministic scheduler implements it to
+// serialize trace threads at these points.
+//
+// switchable reports whether the context holds no Resource at the yield:
+// a scheduler may only suspend a worker at switchable points — a worker
+// parked inside a critical section would deadlock any other worker
+// (scheduled or not) that takes the same lock. r is non-nil only for
+// PointAcquire/PointRelease.
+type SchedHook interface {
+	Yield(c *Ctx, p SchedPoint, r *Resource, switchable bool)
+	// Step returns the scheduler's current global step counter; journaled
+	// flush deltas are stamped with it (FlushDelta.Step) so every delta
+	// carries schedule provenance.
+	Step() int32
+}
+
 // Ctx is a per-worker execution context: a virtual clock plus the local
 // state needed to classify flushes (reflush window, sequential-write
 // detector) and per-category accounting. A Ctx must not be shared between
@@ -43,6 +94,16 @@ type Ctx struct {
 
 	// Now is the worker's virtual clock in nanoseconds.
 	Now int64
+
+	// ThreadID labels this worker's journaled flush deltas
+	// (FlushDelta.Thread); recorders of multi-threaded traces assign it.
+	ThreadID int32
+
+	// hook, when non-nil, observes this context's schedule points; held
+	// counts the Resources currently held (yields are only switchable at
+	// held == 0).
+	hook SchedHook
+	held int
 
 	// recent is the worker's reflush window: the last ReflushWindow unique
 	// line numbers flushed, most recent first. Values are line+1 so the
@@ -63,6 +124,17 @@ func (d *Device) NewCtx() *Ctx {
 // Device returns the device this context operates on.
 func (c *Ctx) Device() *Device { return c.dev }
 
+// SetSchedHook installs (or, with nil, removes) the context's scheduler
+// hook. Must be called while the context is quiescent.
+func (c *Ctx) SetSchedHook(h SchedHook) { c.hook = h }
+
+// yield reports a schedule point to the hook, if any.
+func (c *Ctx) yield(p SchedPoint, r *Resource) {
+	if c.hook != nil {
+		c.hook.Yield(c, p, r, c.held == 0)
+	}
+}
+
 // Charge advances the virtual clock by ns, attributing it to cat.
 func (c *Ctx) Charge(cat Category, ns int64) {
 	c.Now += ns
@@ -74,6 +146,7 @@ func (c *Ctx) Charge(cat Category, ns int64) {
 func (c *Ctx) Fence() {
 	c.local.Fences++
 	c.Charge(CatOther, FenceNS)
+	c.yield(PointFence, nil)
 }
 
 // Flush persists every cache line overlapping [addr, addr+size),
@@ -141,6 +214,7 @@ func (c *Ctx) flushLine(cat Category, line uint64) {
 		c.local.Flushes++
 		c.local.CatFlush[cat]++
 		c.Charge(cat, EADRFlushNS)
+		c.yield(PointFlush, nil)
 		return
 	}
 
@@ -230,16 +304,20 @@ func (c *Ctx) flushLine(cat Category, line uint64) {
 		mu.Lock()
 		copy(d.media[off:off+LineSize], d.mem[off:off+LineSize])
 		if d.journalOn {
-			fd := FlushDelta{Line: line, Cat: cat}
+			fd := FlushDelta{Line: line, Cat: cat, Thread: c.ThreadID, Step: -1}
+			if c.hook != nil {
+				fd.Step = c.hook.Step()
+			}
 			copy(fd.Data[:], d.mem[off:off+LineSize])
 			mu.Unlock()
 			d.journalMu.Lock()
-			d.journal = append(d.journal, fd)
+			d.journalAppend(fd)
 			d.journalMu.Unlock()
 		} else {
 			mu.Unlock()
 		}
 	}
+	c.yield(PointFlush, nil)
 }
 
 // Merge folds this context's local statistics into the device totals and
@@ -278,7 +356,9 @@ type Resource struct {
 // Acquire locks the resource and queues the worker behind its accumulated
 // virtual load.
 func (r *Resource) Acquire(c *Ctx) {
+	c.yield(PointAcquire, r)
 	r.mu.Lock()
+	c.held++
 	r.acquires++
 	if r.load > c.Now {
 		w := r.load - c.Now
@@ -296,6 +376,8 @@ func (r *Resource) Release(c *Ctx) {
 		r.load += cs
 	}
 	r.mu.Unlock()
+	c.held--
+	c.yield(PointRelease, r)
 }
 
 // Lock takes the resource's mutex without touching the virtual-time

@@ -108,6 +108,11 @@ type Config struct {
 	// journal.go), so crash images at arbitrary persistence boundaries
 	// can be reconstructed incrementally. Requires Strict.
 	Journal bool
+	// JournalCheckpointEvery, when > 0, caps journal memory for long
+	// traces: once 2*K deltas are retained the oldest K fold into a
+	// checkpoint base image and the reconstructible boundary floor
+	// (JournalBase) advances by K. 0 retains every delta.
+	JournalCheckpointEvery int
 }
 
 // Device is a simulated persistent memory DIMM.
@@ -139,9 +144,12 @@ type Device struct {
 	trace    []FlushRecord
 	traceCap int
 
-	journalOn bool
-	journalMu sync.Mutex
-	journal   []FlushDelta
+	journalOn   bool
+	journalMu   sync.Mutex
+	journal     []FlushDelta
+	journalCkpt int    // fold interval K (0 = unbounded)
+	journalBase int    // boundary of journal[0]
+	journalImg  []byte // media image at journalBase (nil while base is 0)
 
 	statsMu sync.Mutex
 	stats   Stats
@@ -185,6 +193,7 @@ func New(cfg Config) *Device {
 		traceCap:  cfg.TraceFlushes,
 		journalOn: cfg.Journal,
 	}
+	d.journalCkpt = cfg.JournalCheckpointEvery
 	if cfg.Strict {
 		d.media = make([]byte, cfg.Size)
 		d.lineLocks = make([]sync.Mutex, lineLockStripes)
