@@ -225,6 +225,39 @@ func BenchmarkMallocFreeSmall(b *testing.B) {
 	}
 }
 
+// BenchmarkMallocFreeClass sweeps the malloc/free pair cost across
+// representative size classes — the per-class trajectory CI records in
+// BENCH_pr7.json and diffs against the committed snapshot, so a change
+// that speeds up one class by slowing another (bitmap geometry, refill
+// batch size, magazine capacity are all class-dependent) cannot hide
+// inside a single-size headline number. Sizes cover the small-class
+// spectrum from the minimum class through SmallMax, plus one shard-pool
+// extent size for the large path.
+func BenchmarkMallocFreeClass(b *testing.B) {
+	for _, size := range []uint64{32, 64, 256, 1024, 4096, 16 << 10, 40 << 10} {
+		b.Run(strconv.FormatUint(size, 10), func(b *testing.B) {
+			dev := pmem.New(pmem.Config{Size: 512 << 20})
+			h, err := core.Create(dev, core.DefaultOptions(core.LOG))
+			if err != nil {
+				b.Fatal(err)
+			}
+			th := h.NewThread()
+			defer th.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p, err := th.Malloc(size)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := th.Free(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkMallocFreeLarge measures the extent path with log-structured
 // bookkeeping.
 func BenchmarkMallocFreeLarge(b *testing.B) {

@@ -85,6 +85,40 @@ if conc:
     if missing:
         fail.append(f"concurrent families missing from report: {sorted(missing)}")
 
+# Table 4: the fence-elision family. Every merged post-commit fence on
+# the LOG hot paths is proven by this trace: full coverage, zero
+# violations, and both at-risk line classes (wal-entry, bitmap-stripe)
+# explored clean and torn.
+fence = base.get("fence_elision")
+if fence:
+    rows = [r for r in csv.DictReader(open(f"{outdir}/crashmc_table4.csv"))
+            if r["allocator"]]
+    if not rows:
+        fail.append("fence-elision family missing from report")
+    for r in rows:
+        who = f"{r['allocator']}/fence-elision"
+        try:
+            b, e, v = int(r["boundaries"]), int(r["explored"]), int(r["violations"])
+            cls = {"wal-entry": (int(r["wal_clean"]), int(r["wal_torn"])),
+                   "bitmap-stripe": (int(r["bitmap_clean"]), int(r["bitmap_torn"]))}
+        except ValueError:
+            fail.append(f"{who}: {r['boundaries']}")
+            continue
+        if b < fence["min_boundaries"]:
+            fail.append(f"{who}: {b} boundaries < baseline floor {fence['min_boundaries']}")
+        if e < b:
+            fail.append(f"{who}: coverage {e}/{b} < 100%")
+        if v and base["require_zero_violations"]:
+            fail.append(f"{who}: {v} oracle violations")
+        for c in fence["require_classes_clean"]:
+            if cls.get(c, (0, 0))[0] == 0:
+                fail.append(f"{who}: no clean boundary with a {c} line in flight")
+        for c in fence["require_classes_torn"]:
+            if cls.get(c, (0, 0))[1] == 0:
+                fail.append(f"{who}: no torn variant of an in-flight {c} line")
+        print(f"{who}: {b} boundaries (floor {fence['min_boundaries']}), "
+              f"{e} explored, {v} violations, classes {cls}")
+
 if fail:
     sys.exit("crashmc coverage regression:\n  " + "\n  ".join(fail))
 print("coverage baseline satisfied")

@@ -1,10 +1,13 @@
 package baseline
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math/bits"
 	"sync"
 
 	"nvalloc/internal/alloc"
+	"nvalloc/internal/bitfit"
 	"nvalloc/internal/extent"
 	"nvalloc/internal/pagemap"
 	"nvalloc/internal/pmem"
@@ -38,7 +41,7 @@ type bslab struct {
 	dataOff   uint32
 
 	mu        sync.Mutex
-	vbits     []uint64 // volatile: 1 = allocated or reserved
+	vbits     *bitfit.Bitmap // volatile: 1 = allocated or reserved (leaf + summary)
 	allocated int
 	reserved  int
 	freeHeadV int   // volatile freelist head (-1 none)
@@ -102,9 +105,9 @@ func (s *bslab) blockIndex(addr pmem.PAddr) int {
 	return idx
 }
 
-func (s *bslab) vset(idx int)       { s.vbits[idx/64] |= 1 << (idx % 64) }
-func (s *bslab) vclear(idx int)     { s.vbits[idx/64] &^= 1 << (idx % 64) }
-func (s *bslab) vtest(idx int) bool { return s.vbits[idx/64]&(1<<(idx%64)) != 0 }
+func (s *bslab) vset(idx int)       { s.vbits.Set(idx) }
+func (s *bslab) vclear(idx int)     { s.vbits.Clear(idx) }
+func (s *bslab) vtest(idx int) bool { return s.vbits.Test(idx) }
 
 // persistMeta flushes block idx's sequential metadata unit: the bit (or
 // 2-byte slot) of consecutive blocks shares a cache line, which is
@@ -294,9 +297,7 @@ func (h *Heap) Close() error {
 	if h.cfg.Persist == PersistNone {
 		h.slabs.Range(func(_ pmem.PAddr, s *bslab) bool {
 			s.mu.Lock()
-			for idx := 0; idx < s.blocks; idx++ {
-				s.persistShutdownBit(h, idx, s.vtest(idx))
-			}
+			s.syncShutdownMeta(h)
 			c.Flush(pmem.CatMeta, s.base+bsMetaOff, int(s.dataOff)-bsMetaOff)
 			s.mu.Unlock()
 			return true
@@ -313,24 +314,31 @@ func (h *Heap) Close() error {
 	return nil
 }
 
-// persistShutdownBit writes (without flushing) block idx's state into the
-// metadata region; Close flushes region-at-once.
-func (s *bslab) persistShutdownBit(h *Heap, idx int, allocated bool) {
+// syncShutdownMeta stages the whole shutdown metadata image through the
+// device's bulk view — leaf words copied straight into the sequential
+// bit metadata, or 2-byte slots written per occupied block — instead of
+// one device read-modify-write per block; Close flushes the region
+// afterwards. Shutdown holds the arenas lock, so the bulk view cannot
+// race a concurrent line flush.
+func (s *bslab) syncShutdownMeta(h *Heap) {
+	buf := h.dev.Bytes(s.base+bsMetaOff, int(s.dataOff)-bsMetaOff)
+	for i := range buf {
+		buf[i] = 0
+	}
 	if !h.cfg.twoByteMeta() {
-		a := s.base + bsMetaOff + pmem.PAddr(idx/8)
-		b := h.dev.ReadU8(a)
-		if allocated {
-			b |= 1 << (idx % 8)
-		} else {
-			b &^= 1 << (idx % 8)
+		// Sequential bit metadata is byte-for-byte the little-endian leaf
+		// words (region padding absorbs the last partial word).
+		for w, word := range s.vbits.Words() {
+			binary.LittleEndian.PutUint64(buf[w*8:], word)
 		}
-		h.dev.WriteU8(a, b)
-	} else {
-		v := uint16(0)
-		if allocated {
-			v = 1 << 15
+		return
+	}
+	for w, word := range s.vbits.Words() {
+		for word != 0 {
+			bit := bits.TrailingZeros64(word)
+			word &^= 1 << bit
+			binary.LittleEndian.PutUint16(buf[(w*64+bit)*2:], 1<<15)
 		}
-		h.dev.WriteU16(s.base+bsMetaOff+pmem.PAddr(idx*2), v)
 	}
 }
 

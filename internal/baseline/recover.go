@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"nvalloc/internal/alloc"
+	"nvalloc/internal/bitfit"
 	"nvalloc/internal/extent"
 	"nvalloc/internal/pagemap"
 	"nvalloc/internal/pmem"
@@ -257,7 +258,7 @@ func (h *Heap) loadSlab(c *pmem.Ctx, base pmem.PAddr) (*bslab, error) {
 		blockSize: sizeclass.Size(class),
 		blocks:    blocks,
 		dataOff:   dataOff,
-		vbits:     make([]uint64, (blocks+63)/64),
+		vbits:     bitfit.New(blocks),
 		freeHeadV: -1,
 	}
 	twoByte := h.cfg.twoByteMeta()
@@ -402,9 +403,7 @@ func (h *Heap) conservativeGC(c *pmem.Ctx, full bool) {
 			c.Charge(pmem.CatSearch, int64(s.blocks)*int64(s.blockSize)/4)
 		}
 		s.allocated = 0
-		for i := range s.vbits {
-			s.vbits[i] = 0
-		}
+		s.vbits.Reset()
 		for idx := 0; idx < s.blocks; idx++ {
 			if marked[s.blockAddr(idx)] {
 				s.vset(idx)

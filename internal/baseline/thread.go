@@ -2,6 +2,7 @@ package baseline
 
 import (
 	"nvalloc/internal/alloc"
+	"nvalloc/internal/bitfit"
 	"nvalloc/internal/pmem"
 	"nvalloc/internal/sizeclass"
 	"nvalloc/internal/slab"
@@ -143,23 +144,9 @@ func (a *barena) takeBlock(t *Thread, class int) (*bslab, int) {
 			t.ctx.Fence()
 		}
 	} else {
-		// First-fit bit scan.
-		idx = -1
-		for w := 0; w < len(s.vbits); w++ {
-			m := ^s.vbits[w]
-			if w == len(s.vbits)-1 && s.blocks%64 != 0 {
-				m &= 1<<(s.blocks%64) - 1
-			}
-			if m != 0 {
-				b := 0
-				for m&1 == 0 {
-					m >>= 1
-					b++
-				}
-				idx = w*64 + b
-				break
-			}
-		}
+		// First-fit via the hierarchical index: summary word then leaf
+		// word, two TrailingZeros64 ops. Same index as the linear scan.
+		idx = s.vbits.FirstFree()
 		t.ctx.Charge(pmem.CatSearch, 12)
 		if idx < 0 {
 			s.mu.Unlock()
@@ -444,7 +431,7 @@ func (h *Heap) newSlab(c *pmem.Ctx, a *barena, class int) *bslab {
 		blockSize: sizeclass.Size(class),
 		blocks:    blocks,
 		dataOff:   dataOff,
-		vbits:     make([]uint64, (blocks+63)/64),
+		vbits:     bitfit.New(blocks),
 		freeHeadV: -1,
 		owner:     a,
 	}

@@ -1,0 +1,144 @@
+// Package bitfit implements the two-level hierarchical free-bitmap
+// index used by every slab engine in this repository (the NVAlloc slabs
+// and the five baseline allocators). The leaf level is the ordinary
+// packed bitmap (1 = occupied); above it a volatile summary bitmap keeps
+// one bit per leaf word, set exactly when that word still has a free bit
+// among the valid indices. First-fit search is then two TrailingZeros64
+// operations — one over the summary, one over the selected leaf word —
+// instead of a linear word scan (the Fast-Bitmap-Fit idea, applied one
+// level up from cache lines to 64-bit words).
+//
+// The index is entirely volatile: persistent bitmaps keep their layout,
+// and the summary is rebuilt from the leaf on open/recovery.
+package bitfit
+
+import "math/bits"
+
+// Bitmap is a leaf bitmap of n bits plus its summary level. The zero
+// value is not usable; call New.
+type Bitmap struct {
+	words []uint64 // leaf: bit i%64 of word i/64 set = index i occupied
+	sum   []uint64 // summary: bit w set = leaf word w has a free valid bit
+	n     int
+	tail  uint64 // valid-bit mask of the last leaf word
+}
+
+// New creates an all-free bitmap of n bits (n > 0).
+func New(n int) *Bitmap {
+	nw := (n + 63) / 64
+	b := &Bitmap{
+		words: make([]uint64, nw),
+		sum:   make([]uint64, (nw+63)/64),
+		n:     n,
+		tail:  ^uint64(0),
+	}
+	if r := n % 64; r != 0 {
+		b.tail = 1<<r - 1
+	}
+	for w := 0; w < nw; w++ {
+		b.sum[w>>6] |= 1 << (w & 63)
+	}
+	return b
+}
+
+// Len returns the number of valid indices.
+func (b *Bitmap) Len() int { return b.n }
+
+// Words exposes the leaf words (the last word's bits beyond Len are
+// always zero). Callers must not mutate them except through Set/Clear.
+func (b *Bitmap) Words() []uint64 { return b.words }
+
+func (b *Bitmap) maskFor(w int) uint64 {
+	if w == len(b.words)-1 {
+		return b.tail
+	}
+	return ^uint64(0)
+}
+
+// Test reports whether index i is occupied.
+func (b *Bitmap) Test(i int) bool { return b.words[i>>6]&(1<<(i&63)) != 0 }
+
+// Set marks index i occupied and maintains the summary.
+func (b *Bitmap) Set(i int) {
+	w := i >> 6
+	b.words[w] |= 1 << (i & 63)
+	if ^b.words[w]&b.maskFor(w) == 0 {
+		b.sum[w>>6] &^= 1 << (w & 63)
+	}
+}
+
+// Clear marks index i free and maintains the summary.
+func (b *Bitmap) Clear(i int) {
+	w := i >> 6
+	b.words[w] &^= 1 << (i & 63)
+	b.sum[w>>6] |= 1 << (w & 63)
+}
+
+// SetRange marks every index in [lo, hi) occupied, word-at-a-time: the
+// bump-pointer fast path fills a fresh slab's prefix without per-bit
+// read-modify-writes.
+func (b *Bitmap) SetRange(lo, hi int) {
+	for lo < hi {
+		w := lo >> 6
+		m := ^uint64(0) << (lo & 63)
+		if end := (w + 1) << 6; hi < end {
+			m &= 1<<(hi&63) - 1
+			lo = hi
+		} else {
+			lo = end
+		}
+		b.words[w] |= m
+		if ^b.words[w]&b.maskFor(w) == 0 {
+			b.sum[w>>6] &^= 1 << (w & 63)
+		}
+	}
+}
+
+// Reset marks every index free again (volatile rebuild from scratch).
+func (b *Bitmap) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+	for w := range b.words {
+		b.sum[w>>6] |= 1 << (w & 63)
+	}
+}
+
+// FirstFree returns the lowest free index, or -1 when every index is
+// occupied: TrailingZeros64 over the summary selects the first leaf word
+// with a free bit, TrailingZeros64 over that word selects the bit. The
+// summary is at most a handful of words (one per 4096 indices), so the
+// outer loop is effectively constant.
+func (b *Bitmap) FirstFree() int {
+	for sw, s := range b.sum {
+		if s != 0 {
+			w := sw<<6 + bits.TrailingZeros64(s)
+			m := ^b.words[w] & b.maskFor(w)
+			return w<<6 + bits.TrailingZeros64(m)
+		}
+	}
+	return -1
+}
+
+// FreeCount returns the number of free valid indices (diagnostics and
+// summary-coherence tests).
+func (b *Bitmap) FreeCount() int {
+	free := 0
+	for w := range b.words {
+		free += bits.OnesCount64(^b.words[w] & b.maskFor(w))
+	}
+	return free
+}
+
+// CheckSummary verifies the summary against the leaf, returning the
+// first incoherent leaf word index or -1 (test helper).
+func (b *Bitmap) CheckSummary() int {
+	for w := range b.words {
+		hasFree := ^b.words[w]&b.maskFor(w) != 0
+		sumBit := b.sum[w>>6]&(1<<(w&63)) != 0
+		if hasFree != sumBit {
+			return w
+		}
+	}
+	return -1
+}

@@ -1,0 +1,113 @@
+package bitfit
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+// linearFirstFree is the O(words) scan the hierarchy replaces; the
+// property tests hold FirstFree to it.
+func linearFirstFree(b *Bitmap) int {
+	for w, word := range b.Words() {
+		m := ^word & b.maskFor(w)
+		if m != 0 {
+			return w*64 + bits.TrailingZeros64(m)
+		}
+	}
+	return -1
+}
+
+func TestPartialLastWord(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 127, 128, 129, 7900} {
+		b := New(n)
+		if got := b.FreeCount(); got != n {
+			t.Fatalf("n=%d: fresh FreeCount=%d", n, got)
+		}
+		for i := 0; i < n; i++ {
+			if got := b.FirstFree(); got != i {
+				t.Fatalf("n=%d: FirstFree=%d want %d", n, got, i)
+			}
+			b.Set(i)
+		}
+		if got := b.FirstFree(); got != -1 {
+			t.Fatalf("n=%d: full bitmap FirstFree=%d, want -1 (tail bits beyond Len must not read as free)", n, got)
+		}
+		if w := b.CheckSummary(); w != -1 {
+			t.Fatalf("n=%d: summary incoherent at word %d", n, w)
+		}
+		b.Clear(n - 1)
+		if got := b.FirstFree(); got != n-1 {
+			t.Fatalf("n=%d: FirstFree=%d want %d", n, got, n-1)
+		}
+	}
+}
+
+func TestSetClearKeepsSummaryCoherent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := New(7900) // min-class slab shape: 124 leaf words, 2 summary words
+	occupied := map[int]bool{}
+	for step := 0; step < 20000; step++ {
+		i := rng.Intn(7900)
+		if occupied[i] {
+			b.Clear(i)
+			delete(occupied, i)
+		} else {
+			b.Set(i)
+			occupied[i] = true
+		}
+		if step%97 == 0 {
+			if w := b.CheckSummary(); w != -1 {
+				t.Fatalf("step %d: summary incoherent at word %d", step, w)
+			}
+			if got, want := b.FirstFree(), linearFirstFree(b); got != want {
+				t.Fatalf("step %d: FirstFree=%d, linear scan=%d", step, got, want)
+			}
+		}
+	}
+	if got, want := b.FreeCount(), 7900-len(occupied); got != want {
+		t.Fatalf("FreeCount=%d want %d", got, want)
+	}
+}
+
+func TestSetRangeMatchesPerBitSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(300)
+		lo := rng.Intn(n)
+		hi := lo + rng.Intn(n-lo+1)
+		a, b := New(n), New(n)
+		a.SetRange(lo, hi)
+		for i := lo; i < hi; i++ {
+			b.Set(i)
+		}
+		for i := 0; i < n; i++ {
+			if a.Test(i) != b.Test(i) {
+				t.Fatalf("n=%d [%d,%d): bit %d differs", n, lo, hi, i)
+			}
+		}
+		if w := a.CheckSummary(); w != -1 {
+			t.Fatalf("n=%d [%d,%d): summary incoherent at word %d", n, lo, hi, w)
+		}
+		if got, want := a.FirstFree(), linearFirstFree(a); got != want {
+			t.Fatalf("n=%d [%d,%d): FirstFree=%d linear=%d", n, lo, hi, got, want)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := New(130)
+	for i := 0; i < 130; i++ {
+		b.Set(i)
+	}
+	b.Reset()
+	if got := b.FreeCount(); got != 130 {
+		t.Fatalf("FreeCount after Reset=%d", got)
+	}
+	if got := b.FirstFree(); got != 0 {
+		t.Fatalf("FirstFree after Reset=%d", got)
+	}
+	if w := b.CheckSummary(); w != -1 {
+		t.Fatalf("summary incoherent at word %d after Reset", w)
+	}
+}

@@ -209,6 +209,7 @@ func gcInterleaveRun(dev *pmem.Device) []uint64 {
 			break
 		}
 	}
+	c.Merge() // fold flush counts so dev.FlushTotal sees the schedule
 	return fps
 }
 

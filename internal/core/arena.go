@@ -41,6 +41,13 @@ type arena struct {
 	candMu     sync.Mutex
 	candidates []*slab.Slab
 
+	// depots[class] stacks full magazines of volatile-reserved blocks
+	// (see tcache.Magazine); magSpares recycles emptied magazine arrays.
+	// Both are guarded by the arena resource. A full depot makes overflow
+	// fall back to the per-block bypass path, so each stack is bounded.
+	depots    [][]*tcache.Magazine
+	magSpares []*tcache.Magazine
+
 	threads int // assigned thread count (least-loaded assignment)
 
 	// Stats.
@@ -52,7 +59,52 @@ func newArena(h *Heap, index int) *arena {
 		h:         h,
 		index:     index,
 		freelists: make([]*slab.Slab, sizeclass.NumClasses()),
+		depots:    make([][]*tcache.Magazine, sizeclass.NumClasses()),
 	}
+}
+
+// depotMags bounds the per-class magazine stack of one arena.
+const depotMags = 4
+
+// depotPop removes one full magazine for the class, or nil. Caller holds
+// the arena resource.
+func (a *arena) depotPop(class int) *tcache.Magazine {
+	d := a.depots[class]
+	if len(d) == 0 {
+		return nil
+	}
+	m := d[len(d)-1]
+	a.depots[class] = d[:len(d)-1]
+	return m
+}
+
+// depotRoom reports whether the class can take another magazine. Caller
+// holds the arena resource.
+func (a *arena) depotRoom(class int) bool { return len(a.depots[class]) < depotMags }
+
+// depotPush stacks a full magazine. Caller holds the arena resource and
+// has checked depotRoom.
+func (a *arena) depotPush(class int, m *tcache.Magazine) {
+	a.depots[class] = append(a.depots[class], m)
+}
+
+// spareMag recycles an emptied magazine (bounded pool). Caller holds the
+// arena resource.
+func (a *arena) spareMag(m *tcache.Magazine) {
+	if len(a.magSpares) < depotMags {
+		a.magSpares = append(a.magSpares, m)
+	}
+}
+
+// takeSpareMag returns a recycled empty magazine or nil. Caller holds
+// the arena resource.
+func (a *arena) takeSpareMag() *tcache.Magazine {
+	if n := len(a.magSpares); n > 0 {
+		m := a.magSpares[n-1]
+		a.magSpares = a.magSpares[:n-1]
+		return m
+	}
+	return nil
 }
 
 // ---- intrusive list plumbing -------------------------------------------
@@ -128,8 +180,27 @@ func (a *arena) fill(c *pmem.Ctx, class int, tc *tcache.Cache, want int) int {
 }
 
 // fillLocked is fill's body; caller holds the arena lock.
+//
+// Depot magazines are consumed first: each one restocks MagCap blocks
+// with no slab lock, no bitmap search and no persistent write (the
+// blocks are already volatile-reserved). Only then are fresh blocks
+// carved out of freelist slabs.
 func (a *arena) fillLocked(c *pmem.Ctx, class int, tc *tcache.Cache, want int) int {
 	got := 0
+	for got < want {
+		m := a.depotPop(class)
+		if m == nil {
+			break
+		}
+		for i := 0; i < m.N; i++ {
+			b := m.Blocks[i]
+			tc.Push(a.tcacheStripe(b.Slab.(*slab.Slab), b.Idx), b)
+			m.Blocks[i] = tcache.Block{}
+		}
+		got += m.N
+		m.N = 0
+		a.spareMag(m)
+	}
 	var idxBuf []int
 	for got < want {
 		s := a.freelists[class]
@@ -175,10 +246,11 @@ func (a *arena) fillAndCommit(c *pmem.Ctx, class int, tc *tcache.Cache, want int
 	}
 	s := b.Slab.(*slab.Slab)
 	s.Mu.Lock()
-	// Aux2 records the geometry the entry was logged under (see
-	// mallocSmall).
-	a.wal.Append(c, walog.Entry{Op: walog.OpAllocBit, Addr: s.Base, Aux: uint64(b.Idx), Aux2: uint32(s.Class)})
-	s.CommitAlloc(c, b.Idx, true)
+	// Aux2 records the geometry the entry was logged under; entry and bit
+	// share one trailing fence (see mallocSmall).
+	a.wal.AppendNoFence(c, walog.Entry{Op: walog.OpAllocBit, Addr: s.Base, Aux: uint64(b.Idx), Aux2: uint32(s.Class)})
+	s.CommitAllocBatched(c, b.Idx, true)
+	c.Fence()
 	s.Mu.Unlock()
 	return s.BlockAddr(b.Idx), true
 }
@@ -212,15 +284,19 @@ func (a *arena) acquireSlab(c *pmem.Ctx, class int) *slab.Slab {
 }
 
 // noteCandidate queues a slab whose occupancy fell below the SU
-// threshold. Caller holds the slab lock; MorphCand itself is guarded by
-// candMu, because morphInto manipulates it without the slab lock.
+// threshold. Caller holds the slab lock; list membership is guarded by
+// candMu, because morphInto manipulates it without the slab lock. The
+// lock-free MorphCand pre-check keeps the steady state (slab already
+// queued, which is where every free of a below-threshold slab lands)
+// off candMu entirely; a stale true at worst skips one re-queue that
+// the next free retries.
 func (a *arena) noteCandidate(s *slab.Slab) {
-	if !a.h.opts.Morphing || s.Dead || s.OldClass >= 0 {
+	if !a.h.opts.Morphing || s.Dead || s.OldClass >= 0 || s.MorphCand.Load() {
 		return
 	}
 	a.candMu.Lock()
-	if !s.MorphCand {
-		s.MorphCand = true
+	if !s.MorphCand.Load() {
+		s.MorphCand.Store(true)
 		a.candidates = append(a.candidates, s)
 	}
 	a.candMu.Unlock()
@@ -242,7 +318,7 @@ func (a *arena) morphInto(c *pmem.Ctx, class int) *slab.Slab {
 	// below; the merge checks the flag again so the list never holds
 	// duplicates.
 	for _, s := range cands {
-		s.MorphCand = false
+		s.MorphCand.Store(false)
 	}
 	a.candMu.Unlock()
 	var keep []*slab.Slab
@@ -255,10 +331,10 @@ func (a *arena) morphInto(c *pmem.Ctx, class int) *slab.Slab {
 			continue
 		}
 		s.Mu.Lock()
-		if s.Class == class || s.Usage() >= h.opts.SU || !s.CanMorphTo(class) {
+		if s.Class == class || !s.UsageBelowMille(h.suMille) || !s.CanMorphTo(class) {
 			// Not usable for this class; keep it queued if it remains a
 			// plausible candidate for other classes.
-			requeue := s.OldClass < 0 && s.Usage() < h.opts.SU
+			requeue := s.OldClass < 0 && s.UsageBelowMille(h.suMille)
 			s.Mu.Unlock()
 			a.morphRefusals++
 			if requeue {
@@ -291,8 +367,8 @@ func (a *arena) morphInto(c *pmem.Ctx, class int) *slab.Slab {
 	}
 	a.candMu.Lock()
 	for _, s := range append(cands, keep...) {
-		if !s.MorphCand {
-			s.MorphCand = true
+		if !s.MorphCand.Load() {
+			s.MorphCand.Store(true)
 			a.candidates = append(a.candidates, s)
 		}
 	}
@@ -411,15 +487,17 @@ func (a *arena) freeBypass(c *pmem.Ctx, s *slab.Slab, idx int, fromCache bool, g
 	}
 	if fromCache {
 		s.Unreserve(idx)
+	} else if a.wal != nil && a.h.useWAL {
+		// One merged trailing fence for entry + bit (see mallocSmall).
+		a.wal.AppendNoFence(c, walog.Entry{Op: walog.OpFreeBit, Addr: s.Base, Aux: uint64(idx), Aux2: uint32(s.Class)})
+		s.FreeBlockBatched(c, idx, a.h.persistSmall)
+		c.Fence()
 	} else {
-		if a.wal != nil && a.h.useWAL {
-			a.wal.Append(c, walog.Entry{Op: walog.OpFreeBit, Addr: s.Base, Aux: uint64(idx), Aux2: uint32(s.Class)})
-		}
 		s.FreeBlock(c, idx, a.h.persistSmall)
 	}
 	empty := s.Allocated == 0 && s.Reserved == 0
 	wasOff := !a.onFreelist(s)
-	if s.Usage() < a.h.opts.SU {
+	if s.UsageBelowMille(a.h.suMille) {
 		a.noteCandidate(s)
 	}
 	s.Mu.Unlock()
@@ -444,6 +522,36 @@ func (a *arena) freeBypass(c *pmem.Ctx, s *slab.Slab, idx int, fromCache bool, g
 	}
 	a.res.Release(c)
 	return true
+}
+
+// drainDepots unreserves every depot-magazine block back into its slab,
+// returning slabs that regained space to their freelists. Reservations
+// are volatile, so this writes nothing persistent — but the GC variant's
+// shutdown SyncBitmap requires reservations drained first, and after the
+// arena's last thread detaches every acknowledged free must read as free
+// (a depot block is a reservation, which BlockAllocated counts as live).
+func (a *arena) drainDepots(c *pmem.Ctx) {
+	// Detach the magazines under the arena lock, then return each block
+	// through its owner's bypass path: depot blocks can sit in foreign
+	// slabs (the GC variant caches cross-arena frees), and freeBypass is
+	// the one place that does freelist/release maintenance correctly under
+	// the owner's resource.
+	a.res.Acquire(c)
+	var mags []*tcache.Magazine
+	for class := range a.depots {
+		mags = append(mags, a.depots[class]...)
+		a.depots[class] = a.depots[class][:0]
+	}
+	a.res.Release(c)
+	for _, m := range mags {
+		for i := 0; i < m.N; i++ {
+			b := m.Blocks[i]
+			s := b.Slab.(*slab.Slab)
+			a.h.arenas[s.Owner].freeBypass(c, s, b.Idx, true, nil)
+			m.Blocks[i] = tcache.Block{}
+		}
+		m.N = 0
+	}
 }
 
 // spareExists reports whether the class has another slab with free space

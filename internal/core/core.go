@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 	"hash/crc32"
+	"math"
 	"sync"
 
 	"nvalloc/internal/alloc"
@@ -216,6 +217,7 @@ type Heap struct {
 	walStripes    int
 	persistSmall  bool // LOG and IC variants flush small metadata
 	useWAL        bool // LOG variant only
+	suMille       int  // opts.SU quantized to per-mille for the hot paths
 
 	arenas []*arena
 	large  *extent.Allocator
@@ -348,6 +350,9 @@ func (h *Heap) initVolatile(dev *pmem.Device, opts Options) {
 	}
 	h.persistSmall = opts.Variant == LOG || opts.Variant == IC
 	h.useWAL = opts.Variant == LOG
+	// The morph-candidate threshold compares integers on the hot free
+	// paths; SU is quantized to per-mille (0.1% steps) once here.
+	h.suMille = int(math.Round(opts.SU * 1000))
 	h.slabs = pagemap.New[slab.Slab](dev.Size(), slab.Size)
 	h.arenas = make([]*arena, opts.Arenas)
 	for i := range h.arenas {
@@ -507,6 +512,11 @@ func (h *Heap) Close() error {
 	c := h.dev.NewCtx()
 	defer c.Merge()
 
+	// Depot magazines hold volatile-reserved blocks; return the
+	// reservations to their slabs before any bitmap sync.
+	for _, a := range h.arenas {
+		a.drainDepots(c)
+	}
 	if !h.persistSmall {
 		// GC variant: bitmaps were never flushed at runtime; persist the
 		// volatile truth now so normal-shutdown recovery is cheap.

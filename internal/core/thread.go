@@ -23,6 +23,13 @@ type Thread struct {
 	// and drain in one owner-resource section (see drainRemote).
 	remote []tcache.RemoteBuf
 	closed bool
+
+	// drainRemote scratch, reused across drains so the steady-state
+	// remote-free path allocates nothing.
+	drainEntries []walog.Entry
+	drainStale   []tcache.RemoteFree
+	drainApply   []tcache.RemoteFree
+	drainSlabs   []*slab.Slab
 }
 
 var (
@@ -126,8 +133,14 @@ func (t *Thread) mallocSmall(class int) (pmem.PAddr, error) {
 		s.Mu.Lock()
 		// Aux2 records the geometry the entry was logged under: replay
 		// must not apply this block index to a since-morphed slab.
-		a.wal.Append(t.ctx, walog.Entry{Op: walog.OpAllocBit, Addr: s.Base, Aux: uint64(b.Idx), Aux2: uint32(s.Class)})
-		s.CommitAlloc(t.ctx, b.Idx, true)
+		// Entry flush and bitmap flush share one trailing fence: durability
+		// follows flush order, so no crash boundary sees the bit without
+		// its entry, and a persisted entry replays idempotently. The fence
+		// stays inside the critical section so at most one append per log
+		// is ever in flight (replay tolerates exactly one torn slot).
+		a.wal.AppendNoFence(t.ctx, walog.Entry{Op: walog.OpAllocBit, Addr: s.Base, Aux: uint64(b.Idx), Aux2: uint32(s.Class)})
+		s.CommitAllocBatched(t.ctx, b.Idx, true)
+		t.ctx.Fence()
 		s.Mu.Unlock()
 		a.res.Release(t.ctx)
 	default:
@@ -214,8 +227,8 @@ func (t *Thread) freeSmall(s *slab.Slab, addr pmem.PAddr, buffer bool) error {
 			return nil
 		}
 		tc := t.cache(g.Class)
-		if tc.Full() {
-			// Bypass: return directly to the slab.
+		if tc.Full() && !t.evictMagazine(tc, g.Class) {
+			// Depot full too: return directly to the slab.
 			if !owner.freeBypass(t.ctx, s, idx, false, g) {
 				continue
 			}
@@ -234,10 +247,14 @@ func (t *Thread) freeSmall(s *slab.Slab, addr pmem.PAddr, buffer bool) error {
 			continue
 		}
 		if t.h.useWAL {
-			owner.wal.Append(t.ctx, walog.Entry{Op: walog.OpFreeBit, Addr: s.Base, Aux: uint64(idx), Aux2: uint32(g.Class)})
+			// One merged trailing fence for entry + bit, as in mallocSmall.
+			owner.wal.AppendNoFence(t.ctx, walog.Entry{Op: walog.OpFreeBit, Addr: s.Base, Aux: uint64(idx), Aux2: uint32(g.Class)})
+			s.CommitFreeToCacheBatched(t.ctx, idx, t.h.persistSmall)
+			t.ctx.Fence()
+		} else {
+			s.CommitFreeToCache(t.ctx, idx, t.h.persistSmall)
 		}
-		s.CommitFreeToCache(t.ctx, idx, t.h.persistSmall)
-		if s.Usage() < t.h.opts.SU {
+		if s.UsageBelowMille(t.h.suMille) {
 			owner.noteCandidate(s)
 		}
 		s.Mu.Unlock()
@@ -249,12 +266,44 @@ func (t *Thread) freeSmall(s *slab.Slab, addr pmem.PAddr, buffer bool) error {
 	}
 }
 
+// evictMagazine relieves a full tcache by moving half its capacity into
+// the thread's arena depot in one critical section. The transfer is
+// purely volatile — no WAL entry, no flush, no fence — because every
+// moved block is a reservation whose persistent bit is already clear;
+// a crash merely forgets the reservations, which recovery treats as
+// free space. Returns false when the depot is full, sending the caller
+// down the per-block bypass path instead.
+func (t *Thread) evictMagazine(tc *tcache.Cache, class int) bool {
+	a := t.arena
+	a.res.Acquire(t.ctx)
+	if !a.depotRoom(class) {
+		a.res.Release(t.ctx)
+		return false
+	}
+	m := a.takeSpareMag()
+	if m == nil {
+		m = new(tcache.Magazine)
+	}
+	k := tc.Cap() / 2
+	if k < 1 {
+		k = 1
+	}
+	if tc.PopMagazine(m, k) == 0 {
+		a.spareMag(m)
+		a.res.Release(t.ctx)
+		return false
+	}
+	a.depotPush(class, m)
+	a.res.Release(t.ctx)
+	return true
+}
+
 func (t *Thread) freeOld(owner *arena, s *slab.Slab, oldIdx int) error {
 	owner.res.Acquire(t.ctx)
 	defer owner.res.Release(t.ctx)
 	s.Mu.Lock()
 	done, err := s.FreeOldBlock(t.ctx, oldIdx, t.h.persistSmall)
-	if err == nil && s.Usage() < t.h.opts.SU {
+	if err == nil && s.UsageBelowMille(t.h.suMille) {
 		owner.noteCandidate(s)
 	}
 	hasFree := err == nil && s.FreeCount() > 0
@@ -289,8 +338,8 @@ func (t *Thread) bufferRemoteFree(s *slab.Slab, g *slab.Geom, addr pmem.PAddr, i
 
 // drainRemote applies every buffered free for owner arena ai in one
 // owner-resource critical section: one batched WAL append (per-entry
-// flush, single fence), then the bitmap clears (per-line flush) closed
-// by a single trailing fence — two fences for the whole batch. A crash
+// flush), then the bitmap clears (per-line flush), closed by a single
+// trailing fence for the whole batch. A crash
 // between the two persists a valid prefix of WAL entries whose replay
 // re-clears the bits, so partially drained frees are never lost once
 // their WAL entry is in. Entries whose slab morphed since buffering are
@@ -301,8 +350,8 @@ func (t *Thread) drainRemote(ai int) {
 		return
 	}
 	owner := t.h.arenas[ai]
-	var stale, apply []tcache.RemoteFree
-	entries := make([]walog.Entry, 0, len(frees))
+	stale, apply := t.drainStale[:0], t.drainApply[:0]
+	entries := t.drainEntries[:0]
 	owner.res.Acquire(t.ctx)
 	for _, f := range frees {
 		s := f.Slab.(*slab.Slab)
@@ -318,6 +367,7 @@ func (t *Thread) drainRemote(ai int) {
 		})
 		apply = append(apply, f)
 	}
+	t.drainStale, t.drainApply, t.drainEntries = stale, apply, entries
 	if len(apply) == 0 {
 		owner.res.Release(t.ctx)
 		for _, f := range stale {
@@ -325,13 +375,16 @@ func (t *Thread) drainRemote(ai int) {
 		}
 		return
 	}
-	owner.wal.AppendBatch(t.ctx, entries)
-	slabs := make([]*slab.Slab, 0, len(apply))
+	// The batch's entry flushes and the bitmap clears below share the one
+	// trailing fence after the clears (see mallocSmall's merge argument):
+	// one fence per drain instead of two.
+	owner.wal.AppendBatchNoFence(t.ctx, entries)
+	slabs := t.drainSlabs[:0]
 	for _, f := range apply {
 		s := f.Slab.(*slab.Slab)
 		s.Mu.Lock()
 		s.FreeBlockBatched(t.ctx, f.Idx, t.h.persistSmall)
-		if s.Usage() < t.h.opts.SU {
+		if s.UsageBelowMille(t.h.suMille) {
 			owner.noteCandidate(s)
 		}
 		s.Mu.Unlock()
@@ -472,6 +525,12 @@ func (t *Thread) Close() {
 	}
 	t.h.threadsMu.Lock()
 	t.arena.threads--
+	last := t.arena.threads == 0
 	t.h.threadsMu.Unlock()
+	if last {
+		// No thread is left to refill from this arena's depot: unreserve
+		// the parked magazines so every acknowledged free reads as free.
+		t.arena.drainDepots(t.ctx)
+	}
 	t.ctx.Merge()
 }

@@ -1,0 +1,76 @@
+package crashmc
+
+import (
+	"testing"
+
+	"nvalloc/internal/core"
+)
+
+// TestFenceElisionFamilyLOG enumerates every persistence boundary of the
+// fence-elision trace on the LOG variant — the only variant whose hot
+// paths merge the WAL-entry fence with the bitmap-commit fence — with
+// torn variants of each in-flight line. Beyond the oracle (which proves
+// no elision window can lose an acknowledged op or resurrect a freed
+// one), it asserts the enumeration actually landed inside the windows
+// the family exists for: both the wal-entry and bitmap-stripe line
+// classes must be explored clean AND torn. A refactor that reordered the
+// flushes, or a trace regression that stopped reaching the batched
+// drain, would trip these assertions even while the oracle stays green.
+func TestFenceElisionFamilyLOG(t *testing.T) {
+	rec, err := Record(Target("NVAlloc-LOG", core.LOG), FenceElisionTrace(7), RecordOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Torn: true, TornSeed: 0xDECAF, CheckEvery: 64}
+	if testing.Short() {
+		cfg.MaxBoundaries = 150
+		cfg.CheckEvery = 16
+	}
+	rep := Verify(rec, cfg)
+	t.Logf("%s", rep)
+	checkReport(t, rec, rep, 7, cfg.TornSeed)
+	if !testing.Short() && rep.Explored != rep.Boundaries {
+		t.Errorf("coverage %d/%d, want exhaustive", rep.Explored, rep.Boundaries)
+	}
+	for _, class := range []string{"wal-entry", "bitmap-stripe"} {
+		if rep.Classes[class] == 0 {
+			t.Errorf("no clean boundary with a %s line in flight: the trace no longer drives the elided-fence window", class)
+		}
+		if rep.TornClasses[class] == 0 {
+			t.Errorf("no torn variant of an in-flight %s line verified", class)
+		}
+	}
+}
+
+// TestFenceElisionTraceShape pins the structural properties the family's
+// coverage argument rests on: a cross-arena burst long enough to trip
+// the automatic remote drain (> 16 buffered frees) plus an explicit
+// flush for the remainder, and enough same-thread frees to overflow a
+// tcache into the magazine path.
+func TestFenceElisionTraceShape(t *testing.T) {
+	tr := FenceElisionTrace(7)
+	if tr.Threads != 2 {
+		t.Fatalf("threads = %d, want 2 (cross-arena frees need a second handle)", tr.Threads)
+	}
+	crossFrees, flushes, frees := 0, 0, 0
+	for _, op := range tr.Ops {
+		switch op.Kind {
+		case OpFree:
+			frees++
+			if op.Thread == 1 && tr.Ops[op.Ref].Thread == 0 {
+				crossFrees++
+			}
+		case OpFlush:
+			flushes++
+		}
+	}
+	if crossFrees <= 16 {
+		t.Errorf("cross-arena frees = %d, want > 16 to trip the automatic batch drain", crossFrees)
+	}
+	if flushes == 0 {
+		t.Error("no explicit flush: the trailing drain window is never opened")
+	}
+	if frees-crossFrees < 12 {
+		t.Errorf("same-thread frees = %d, want >= 12 to exercise merged-fence frees and tcache overflow", frees-crossFrees)
+	}
+}

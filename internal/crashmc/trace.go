@@ -132,6 +132,96 @@ func SmokeTrace(seed uint64) Trace {
 	return tr
 }
 
+// FenceElisionTrace is the trace family dedicated to the LOG variant's
+// merged post-commit fences. The hot paths close a WAL-entry flush and
+// the bitmap-bit flush it covers with ONE trailing fence instead of two
+// (mallocSmall, freeSmall), and the remote-free drain closes a whole
+// batch of entry flushes plus bit clears with a single fence. Each
+// elision widens the window in which a crash can separate the entry from
+// its bit — safe only because durability still follows flush order and
+// replay is idempotent — so this family concentrates boundaries inside
+// exactly those windows:
+//
+//   - cold-start and post-exhaustion mallocs drive the refill path,
+//     whose first block's WAL append + bitmap commit share the refill's
+//     single fence (fillAndCommit);
+//   - steady-state malloc/free churn in several size classes lands
+//     boundaries between every {entry flush, bit flush, fence} triple,
+//     across distinct bitmap stripes;
+//   - tcache overflow runs the magazine eviction (fence-free by design:
+//     pure reservation movement) followed by more merged-fence frees;
+//   - a cross-arena free burst one short of the auto-drain threshold,
+//     then one past it, then an explicit flush, brackets the batched
+//     drain (one fence for up to 16 entries + clears) at both ends;
+//   - root republishes interleave so the oracle tracks surviving
+//     publishes across every window.
+//
+// Verified with Config.Torn, every boundary also gets torn variants of
+// the in-flight line, so partially persisted WAL entries (wal-entry) and
+// bitmap words (bitmap-stripe) are both recovered from, not just clean
+// prefixes.
+func FenceElisionTrace(seed uint64) Trace {
+	rng := splitmix64(seed)
+	tr := Trace{Name: "fence-elision", Threads: 2}
+	add := func(op Op) int {
+		tr.Ops = append(tr.Ops, op)
+		return len(tr.Ops) - 1
+	}
+	// Three small classes spread commits across bitmap stripes and slab
+	// geometries without inflating the boundary count.
+	sizes := []uint64{64, 192, 512}
+
+	// Roots first: the oracle needs durable publishes on both threads
+	// before churn starts (thread 1 binds the second arena).
+	for s := 0; s < 4; s++ {
+		add(Op{Kind: OpMallocTo, Thread: s % 2, Slot: s, Size: sizes[s%len(sizes)]})
+	}
+
+	// Cold refills + steady churn: the first malloc of each class runs
+	// fillAndCommit; the rest exercise the per-op merged fence. Frees of
+	// every third block put merged-fence frees (and, past tcache
+	// capacity, magazine evictions) between the mallocs.
+	var live []int
+	for i := 0; i < 36; i++ {
+		live = append(live, add(Op{Kind: OpMalloc, Size: sizes[i%len(sizes)]}))
+		if i%3 == 2 {
+			j := int(rng.next() % uint64(len(live)))
+			add(Op{Kind: OpFree, Ref: live[j]})
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+
+	// Republish under churn: root-slot windows interleaved with the
+	// merged-fence windows above.
+	for s := 0; s < 2; s++ {
+		add(Op{Kind: OpFreeFrom, Slot: s})
+		add(Op{Kind: OpMallocTo, Slot: s, Size: sizes[(s+1)%len(sizes)]})
+	}
+
+	// Cross-arena frees from thread 1: 15 buffered (one short of the
+	// drain batch), a 16th that trips the automatic drain mid-trace, a
+	// few more, then an explicit flush draining the remainder. Two drain
+	// windows, each a WAL batch + bit-clear batch under one fence.
+	var remote []int
+	for i := 0; i < 20; i++ {
+		remote = append(remote, add(Op{Kind: OpMalloc, Size: 64}))
+	}
+	for _, r := range remote {
+		add(Op{Kind: OpFree, Thread: 1, Ref: r})
+	}
+	add(Op{Kind: OpFlush, Thread: 1})
+
+	// Drain the per-class tcaches back through the merged-fence free path
+	// so close-time boundaries still sit inside elision windows.
+	for _, r := range live {
+		add(Op{Kind: OpFree, Ref: r})
+	}
+	// Tail publish: a durable root right before shutdown.
+	add(Op{Kind: OpMallocTo, Slot: 8, Size: 256})
+	return tr
+}
+
 // WorkloadTrace generates a seeded random operation mix of length n over
 // two thread handles: the fuzzing front end of the model checker. Every
 // trace it returns is valid (slots publish-before-free, blocks free at

@@ -130,11 +130,75 @@ func runCrashMC(cfg Config) []*Table {
 	}
 
 	conc := runCrashMCConc(cfg, targets, seed, bl)
+	fence := runCrashMCFence(cfg, targets, seed, bl)
 
 	if cfg.CrashMCBaselineOut != "" {
 		bl.write(cfg.CrashMCBaselineOut)
 	}
-	return []*Table{head, classes, paths, conc}
+	return []*Table{head, classes, paths, conc, fence}
+}
+
+// runCrashMCFence enumerates the fence-elision family on the LOG target:
+// the trace that concentrates crash boundaries inside the windows where
+// the hot paths merged two (or, for the remote-free drain, up to
+// seventeen) post-commit fences into one. The table reports, alongside
+// the usual coverage numbers, the clean/torn boundary counts of the two
+// line classes the elision puts at risk — wal-entry and bitmap-stripe —
+// which the baseline requires to be nonzero in both columns: the proof
+// obligation is not just "no violations" but "the at-risk windows were
+// actually entered, torn variants included".
+func runCrashMCFence(cfg Config, targets []torture.Target, seed uint64, bl *baselineBuild) *Table {
+	fence := &Table{
+		ID: "crashmc-fence-elision",
+		Title: fmt.Sprintf("fence-elision family (seed %d): every boundary inside a merged-fence "+
+			"window + torn variants", seed),
+		Columns: []string{"allocator", "boundaries", "explored", "coverage", "torn",
+			"wal_clean", "wal_torn", "bitmap_clean", "bitmap_torn", "violations"},
+	}
+	for _, tg := range targets {
+		if tg.Name != "NVAlloc-LOG" {
+			continue
+		}
+		rec, err := crashmc.Record(tg, crashmc.FenceElisionTrace(seed), crashmc.RecordOptions{})
+		if err != nil {
+			fence.Rows = append(fence.Rows, []string{tg.Name,
+				"record failed: " + err.Error(), "", "", "", "", "", "", "", ""})
+			bl.refuse("%s/fence-elision: record failed: %v", tg.Name, err)
+			continue
+		}
+		vcfg := crashmc.Config{
+			Torn: true, TornSeed: 0xDECAF, CheckEvery: 64,
+			Pool: cfg.RunCells,
+		}
+		if cfg.Scale < 1 {
+			vcfg.MaxBoundaries = cfg.ops(200)
+		}
+		rep := crashmc.Verify(rec, vcfg)
+		bl.FenceBoundaries = rep.Boundaries
+		if rep.Explored < rep.Boundaries {
+			bl.refuse("%s/fence-elision: sampled %d/%d boundaries", tg.Name, rep.Explored, rep.Boundaries)
+		}
+		if rep.ViolationCount > 0 {
+			bl.refuse("%s/fence-elision: %d oracle violations", tg.Name, rep.ViolationCount)
+		}
+		fence.Rows = append(fence.Rows, []string{
+			tg.Name,
+			fmt.Sprint(rep.Boundaries),
+			fmt.Sprint(rep.Explored),
+			pct(rep.Coverage()),
+			fmt.Sprint(rep.TornExplored),
+			fmt.Sprint(rep.Classes["wal-entry"]),
+			fmt.Sprint(rep.TornClasses["wal-entry"]),
+			fmt.Sprint(rep.Classes["bitmap-stripe"]),
+			fmt.Sprint(rep.TornClasses["bitmap-stripe"]),
+			fmt.Sprint(rep.ViolationCount),
+		})
+		for _, v := range rep.Violations {
+			fence.Rows = append(fence.Rows, []string{"", "  " + v.String(),
+				"", "", "", "", "", "", "", ""})
+		}
+	}
+	return fence
 }
 
 // concTargetNames are the allocators the concurrent families target: the
@@ -243,6 +307,17 @@ type crashBaseline struct {
 	MinBoundaries         map[string]int      `json:"min_boundaries"`
 	RequiredTornClasses   map[string][]string `json:"required_torn_classes"`
 	Concurrent            *concBaseline       `json:"concurrent,omitempty"`
+	FenceElision          *fenceBaseline      `json:"fence_elision,omitempty"`
+}
+
+// fenceBaseline gates the fence-elision family: a boundary floor for the
+// dedicated trace plus the requirement that both at-risk line classes
+// (wal-entry, bitmap-stripe) were explored clean and torn. Coverage and
+// zero-violation requirements are inherited from the top level.
+type fenceBaseline struct {
+	MinBoundaries       int      `json:"min_boundaries"`
+	RequireClassesClean []string `json:"require_classes_clean"`
+	RequireClassesTorn  []string `json:"require_classes_torn"`
 }
 
 type concBaseline struct {
@@ -255,10 +330,11 @@ type concBaseline struct {
 // baselineBuild accumulates one run's measurements for -crashmc.update,
 // plus the reasons (if any) the regeneration must be refused.
 type baselineBuild struct {
-	Boundaries  map[string]int
-	TornClasses map[string][]string
-	Conc        []*crashmc.ConcReport
-	Refusals    []string
+	Boundaries      map[string]int
+	TornClasses     map[string][]string
+	Conc            []*crashmc.ConcReport
+	FenceBoundaries int
+	Refusals        []string
 }
 
 func (b *baselineBuild) refuse(format string, args ...any) {
@@ -282,6 +358,9 @@ func (b *baselineBuild) write(path string) {
 			"counts, absorbing geometry drift), less than 100% coverage, any violation, a missing " +
 			"required torn line class, or — for the concurrent families — fewer conflicting pairs " +
 			"than min_conflicts, DPOR pruning below min_pruning, or any schedule-variant violation. " +
+			"The fence_elision section gates the dedicated merged-fence trace family: boundary " +
+			"floor, 100% coverage, zero violations, and both at-risk line classes (wal-entry, " +
+			"bitmap-stripe) explored clean and torn. " +
 			"Regenerate with: go run ./cmd/nvbench -exp crashmc -crashmc.update",
 		RequireCoverage:       1.0,
 		RequireZeroViolations: true,
@@ -313,6 +392,13 @@ func (b *baselineBuild) write(path string) {
 			}
 		}
 		doc.Concurrent = cb
+	}
+	if b.FenceBoundaries > 0 {
+		doc.FenceElision = &fenceBaseline{
+			MinBoundaries:       b.FenceBoundaries * 7 / 10 / 10 * 10,
+			RequireClassesClean: []string{"bitmap-stripe", "wal-entry"},
+			RequireClassesTorn:  []string{"bitmap-stripe", "wal-entry"},
+		}
 	}
 	data, err := json.MarshalIndent(&doc, "", "  ")
 	if err != nil {

@@ -14,8 +14,8 @@ import (
 // scaled-down run asserts the same floors as CI's full enumeration.
 func TestCrashMCConcTableShape(t *testing.T) {
 	tabs := runCrashMC(Config{Threads: []int{1}, Scale: 0.05, DeviceBytes: 256 << 20}.withDefaults())
-	if len(tabs) != 4 {
-		t.Fatalf("runCrashMC produced %d tables, want 4", len(tabs))
+	if len(tabs) != 5 {
+		t.Fatalf("runCrashMC produced %d tables, want 5", len(tabs))
 	}
 	conc := tabs[3]
 	if conc.ID != "crashmc-concurrent" {
@@ -24,6 +24,16 @@ func TestCrashMCConcTableShape(t *testing.T) {
 	wantRows := len(concTargetNames) * 3 // three families per target
 	if len(conc.Rows) != wantRows {
 		t.Fatalf("concurrent table has %d rows, want %d:\n%v", len(conc.Rows), wantRows, conc.Rows)
+	}
+	fence := tabs[4]
+	if fence.ID != "crashmc-fence-elision" {
+		t.Fatalf("fifth table is %q", fence.ID)
+	}
+	if len(fence.Rows) != 1 || fence.Rows[0][0] != "NVAlloc-LOG" {
+		t.Fatalf("fence-elision table rows: %v, want one NVAlloc-LOG row", fence.Rows)
+	}
+	if v := cell(t, fence, 0, colIndex(t, fence, "violations")); v != 0 {
+		t.Errorf("fence-elision: %.0f oracle violations", v)
 	}
 	for ri, row := range conc.Rows {
 		who := row[0] + "/" + row[1]

@@ -1,0 +1,134 @@
+package experiment
+
+import (
+	"fmt"
+
+	"nvalloc/internal/pmem"
+)
+
+func init() {
+	register("hotpath", runHotpath)
+}
+
+// runHotpath produces the hot-path latency-breakdown table: virtual-time
+// cost attribution per small malloc and per small free, for each NVAlloc
+// variant, split into the phases of the fast path — search/reserve
+// (CatSearch), resource wait (LockWaitNS), WAL-entry persistence
+// (CatWAL), bitmap/metadata commit (CatMeta), fences (Fences x FenceNS),
+// media-bank queueing (BankWaitNS), and everything else (CatOther minus
+// the fence share). The numbers come from one recorded steady-state run
+// per variant — tcaches warmed first, then N mallocs and N frees with
+// the thread context's stats snapshotted between phases — so they are
+// deterministic virtual time: the table is bit-stable across runs and a
+// change in any cell localizes which phase a hot-path PR moved. This is
+// the "where do the next nanoseconds live" map: fence and WAL cells
+// bound what further fence scheduling can save, the search cell bounds
+// what better fit logic can save.
+func runHotpath(cfg Config) []*Table {
+	cfg = cfg.withDefaults()
+	n := cfg.ops(20000)
+	if n < 64 {
+		n = 64
+	}
+	variants := []string{"NVAlloc-LOG", "NVAlloc-GC", "NVAlloc-IC"}
+
+	t := &Table{
+		ID: "hotpath",
+		Title: fmt.Sprintf("hot-path latency breakdown, virtual ns/op over %d steady-state 64 B ops "+
+			"(warmed tcaches, single thread)", n),
+		Columns: []string{"allocator", "op", "search", "lock_wait", "wal", "bitmap",
+			"fence", "bank_wait", "other", "total"},
+	}
+
+	type phase struct{ search, lock, wal, bitmap, fence, bank, other, total float64 }
+	diff := func(a, b pmem.Stats) phase {
+		per := 1.0 / float64(n)
+		fences := float64(b.Fences-a.Fences) * pmem.FenceNS
+		p := phase{
+			search: float64(b.CatNS[pmem.CatSearch]-a.CatNS[pmem.CatSearch]) * per,
+			lock:   float64(b.LockWaitNS-a.LockWaitNS) * per,
+			wal:    float64(b.CatNS[pmem.CatWAL]-a.CatNS[pmem.CatWAL]) * per,
+			bitmap: float64(b.CatNS[pmem.CatMeta]-a.CatNS[pmem.CatMeta]) * per,
+			fence:  fences * per,
+			bank:   float64(b.BankWaitNS-a.BankWaitNS) * per,
+			other:  (float64(b.CatNS[pmem.CatOther]-a.CatNS[pmem.CatOther]) - fences) * per,
+		}
+		p.total = p.search + p.lock + p.wal + p.bitmap + p.fence + p.bank + p.other
+		return p
+	}
+	row := func(name, op string, p phase) []string {
+		f := func(v float64) string { return fmt.Sprintf("%.1f", v) }
+		return []string{name, op, f(p.search), f(p.lock), f(p.wal), f(p.bitmap),
+			f(p.fence), f(p.bank), f(p.other), f(p.total)}
+	}
+
+	phases := make([][2]phase, len(variants))
+	jobs := make([]func(), len(variants))
+	errs := make([]error, len(variants))
+	for i := range variants {
+		i := i
+		jobs[i] = func() {
+			h, err := OpenHeap(variants[i], cfg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer h.Close()
+			th := h.NewThread()
+			defer th.Close()
+			ctx := th.Ctx()
+
+			// Warm the tcache and slab freelists so the measured window is
+			// the steady state, not cold formatting.
+			warm := func(k int) {
+				for j := 0; j < k; j++ {
+					p, err := th.Malloc(64)
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					if err := th.Free(p); err != nil {
+						errs[i] = err
+						return
+					}
+				}
+			}
+			warm(n / 4)
+			if errs[i] != nil {
+				return
+			}
+
+			addrs := make([]pmem.PAddr, 0, n)
+			base := ctx.Local()
+			for j := 0; j < n; j++ {
+				p, err := th.Malloc(64)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				addrs = append(addrs, p)
+			}
+			mid := ctx.Local()
+			for _, p := range addrs {
+				if err := th.Free(p); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+			end := ctx.Local()
+			phases[i] = [2]phase{diff(base, mid), diff(mid, end)}
+		}
+	}
+	runJobs(cfg, jobs)
+
+	for i, name := range variants {
+		if errs[i] != nil {
+			t.Rows = append(t.Rows, []string{name, "error: " + errs[i].Error(),
+				"", "", "", "", "", "", "", ""})
+			continue
+		}
+		t.Rows = append(t.Rows, row(name, "malloc", phases[i][0]))
+		t.Rows = append(t.Rows, row(name, "free", phases[i][1]))
+	}
+	return []*Table{t}
+}

@@ -145,3 +145,40 @@ func TestByteOffset(t *testing.T) {
 		}
 	}
 }
+
+// TestMappingArithmeticExhaustive pins BitOffset, Stripe, and Index to
+// the reference div/mod arithmetic over every divisor shape the
+// allocator uses (pow2 and non-pow2 stripe counts, pow2 units-per-line)
+// and including the largest counts a slab or WAL ring can reach.
+func TestMappingArithmeticExhaustive(t *testing.T) {
+	for _, tc := range []struct {
+		count, unitBits, stripes int
+	}{
+		{7900, 1, 6},   // min-class slab bitmap, default stripes
+		{7900, 1, 1},   // sequential baseline layout
+		{4096, 1, 8},   // pow2 stripes
+		{1024, 256, 6}, // WAL ring (32 B entries)
+		{65536, 1, 6},  // large count, non-pow2 stripes
+		{333, 1, 48},   // stripes > 1 line's worth of rounds
+		{129, 8, 3},
+	} {
+		m := New(tc.count, tc.unitBits, tc.stripes, 64)
+		for i := 0; i < tc.count; i++ {
+			wantS := i % tc.stripes
+			p := i / tc.stripes
+			wantOff := (p/m.unitsPerLine*tc.stripes+wantS)*m.bitsPerLine + (p%m.unitsPerLine)*tc.unitBits
+			if got := m.Stripe(i); got != wantS {
+				t.Fatalf("count=%d stripes=%d: Stripe(%d)=%d want %d", tc.count, tc.stripes, i, got, wantS)
+			}
+			if got := m.BitOffset(i); got != wantOff {
+				t.Fatalf("count=%d stripes=%d: BitOffset(%d)=%d want %d", tc.count, tc.stripes, i, got, wantOff)
+			}
+			// The inverse must agree with the forward mapping.
+			line := wantOff / m.bitsPerLine
+			slot := (wantOff % m.bitsPerLine) / tc.unitBits
+			if got := m.Index(line, slot); got != i {
+				t.Fatalf("count=%d stripes=%d: Index(%d,%d)=%d want %d", tc.count, tc.stripes, line, slot, got, i)
+			}
+		}
+	}
+}

@@ -125,11 +125,13 @@ type faultState struct {
 func (d *Device) InjectFaults(plan *FaultPlan) {
 	if plan == nil {
 		d.fault.Store(nil)
+		d.armFlushGate()
 		return
 	}
 	fs := &faultState{plan: *plan}
 	fs.remaining.Store(plan.CrashAfter)
 	d.fault.Store(fs)
+	d.armFlushGate()
 }
 
 // splitmix64 is the usual 64-bit mixer; good enough for deterministic

@@ -114,7 +114,10 @@ func (d *Device) Restore(img []byte) {
 	d.crashed.Store(false)
 	d.crashAfter.Store(-1)
 	d.fault.Store(nil)
-	d.flushTotal.Store(0)
+	d.armFlushGate()
+	d.statsMu.Lock()
+	d.flushTotal = 0
+	d.statsMu.Unlock()
 	for i := range d.banks {
 		d.banks[i].mu.Lock()
 		d.banks[i].clock = 0

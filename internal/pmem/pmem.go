@@ -138,7 +138,19 @@ type Device struct {
 	crashAfter atomic.Int64 // flush countdown; <0 means disabled
 	fault      atomic.Pointer[faultState]
 
-	flushTotal atomic.Uint64
+	// flushArmed is the flush fast-path gate: true whenever any of the
+	// rare flush-time features — crash flag, armed flush countdown, fault
+	// plan, flush tracing — is active, so the steady-state flushLine pays
+	// one atomic load instead of four. Arming sites store their state
+	// first, then call armFlushGate; flushes racing with arming behave as
+	// if they ordered before it, exactly as with the individual atomics.
+	flushArmed atomic.Bool
+
+	// flushTotal aggregates per-Ctx flush-issue counts folded in by
+	// Ctx.Merge; guarded by statsMu. Kept out of the flush hot path: a
+	// shared atomic increment per flush costs more than the flush model
+	// itself.
+	flushTotal uint64
 
 	traceMu  sync.Mutex
 	trace    []FlushRecord
@@ -199,7 +211,16 @@ func New(cfg Config) *Device {
 		d.lineLocks = make([]sync.Mutex, lineLockStripes)
 	}
 	d.crashAfter.Store(-1)
+	d.armFlushGate()
 	return d
+}
+
+// armFlushGate recomputes the flush fast-path gate from the rare-feature
+// state. Call after any change to the crash flag, the flush countdown,
+// the fault plan, or flush tracing.
+func (d *Device) armFlushGate() {
+	d.flushArmed.Store(d.crashed.Load() || d.crashAfter.Load() >= 0 ||
+		d.fault.Load() != nil || d.traceCap > 0)
 }
 
 // Size returns the device capacity in bytes.
@@ -383,16 +404,23 @@ func (d *Device) Zero(addr PAddr, n int) {
 // an arbitrary persistence boundary. n < 0 disarms.
 func (d *Device) CrashAfterFlushes(n int64) {
 	d.crashAfter.Store(n)
+	d.armFlushGate()
 }
 
 // Crashed reports whether armed fault injection has triggered.
 func (d *Device) Crashed() bool { return d.crashed.Load() }
 
 // FlushTotal returns the number of line flushes issued over the device's
-// lifetime, counted independently of per-Ctx stats merging (and including
-// flushes dropped after an armed crash fired). It is the coordinate system
-// CrashAfterFlushes cuts in.
-func (d *Device) FlushTotal() uint64 { return d.flushTotal.Load() }
+// lifetime by contexts that have merged (Ctx.Merge), including flushes
+// dropped after an armed crash fired. It is the coordinate system
+// CrashAfterFlushes cuts in: call it after the workload's contexts have
+// merged and the value equals the number of flushLine invocations the
+// countdown saw.
+func (d *Device) FlushTotal() uint64 {
+	d.statsMu.Lock()
+	defer d.statsMu.Unlock()
+	return d.flushTotal
+}
 
 // Crash simulates power loss: in strict ADR mode the cache image is
 // replaced by the persisted image, discarding every unflushed store. On
@@ -419,6 +447,7 @@ func (d *Device) Crash() {
 	}
 	d.crashed.Store(false)
 	d.crashAfter.Store(-1)
+	d.armFlushGate()
 	// A reboot starts a fresh timeline: bank clocks and the
 	// write-combining buffer do not survive power loss.
 	for i := range d.banks {

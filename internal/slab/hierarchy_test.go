@@ -1,0 +1,151 @@
+package slab
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"nvalloc/internal/sizeclass"
+)
+
+// linearReserveOne is the pre-hierarchy linear first-fit over the leaf
+// words: the property tests hold Reserve to the index it would pick.
+func linearReserveOne(s *Slab) int {
+	words := s.free.Words()
+	for w := range words {
+		m := ^words[w]
+		if w == len(words)-1 && s.Blocks%64 != 0 {
+			m &= 1<<(s.Blocks%64) - 1
+		}
+		if m != 0 {
+			return w*64 + bits.TrailingZeros64(m)
+		}
+	}
+	return -1
+}
+
+// classWithPartialLastWord finds a size class whose slab block count is
+// not a multiple of 64, so the hierarchy's tail masking is exercised.
+func classWithPartialLastWord(t *testing.T, stripes int) int {
+	t.Helper()
+	for class := 0; class < sizeclass.NumClasses(); class++ {
+		if b := BlocksPerSlab(class, stripes); b%64 != 0 && b > 64 {
+			return class
+		}
+	}
+	t.Skip("no class with a partial last bitmap word")
+	return 0
+}
+
+func TestReservePartialLastWord(t *testing.T) {
+	class := classWithPartialLastWord(t, 6)
+	_, c, s := newSlab(t, class, 6)
+	// Drain the whole slab through Reserve; the count handed out must be
+	// exactly Blocks — one more would mean a phantom bit beyond Len, one
+	// fewer a tail bit the summary lost.
+	got := s.Reserve(s.Blocks+17, nil)
+	if len(got) != s.Blocks {
+		t.Fatalf("class %d (%d blocks): Reserve handed out %d", class, s.Blocks, len(got))
+	}
+	for i, idx := range got {
+		if idx != i {
+			t.Fatalf("Reserve order: got[%d]=%d", i, idx)
+		}
+	}
+	if extra := s.Reserve(1, nil); len(extra) != 0 {
+		t.Fatalf("exhausted slab handed out block %v", extra)
+	}
+	// Free the very last block (tail word) and re-reserve it.
+	s.Unreserve(s.Blocks - 1)
+	if got := s.Reserve(1, nil); len(got) != 1 || got[0] != s.Blocks-1 {
+		t.Fatalf("tail re-reserve got %v, want [%d]", got, s.Blocks-1)
+	}
+	_ = c
+}
+
+func TestReserveUnreserveKeepsSummaryCoherent(t *testing.T) {
+	_, _, s := newSlab(t, classWithPartialLastWord(t, 6), 6)
+	rng := rand.New(rand.NewSource(3))
+	reserved := map[int]bool{}
+	for step := 0; step < 5000; step++ {
+		if len(reserved) == 0 || rng.Intn(3) > 0 {
+			for _, idx := range s.Reserve(1+rng.Intn(4), nil) {
+				reserved[idx] = true
+			}
+		} else {
+			for idx := range reserved {
+				s.Unreserve(idx)
+				delete(reserved, idx)
+				break
+			}
+		}
+		if w := s.free.CheckSummary(); w != -1 {
+			t.Fatalf("step %d: summary incoherent at leaf word %d", step, w)
+		}
+	}
+	if got, want := s.free.FreeCount(), s.Blocks-len(reserved); got != want {
+		t.Fatalf("FreeCount=%d want %d", got, want)
+	}
+	if s.Reserved != len(reserved) {
+		t.Fatalf("Reserved=%d want %d", s.Reserved, len(reserved))
+	}
+}
+
+func TestHierarchicalFirstFitMatchesLinearScan(t *testing.T) {
+	_, c, s := newSlab(t, sizeclass.Class(64), 6)
+	rng := rand.New(rand.NewSource(9))
+	var live []int
+	// Mixed Reserve/CommitAlloc/FreeBlock churn; after the first free the
+	// slab leaves the bump path and every Reserve must agree with the
+	// linear scan.
+	for step := 0; step < 8000; step++ {
+		switch {
+		case len(live) == 0 || rng.Intn(5) < 3:
+			want := linearReserveOne(s)
+			got := s.Reserve(1, nil)
+			if want < 0 {
+				if len(got) != 0 {
+					t.Fatalf("step %d: full slab handed out %v", step, got)
+				}
+				continue
+			}
+			if len(got) != 1 || got[0] != want {
+				t.Fatalf("step %d: Reserve picked %v, linear scan %d", step, got, want)
+			}
+			s.CommitAlloc(c, got[0], true)
+			live = append(live, got[0])
+		default:
+			i := rng.Intn(len(live))
+			s.FreeBlock(c, live[i], true)
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if step%211 == 0 {
+			if w := s.free.CheckSummary(); w != -1 {
+				t.Fatalf("step %d: summary incoherent at leaf word %d", step, w)
+			}
+		}
+	}
+}
+
+func TestBumpPathStopsAtFirstFree(t *testing.T) {
+	_, c, s := newSlab(t, sizeclass.Class(64), 6)
+	if !s.fresh {
+		t.Fatal("freshly formatted slab must start on the bump path")
+	}
+	a := s.Reserve(3, nil)
+	if len(a) != 3 || a[0] != 0 || a[2] != 2 {
+		t.Fatalf("bump Reserve got %v", a)
+	}
+	s.CommitAlloc(c, a[0], true)
+	s.CommitAlloc(c, a[1], true)
+	s.CommitAlloc(c, a[2], true)
+	s.FreeBlock(c, a[1], true) // first free: prefix invariant broken
+	if s.fresh {
+		t.Fatal("fresh must clear on first free")
+	}
+	// First-fit must now find the freed hole below the bump pointer.
+	if got := s.Reserve(1, nil); len(got) != 1 || got[0] != a[1] {
+		t.Fatalf("post-free Reserve got %v, want [%d]", got, a[1])
+	}
+}

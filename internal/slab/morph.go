@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"nvalloc/internal/bitfit"
 	"nvalloc/internal/interleave"
 	"nvalloc/internal/pmem"
 	"nvalloc/internal/sizeclass"
@@ -108,7 +109,7 @@ func (s *Slab) MorphTo(c *pmem.Ctx, newClass int, persist bool) error {
 
 	cntBlock := make([]uint16, blocks)
 	oldIdx := make(map[int]int, len(live))
-	freeBits := make([]uint64, (blocks+63)/64)
+	free := bitfit.New(blocks)
 	allocated := 0
 	for slot, idx := range live {
 		oldIdx[idx] = slot
@@ -121,7 +122,7 @@ func (s *Slab) MorphTo(c *pmem.Ctx, newClass int, persist bool) error {
 				continue
 			}
 			if cntBlock[nb] == 0 {
-				freeBits[nb/64] |= 1 << (nb % 64)
+				free.Set(int(nb))
 				allocated++
 			}
 			cntBlock[nb]++
@@ -129,7 +130,7 @@ func (s *Slab) MorphTo(c *pmem.Ctx, newClass int, persist bool) error {
 	}
 	// Persist the new bitmap image from the volatile bits.
 	for nb := 0; nb < blocks; nb++ {
-		if freeBits[nb/64]&(1<<(nb%64)) != 0 {
+		if free.Test(nb) {
 			off := m.BitOffset(nb)
 			a := s.Base + pmem.PAddr(bitmapBase) + pmem.PAddr(off/8)
 			s.dev.WriteU8(a, s.dev.ReadU8(a)|1<<(off%8))
@@ -152,7 +153,9 @@ func (s *Slab) MorphTo(c *pmem.Ctx, newClass int, persist bool) error {
 	s.DataOff = dataOff
 	s.bitmapBase = bitmapBase
 	s.m = m
-	s.freeBits = freeBits
+	s.lay = layoutFor(blocks, s.m.Stripes(), m)
+	s.free = free
+	s.fresh = false
 	s.resBits = make([]uint64, (blocks+63)/64)
 	s.Allocated = allocated
 	s.OldClass = oldClass
@@ -332,15 +335,17 @@ func Load(dev *pmem.Device, c *pmem.Ctx, base pmem.PAddr) (*Slab, error) {
 		dev:        dev,
 		m:          interleave.New(blocks, 1, stripes, pmem.LineSize),
 		bitmapBase: bitmapBase,
-		freeBits:   make([]uint64, (blocks+63)/64),
+		free:       bitfit.New(blocks),
 		resBits:    make([]uint64, (blocks+63)/64),
 		OldClass:   -1,
 	}
-	// Rebuild the volatile bitmap from the persistent interleaved one.
+	s.lay = layoutFor(blocks, stripes, s.m)
+	// Rebuild the volatile bitmap (leaf + summary index) from the
+	// persistent interleaved one.
 	for idx := 0; idx < blocks; idx++ {
 		off := s.m.BitOffset(idx)
 		if dev.ReadU8(base+pmem.PAddr(bitmapBase)+pmem.PAddr(off/8))&(1<<(off%8)) != 0 {
-			s.freeBits[idx/64] |= 1 << (idx % 64)
+			s.free.Set(idx)
 			s.Allocated++
 		}
 	}
@@ -390,7 +395,7 @@ func Load(dev *pmem.Device, c *pmem.Ctx, base pmem.PAddr) (*Slab, error) {
 		// would double-free them.
 		for nb := 0; nb < blocks; nb++ {
 			if s.cntBlock[nb] > 0 && !s.bitTest(nb) {
-				s.freeBits[nb/64] |= 1 << (nb % 64)
+				s.free.Set(nb)
 				s.Allocated++
 			}
 		}

@@ -28,6 +28,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"nvalloc/internal/bitfit"
 	"nvalloc/internal/interleave"
 	"nvalloc/internal/pmem"
 	"nvalloc/internal/sizeclass"
@@ -89,6 +90,39 @@ const (
 // Magic identifies a formatted slab header.
 const Magic = 0x42414C53 // "SLAB"
 
+// bitLayout caches the interleaved bit offset and stripe of every logical
+// block index for one (blocks, stripes) geometry. The mapping arithmetic
+// costs two hardware divisions per lookup; the commit paths resolve a bit
+// offset on every malloc and free, so they read the table instead. Tables
+// are shared process-wide: the allocator only ever uses a handful of
+// geometries (one per size class and stripe count), and a table is a pure
+// function of its key.
+type bitLayout struct {
+	off    []int32 // logical block index -> bit offset in the bitmap region
+	stripe []uint8 // logical block index -> stripe (stripes <= 64 fits uint8)
+}
+
+var bitLayouts sync.Map // [2]int{blocks, stripes} -> *bitLayout
+
+// layoutFor returns the shared bit-layout table for m, building and
+// registering it on first use of the geometry.
+func layoutFor(blocks, stripes int, m interleave.Mapping) *bitLayout {
+	key := [2]int{blocks, stripes}
+	if v, ok := bitLayouts.Load(key); ok {
+		return v.(*bitLayout)
+	}
+	l := &bitLayout{
+		off:    make([]int32, blocks),
+		stripe: make([]uint8, blocks),
+	}
+	for i := 0; i < blocks; i++ {
+		l.off[i] = int32(m.BitOffset(i))
+		l.stripe[i] = uint8(m.Stripe(i))
+	}
+	v, _ := bitLayouts.LoadOrStore(key, l)
+	return v.(*bitLayout)
+}
+
 // ClassNone marks the old-class header fields as unset.
 const ClassNone = 0xFFFFFFFF
 
@@ -129,9 +163,19 @@ type Slab struct {
 
 	dev        *pmem.Device
 	m          interleave.Mapping
+	lay        *bitLayout // shared (blocks, stripes) bit-layout table
 	bitmapBase uint32
-	freeBits   []uint64 // logical-index bitmap: 1 = allocated or reserved
-	resBits    []uint64 // logical-index bitmap: 1 = reserved in a tcache
+	free       *bitfit.Bitmap // logical-index bitmap: 1 = allocated or reserved (leaf + summary)
+	resBits    []uint64       // logical-index bitmap: 1 = reserved in a tcache
+
+	// Bump-pointer fast path for freshly formatted slabs: while fresh is
+	// true no block has ever been released, so the occupied blocks are
+	// exactly the prefix [0, bump) and Reserve can carve [bump, bump+n)
+	// without any bitmap search. Any operation that frees or force-sets a
+	// bit (FreeBlock, Unreserve, AllocBlock during replay) clears fresh;
+	// it is never set again for this slab.
+	fresh bool
+	bump  int
 
 	// Morphing state (slab_in only).
 	OldClass   int // -1 when not morphed
@@ -143,9 +187,9 @@ type Slab struct {
 	// Intrusive links managed by the owning arena.
 	LRUPrev, LRUNext   *Slab // arena LRU list (morph candidates)
 	FreePrev, FreeNext *Slab // per-class freelist of partially full slabs
-	Owner              int   // arena index owning this slab
-	MorphCand          bool  // queued in the arena's morph-candidate list
-	Dead               bool  // released back to the large allocator
+	Owner              int         // arena index owning this slab
+	MorphCand          atomic.Bool // queued in the arena's morph-candidate list
+	Dead               bool        // released back to the large allocator
 }
 
 // Geom is an immutable snapshot of a slab's geometry, published with an
@@ -163,6 +207,7 @@ type Geom struct {
 	DataOff   uint32
 	SlabIn    bool
 	m         interleave.Mapping
+	lay       *bitLayout
 }
 
 // BlockIndex maps an address inside the slab at base to its logical
@@ -181,7 +226,7 @@ func (g *Geom) BlockIndex(base, addr pmem.PAddr) int {
 
 // Stripe returns the bitmap stripe of logical block idx under this
 // geometry.
-func (g *Geom) Stripe(idx int) int { return g.m.Stripe(idx) }
+func (g *Geom) Stripe(idx int) int { return int(g.lay.stripe[idx]) }
 
 // publishGeom snapshots the current geometry fields. Called while the
 // slab is still private (Format/Load) or with Mu held (morph,
@@ -194,6 +239,7 @@ func (s *Slab) publishGeom() {
 		DataOff:   s.DataOff,
 		SlabIn:    s.OldClass >= 0,
 		m:         s.m,
+		lay:       s.lay,
 	})
 }
 
@@ -241,6 +287,7 @@ func Format(dev *pmem.Device, c *pmem.Ctx, base pmem.PAddr, class, stripes int, 
 		panic(fmt.Sprintf("slab: base %#x not %d-aligned", base, Size))
 	}
 	blocks, bitmapBase, dataOff := geometry(class, stripes)
+	m := interleave.New(blocks, 1, stripes, pmem.LineSize)
 	s := &Slab{
 		Base:       base,
 		Class:      class,
@@ -248,11 +295,13 @@ func Format(dev *pmem.Device, c *pmem.Ctx, base pmem.PAddr, class, stripes int, 
 		Blocks:     blocks,
 		DataOff:    dataOff,
 		dev:        dev,
-		m:          interleave.New(blocks, 1, stripes, pmem.LineSize),
+		m:          m,
+		lay:        layoutFor(blocks, stripes, m),
 		bitmapBase: bitmapBase,
-		freeBits:   make([]uint64, (blocks+63)/64),
+		free:       bitfit.New(blocks),
 		resBits:    make([]uint64, (blocks+63)/64),
 		OldClass:   -1,
+		fresh:      true,
 	}
 	dev.WriteU32(base+hMagic, Magic)
 	dev.WriteU32(base+hClass, uint32(class))
@@ -304,7 +353,7 @@ func (s *Slab) Stripes() int { return s.m.Stripes() }
 
 // Stripe returns the bit stripe (and thus metadata cache line group) of
 // logical block idx; the tcache uses it to pick a sub-tcache.
-func (s *Slab) Stripe(idx int) int { return s.m.Stripe(idx) }
+func (s *Slab) Stripe(idx int) int { return int(s.lay.stripe[idx]) }
 
 // BlockAddr returns the persistent address of block idx.
 func (s *Slab) BlockAddr(idx int) pmem.PAddr {
@@ -325,7 +374,7 @@ func (s *Slab) BlockIndex(addr pmem.PAddr) int {
 	return idx
 }
 
-func (s *Slab) bitTest(idx int) bool { return s.freeBits[idx/64]&(1<<(idx%64)) != 0 }
+func (s *Slab) bitTest(idx int) bool { return s.free.Test(idx) }
 
 // BlockAllocated reports whether block idx is marked unavailable in the
 // volatile bitmap (allocated, or reserved in a tcache).
@@ -346,7 +395,7 @@ func (s *Slab) setPersistentBit(c *pmem.Ctx, idx int, val, persist bool) {
 // writePersistentBit is setPersistentBit with the trailing fence under
 // caller control: batched clears flush each line but fence once.
 func (s *Slab) writePersistentBit(c *pmem.Ctx, idx int, val, persist, fence bool) {
-	off := s.m.BitOffset(idx)
+	off := int(s.lay.off[idx])
 	addr := s.Base + pmem.PAddr(s.bitmapBase) + pmem.PAddr(off/8)
 	b := s.dev.ReadU8(addr)
 	if val {
@@ -356,7 +405,7 @@ func (s *Slab) writePersistentBit(c *pmem.Ctx, idx int, val, persist, fence bool
 	}
 	s.dev.WriteU8(addr, b)
 	if persist {
-		c.Flush(pmem.CatMeta, addr, 1)
+		c.FlushLineOf(pmem.CatMeta, addr)
 		if fence {
 			c.Fence()
 		}
@@ -370,7 +419,8 @@ func (s *Slab) AllocBlock(c *pmem.Ctx, idx int, persist bool) {
 	if s.bitTest(idx) {
 		panic(fmt.Sprintf("slab %#x: double allocation of block %d", s.Base, idx))
 	}
-	s.freeBits[idx/64] |= 1 << (idx % 64)
+	s.free.Set(idx)
+	s.fresh = false // idx may sit above bump; the prefix invariant is gone
 	s.Allocated++
 	s.setPersistentBit(c, idx, true, persist)
 }
@@ -380,7 +430,8 @@ func (s *Slab) FreeBlock(c *pmem.Ctx, idx int, persist bool) {
 	if !s.bitTest(idx) {
 		panic(fmt.Sprintf("slab %#x: double free of block %d", s.Base, idx))
 	}
-	s.freeBits[idx/64] &^= 1 << (idx % 64)
+	s.free.Clear(idx)
+	s.fresh = false
 	s.Allocated--
 	s.setPersistentBit(c, idx, false, persist)
 }
@@ -394,7 +445,8 @@ func (s *Slab) FreeBlockBatched(c *pmem.Ctx, idx int, persist bool) {
 	if !s.bitTest(idx) {
 		panic(fmt.Sprintf("slab %#x: double free of block %d", s.Base, idx))
 	}
-	s.freeBits[idx/64] &^= 1 << (idx % 64)
+	s.free.Clear(idx)
+	s.fresh = false
 	s.Allocated--
 	s.writePersistentBit(c, idx, false, persist, false)
 }
@@ -403,29 +455,63 @@ func (s *Slab) FreeBlockBatched(c *pmem.Ctx, idx int, persist bool) {
 // touching persistent state, appending their indices to out. Reserved
 // blocks live in a tcache: unavailable to other threads, still free on
 // media (a crash loses nothing — they were never handed to the user).
+//
+// Fresh slabs take the bump-pointer path: the next n indices are carved
+// off the never-touched tail with one word-wise SetRange, no search.
+// Otherwise each block is found with the two-level first-fit (two
+// TrailingZeros64 ops per block). Both paths hand out the lowest free
+// indices, so they are observationally identical to the old linear scan.
 func (s *Slab) Reserve(n int, out []int) []int {
-	for w := 0; w < len(s.freeBits) && n > 0; w++ {
-		m := ^s.freeBits[w]
-		if w == len(s.freeBits)-1 && s.Blocks%64 != 0 {
-			m &= 1<<(s.Blocks%64) - 1
+	if s.fresh {
+		k := s.Blocks - s.bump
+		if k > n {
+			k = n
 		}
-		for m != 0 && n > 0 {
-			bit := bits.TrailingZeros64(m)
-			m &^= 1 << bit
-			idx := w*64 + bit
-			s.freeBits[idx/64] |= 1 << (idx % 64)
-			s.resBits[idx/64] |= 1 << (idx % 64)
-			s.Reserved++
-			out = append(out, idx)
-			n--
+		if k > 0 {
+			lo := s.bump
+			s.free.SetRange(lo, lo+k)
+			setBitRange(s.resBits, lo, lo+k)
+			for i := 0; i < k; i++ {
+				out = append(out, lo+i)
+			}
+			s.bump += k
+			s.Reserved += k
+			n -= k
 		}
+		return out
+	}
+	for ; n > 0; n-- {
+		idx := s.free.FirstFree()
+		if idx < 0 {
+			break
+		}
+		s.free.Set(idx)
+		s.resBits[idx/64] |= 1 << (idx % 64)
+		s.Reserved++
+		out = append(out, idx)
 	}
 	return out
 }
 
+// setBitRange sets bits [lo, hi) of a plain word slice word-at-a-time.
+func setBitRange(words []uint64, lo, hi int) {
+	for lo < hi {
+		w := lo / 64
+		m := ^uint64(0) << (lo % 64)
+		if end := (w + 1) * 64; hi < end {
+			m &= 1<<(hi%64) - 1
+			lo = hi
+		} else {
+			lo = end
+		}
+		words[w] |= m
+	}
+}
+
 // Unreserve returns a reserved block to the free state (tcache drain).
 func (s *Slab) Unreserve(idx int) {
-	s.freeBits[idx/64] &^= 1 << (idx % 64)
+	s.free.Clear(idx)
+	s.fresh = false
 	s.resBits[idx/64] &^= 1 << (idx % 64)
 	s.Reserved--
 }
@@ -441,6 +527,18 @@ func (s *Slab) CommitAlloc(c *pmem.Ctx, idx int, persist bool) {
 	s.setPersistentBit(c, idx, true, persist)
 }
 
+// CommitAllocBatched is CommitAlloc without the trailing fence: the
+// caller merges it with the fence of an adjacent metadata write (the
+// covering WAL entry, flushed immediately before) into one trailing
+// fence per operation. Durability still follows flush order, so at any
+// crash boundary the bit is never persistent without its entry.
+func (s *Slab) CommitAllocBatched(c *pmem.Ctx, idx int, persist bool) {
+	s.resBits[idx/64] &^= 1 << (idx % 64)
+	s.Reserved--
+	s.Allocated++
+	s.writePersistentBit(c, idx, true, persist, false)
+}
+
 // CommitFreeToCache clears the persistent bit of an allocated block that
 // moves into a tcache (it stays volatile-reserved).
 func (s *Slab) CommitFreeToCache(c *pmem.Ctx, idx int, persist bool) {
@@ -450,13 +548,36 @@ func (s *Slab) CommitFreeToCache(c *pmem.Ctx, idx int, persist bool) {
 	s.setPersistentBit(c, idx, false, persist)
 }
 
+// CommitFreeToCacheBatched is CommitFreeToCache with the trailing fence
+// left to the caller (see CommitAllocBatched).
+func (s *Slab) CommitFreeToCacheBatched(c *pmem.Ctx, idx int, persist bool) {
+	s.resBits[idx/64] |= 1 << (idx % 64)
+	s.Allocated--
+	s.Reserved++
+	s.writePersistentBit(c, idx, false, persist, false)
+}
+
 // SyncBitmap rewrites the whole persistent bitmap from the volatile one
 // and flushes it (used at clean shutdown by the GC variant, whose
 // runtime path never flushes bitmap updates). Reserved blocks must have
 // been drained first.
+//
+// The image is staged word-at-a-time through the device's bulk view —
+// zero the region, then OR in one interleaved bit per occupied block —
+// instead of one read-modify-write device call per block. Shutdown is
+// single-threaded, so the bulk view cannot race a concurrent line flush.
 func (s *Slab) SyncBitmap(c *pmem.Ctx) {
-	for idx := 0; idx < s.Blocks; idx++ {
-		s.setPersistentBit(c, idx, s.bitTest(idx), false)
+	buf := s.dev.Bytes(s.Base+pmem.PAddr(s.bitmapBase), int(s.DataOff-s.bitmapBase))
+	for i := range buf {
+		buf[i] = 0
+	}
+	for w, word := range s.free.Words() {
+		for word != 0 {
+			bit := bits.TrailingZeros64(word)
+			word &^= 1 << bit
+			off := s.m.BitOffset(w*64 + bit)
+			buf[off/8] |= 1 << (off % 8)
+		}
 	}
 	c.Flush(pmem.CatMeta, s.Base+pmem.PAddr(s.bitmapBase), int(s.DataOff-s.bitmapBase))
 	c.Fence()
@@ -472,6 +593,14 @@ func (s *Slab) Usage() float64 {
 		return 1
 	}
 	return float64(s.Allocated+s.Reserved) / float64(s.Blocks)
+}
+
+// UsageBelowMille reports whether occupancy is strictly below
+// mille/1000, in integer arithmetic — the hot-path form of
+// Usage() < threshold, sparing the free paths a float division per op.
+// An empty geometry (Blocks == 0) reads as fully occupied, like Usage.
+func (s *Slab) UsageBelowMille(mille int) bool {
+	return (s.Allocated+s.Reserved)*1000 < mille*s.Blocks
 }
 
 // IsSlabIn reports whether the slab still holds old-class blocks.

@@ -89,6 +89,43 @@ func (c *Cache) Drain() []Block {
 // Stripes returns the number of sub-tcaches.
 func (c *Cache) Stripes() int { return len(c.subs) }
 
+// MagCap is the fixed magazine capacity. A magazine moves this many
+// blocks between a thread cache and a per-arena depot in one critical
+// section, so cache overflow and refill cost one arena acquisition per
+// MagCap blocks instead of one per block.
+const MagCap = 16
+
+// Magazine is a fixed-size batch of cached blocks, swapped whole between
+// thread caches and arena depots (the magazine/depot design of classic
+// multiprocessor allocators). Every block in a magazine is volatile-
+// reserved in its slab: its persistent bitmap bit is already clear, so
+// magazine transfers touch no persistent state and need no WAL entry or
+// fence — a crash simply loses the reservations, which recovery already
+// treats as free.
+type Magazine struct {
+	Blocks [MagCap]Block
+	N      int
+}
+
+// PopMagazine moves up to k blocks (capped at MagCap) out of the cache
+// into m, using the same cursor rotation as Pop, and returns how many it
+// moved. m's previous contents are discarded.
+func (c *Cache) PopMagazine(m *Magazine, k int) int {
+	if k > MagCap {
+		k = MagCap
+	}
+	m.N = 0
+	for m.N < k {
+		b, ok := c.Pop()
+		if !ok {
+			break
+		}
+		m.Blocks[m.N] = b
+		m.N++
+	}
+	return m.N
+}
+
 // RemoteFree is one buffered cross-arena free: the slab handle and the
 // geometry snapshot (both opaque to this package, managed by the caller)
 // the block index was resolved under, plus the block's address so a
@@ -104,8 +141,15 @@ type RemoteFree struct {
 // remote arena, so they can be drained in one owner-arena critical
 // section (a batched WAL append plus the bitmap clears, two fences
 // total) instead of one acquisition and two fences per free.
+//
+// The buffer double-buffers its backing storage: Take hands the caller
+// the filled array and swaps in the one returned by the previous Take,
+// so the steady state allocates nothing. The caller must finish with a
+// Take'd slice before calling Take again (true for the single-threaded
+// drain, which never re-enters itself).
 type RemoteBuf struct {
 	frees []RemoteFree
+	spare []RemoteFree
 }
 
 // Add appends one free and returns the new buffer length.
@@ -117,10 +161,11 @@ func (b *RemoteBuf) Add(f RemoteFree) int {
 // Len returns the number of buffered frees.
 func (b *RemoteBuf) Len() int { return len(b.frees) }
 
-// Take removes and returns every buffered free. The returned slice is
-// owned by the caller (the buffer does not reuse its backing array).
+// Take removes and returns every buffered free, swapping in the other
+// backing array for subsequent Adds.
 func (b *RemoteBuf) Take() []RemoteFree {
 	out := b.frees
-	b.frees = nil
+	b.frees = b.spare[:0]
+	b.spare = out[:0]
 	return out
 }

@@ -120,3 +120,71 @@ func TestDegenerateConfigs(t *testing.T) {
 		t.Fatal("clamping wrong")
 	}
 }
+
+func TestPopMagazineCapsAndPreservesBlocks(t *testing.T) {
+	c := New(3, 64)
+	for i := 0; i < 40; i++ {
+		c.Push(i%3, Block{Idx: i})
+	}
+	var m Magazine
+	if got := c.PopMagazine(&m, MagCap+10); got != MagCap {
+		t.Fatalf("PopMagazine moved %d blocks, cap is %d", got, MagCap)
+	}
+	if c.Len() != 40-MagCap {
+		t.Fatalf("cache Len=%d after magazine pop, want %d", c.Len(), 40-MagCap)
+	}
+	seen := map[int]bool{}
+	for i := 0; i < m.N; i++ {
+		if seen[m.Blocks[i].Idx] {
+			t.Fatalf("block %d duplicated in magazine", m.Blocks[i].Idx)
+		}
+		seen[m.Blocks[i].Idx] = true
+	}
+	// Draining the rest must yield exactly the blocks the magazine missed.
+	for {
+		b, ok := c.Pop()
+		if !ok {
+			break
+		}
+		if seen[b.Idx] {
+			t.Fatalf("block %d in both magazine and cache", b.Idx)
+		}
+		seen[b.Idx] = true
+	}
+	if len(seen) != 40 {
+		t.Fatalf("magazine + cache held %d distinct blocks, want 40", len(seen))
+	}
+	// Popping from a drained cache moves nothing.
+	if got := c.PopMagazine(&m, 4); got != 0 || m.N != 0 {
+		t.Fatalf("empty cache produced a magazine of %d", got)
+	}
+}
+
+func TestRemoteBufTakeReusesBackingArrays(t *testing.T) {
+	var b RemoteBuf
+	fill := func(n int) {
+		for i := 0; i < n; i++ {
+			b.Add(RemoteFree{Idx: i})
+		}
+	}
+	fill(8)
+	first := b.Take()
+	if len(first) != 8 {
+		t.Fatalf("Take returned %d frees", len(first))
+	}
+	fill(8)
+	second := b.Take()
+	fill(8)
+	third := b.Take()
+	// Steady state ping-pongs between two arrays: the third Take must
+	// hand back the first's storage, not a fresh allocation.
+	if &third[0] != &first[0] {
+		t.Fatal("Take did not recycle the drained backing array")
+	}
+	if &second[0] == &first[0] {
+		t.Fatal("Take handed out the array the caller still holds")
+	}
+	if b.Len() != 0 {
+		t.Fatalf("Len=%d after Take", b.Len())
+	}
+}
