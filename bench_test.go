@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"nvalloc/internal/alloc"
@@ -314,6 +315,102 @@ func BenchmarkMallocFreeParallel(b *testing.B) {
 				return
 			}
 		}
+	})
+}
+
+// BenchmarkRealMallocFreeParallel is BenchmarkMallocFreeParallel on the
+// direct device: no virtual-time model, no per-line simulation locks,
+// flushes as counters. The delta against the simulated variant is the
+// cost of the simulator itself; the number's own trend across commits is
+// the real-concurrency hot path (reported in BENCH_pr8.json, not gated —
+// wall-clock on shared CI is too noisy for a hard threshold).
+func BenchmarkRealMallocFreeParallel(b *testing.B) {
+	dev, err := pmem.NewDirect(pmem.DirectConfig{Size: 512 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := core.Create(dev, core.DefaultOptions(core.LOG))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		th := h.NewThread()
+		defer th.Close()
+		i := 0
+		for pb.Next() {
+			size := uint64(64)
+			if i%8 == 7 {
+				size = 40 << 10 // shard-pool path
+			}
+			i++
+			p, err := th.Malloc(size)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if err := th.Free(p); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkRealMallocFreeClass is the per-class sweep on the direct
+// device — wall-clock nanoseconds per malloc/free pair with the
+// simulator out of the way.
+func BenchmarkRealMallocFreeClass(b *testing.B) {
+	for _, size := range []uint64{32, 64, 256, 1024, 4096, 16 << 10, 40 << 10} {
+		b.Run(strconv.FormatUint(size, 10), func(b *testing.B) {
+			dev, err := pmem.NewDirect(pmem.DirectConfig{Size: 512 << 20})
+			if err != nil {
+				b.Fatal(err)
+			}
+			h, err := core.Create(dev, core.DefaultOptions(core.LOG))
+			if err != nil {
+				b.Fatal(err)
+			}
+			th := h.NewThread()
+			defer th.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p, err := th.Malloc(size)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := th.Free(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGoRuntimeParallel runs the same 64 B / 40 KiB mix on Go's own
+// allocator — the calibration ceiling for BenchmarkRealMallocFreeParallel
+// (Go persists nothing and keeps magazines per-P, so it bounds what a
+// heap that must track persistent metadata could ever reach).
+func BenchmarkGoRuntimeParallel(b *testing.B) {
+	var sink atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		s := uint64(0)
+		for pb.Next() {
+			size := 64
+			if i%8 == 7 {
+				size = 40 << 10
+			}
+			i++
+			p := make([]byte, size)
+			p[0] = byte(i)
+			s += uint64(p[0])
+		}
+		sink.Add(s)
 	})
 }
 

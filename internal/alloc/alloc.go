@@ -58,7 +58,7 @@ type Heap interface {
 	// NewThread registers a worker with the heap.
 	NewThread() Thread
 	// Device returns the underlying persistent memory device.
-	Device() *pmem.Device
+	Device() pmem.Dev
 	// RootSlot returns the persistent address of root pointer slot i.
 	// Roots anchor application data across restarts and are the scan
 	// origins for GC-based recovery.

@@ -177,7 +177,7 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // [56,64) zeroed — both change at runtime without a checksum update
 // (the state word is sealed instead, the break self-heals in
 // extent.Rebuild).
-func superCRC(dev *pmem.Device) uint32 {
+func superCRC(dev pmem.Dev) uint32 {
 	var buf [sbChecksum]byte
 	copy(buf[:], dev.Bytes(superBase, sbChecksum))
 	for i := sbState; i < sbState+8; i++ {

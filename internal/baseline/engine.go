@@ -148,7 +148,7 @@ type barena struct {
 // Heap is a baseline allocator instance.
 type Heap struct {
 	cfg  Config
-	dev  *pmem.Device
+	dev  pmem.Dev
 	book *extent.InPlace
 	// large is guarded by its own Res.
 	large *extent.Allocator
@@ -171,7 +171,7 @@ type Heap struct {
 var _ alloc.Heap = (*Heap)(nil)
 
 // New formats dev as a fresh heap for the given baseline configuration.
-func New(dev *pmem.Device, cfg Config) (*Heap, error) {
+func New(dev pmem.Dev, cfg Config) (*Heap, error) {
 	if cfg.Arenas <= 0 {
 		cfg.Arenas = 8
 	}
@@ -204,7 +204,7 @@ func New(dev *pmem.Device, cfg Config) (*Heap, error) {
 		BreakPtr:  superBase + sbBreak,
 		MetaBytes: heapBase,
 	})
-	largeWAL, err := walog.New(dev, pmem.PAddr(walBase), walEntriesPerArena, 1)
+	largeWAL, err := walog.New(dev.Mem(), pmem.PAddr(walBase), walEntriesPerArena, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -231,14 +231,14 @@ func (h *Heap) newArena() *barena {
 	}
 	h.nextWAL++
 	base := walBase + pmem.PAddr(slot)*walRegion
-	wal, err := walog.New(h.dev, base, walEntriesPerArena, 1)
+	wal, err := walog.New(h.dev.Mem(), base, walEntriesPerArena, 1)
 	if err != nil {
 		// The slot's checkpoint word is damaged. Open has already
 		// replayed (or rejected) every WAL region by the time runtime
 		// arena creation reaches here, so nothing unconsumed is lost by
 		// resetting the ring.
 		h.dev.Zero(base, walog.RegionSize(walEntriesPerArena, 1))
-		wal, _ = walog.New(h.dev, base, walEntriesPerArena, 1)
+		wal, _ = walog.New(h.dev.Mem(), base, walEntriesPerArena, 1)
 	}
 	a := &barena{
 		index: slot,
@@ -249,7 +249,7 @@ func (h *Heap) newArena() *barena {
 }
 
 // Device returns the underlying device.
-func (h *Heap) Device() *pmem.Device { return h.dev }
+func (h *Heap) Device() pmem.Dev { return h.dev }
 
 // Name returns the baseline's name.
 func (h *Heap) Name() string { return h.cfg.Name }

@@ -16,7 +16,7 @@ import (
 // are trusted: magic, checksum and the region layout. A zeroed,
 // truncated or bit-flipped image yields a typed CorruptError here
 // instead of a panic deeper into recovery.
-func validateSuper(dev *pmem.Device) error {
+func validateSuper(dev pmem.Dev) error {
 	if dev.Size() < uint64(superBase)+4096 {
 		return pmem.Corrupt("superblock", superBase, "device too small (%d bytes) for a superblock page", dev.Size())
 	}
@@ -45,7 +45,7 @@ func validateSuper(dev *pmem.Device) error {
 // lines of the first slabs — for fault-injection harnesses that
 // restrict bit flips to allocator metadata. The device must hold a
 // valid superblock.
-func MetaRanges(dev *pmem.Device) []pmem.Range {
+func MetaRanges(dev pmem.Dev) []pmem.Range {
 	rs := []pmem.Range{{Start: superBase, End: superBase + sbRoots}}
 	walBase := pmem.PAddr(dev.ReadU64(superBase + sbWALBase))
 	walSize := pmem.PAddr(dev.ReadU64(superBase + sbWALSize))
@@ -63,7 +63,7 @@ func MetaRanges(dev *pmem.Device) []pmem.Range {
 
 // Open reopens a baseline heap, rebuilding volatile state and charging
 // the recovery cost profile of the configured allocator (Figure 18).
-func Open(dev *pmem.Device, cfg Config) (*Heap, int64, error) {
+func Open(dev pmem.Dev, cfg Config) (*Heap, int64, error) {
 	if err := validateSuper(dev); err != nil {
 		return nil, 0, err
 	}
@@ -145,7 +145,7 @@ func Open(dev *pmem.Device, cfg Config) (*Heap, int64, error) {
 			if charged(slot) {
 				rc = c
 			}
-			w, err := walog.New(dev, walBase+pmem.PAddr(slot)*walRegion, walEntriesPerArena, 1)
+			w, err := walog.New(dev.Mem(), walBase+pmem.PAddr(slot)*walRegion, walEntriesPerArena, 1)
 			if err != nil {
 				return nil, 0, err
 			}
@@ -157,7 +157,7 @@ func Open(dev *pmem.Device, cfg Config) (*Heap, int64, error) {
 		h.rebuildFreelists()
 	}
 
-	largeWAL, err := walog.New(dev, walBase, walEntriesPerArena, 1)
+	largeWAL, err := walog.New(dev.Mem(), walBase, walEntriesPerArena, 1)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -140,7 +140,7 @@ func (v *vchunk) valid(slot int) bool { return v.bits[slot/64]&(1<<(slot%64)) !=
 // Log is the bookkeeping log. Callers serialize access (the large
 // allocator holds its resource lock across log operations).
 type Log struct {
-	dev     *pmem.Device
+	dev     pmem.Mem
 	base    pmem.PAddr
 	size    uint64
 	im      interleave.Mapping
@@ -210,7 +210,7 @@ func RegionSize(heapBytes uint64) uint64 {
 }
 
 // New formats a fresh log over [base, base+size).
-func New(dev *pmem.Device, base pmem.PAddr, size uint64, stripes int) *Log {
+func New(dev pmem.Mem, base pmem.PAddr, size uint64, stripes int) *Log {
 	// Formatting is lazy: a fresh (zeroed) region already reads as a valid
 	// empty log — zero chain pointers and alt word unseal as zero, and a
 	// zero break word means "nothing carved yet" (see readBreak). The
@@ -221,7 +221,7 @@ func New(dev *pmem.Device, base pmem.PAddr, size uint64, stripes int) *Log {
 	return newLog(dev, base, size, stripes)
 }
 
-func newLog(dev *pmem.Device, base pmem.PAddr, size uint64, stripes int) *Log {
+func newLog(dev pmem.Mem, base pmem.PAddr, size uint64, stripes int) *Log {
 	if stripes < 1 {
 		stripes = 1
 	}

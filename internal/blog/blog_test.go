@@ -13,7 +13,7 @@ const testRegion = 256 * ChunkSize
 func newTestLog(t *testing.T) (*pmem.Device, *Log, *pmem.Ctx) {
 	t.Helper()
 	dev := pmem.New(pmem.Config{Size: 8 << 20, Strict: true})
-	l := New(dev, 4096, testRegion, 6)
+	l := New(dev.Mem(), 4096, testRegion, 6)
 	return dev, l, dev.NewCtx()
 }
 
@@ -340,7 +340,7 @@ func TestAppendsAreSequentialNotRandom(t *testing.T) {
 func TestInterleavedAppendsAvoidReflush(t *testing.T) {
 	run := func(stripes int) uint64 {
 		dev := pmem.New(pmem.Config{Size: 8 << 20})
-		l := New(dev, 4096, testRegion, stripes)
+		l := New(dev.Mem(), 4096, testRegion, stripes)
 		c := dev.NewCtx()
 		// The first append creates the chunk (break + head pointer share
 		// the log header line, a one-time reflush); measure steady state.
@@ -377,7 +377,7 @@ func TestRegionSizeScaling(t *testing.T) {
 
 func TestLogRegionExhaustion(t *testing.T) {
 	dev := pmem.New(pmem.Config{Size: 8 << 20})
-	l := New(dev, 4096, 2*ChunkSize, 6) // tiny: 2 chunks only
+	l := New(dev.Mem(), 4096, 2*ChunkSize, 6) // tiny: 2 chunks only
 	c := dev.NewCtx()
 	var err error
 	for i := 0; i < 3*l.EntriesPerChunk(); i++ {
@@ -397,12 +397,12 @@ func TestCrashFuzzEveryFlushBoundary(t *testing.T) {
 	// a duplicate-free live set that is a subset of everything ever
 	// allocated, and remain fully usable.
 	everAllocated := map[pmem.PAddr]bool{}
-	script := func(l *Log, c *pmem.Ctx, record bool) {
+	script := func(l *Log, dev *pmem.Device, c *pmem.Ctx, record bool) {
 		rng := rand.New(rand.NewSource(21))
 		var live []pmem.PAddr
 		next := pmem.PAddr(0x100000)
 		for op := 0; op < 1200; op++ {
-			if l.dev.Crashed() {
+			if dev.Crashed() {
 				return
 			}
 			if len(live) == 0 || rng.Intn(100) < 60 {
@@ -433,14 +433,14 @@ func TestCrashFuzzEveryFlushBoundary(t *testing.T) {
 	// One clean pass to collect the address universe.
 	{
 		dev := pmem.New(pmem.Config{Size: 8 << 20, Strict: true})
-		l := New(dev, 4096, testRegion, 6)
-		script(l, dev.NewCtx(), true)
+		l := New(dev.Mem(), 4096, testRegion, 6)
+		script(l, dev, dev.NewCtx(), true)
 	}
 	for cut := int64(1); cut < 400; cut += 13 {
 		dev := pmem.New(pmem.Config{Size: 8 << 20, Strict: true})
-		l := New(dev, 4096, testRegion, 6)
+		l := New(dev.Mem(), 4096, testRegion, 6)
 		dev.CrashAfterFlushes(cut)
-		script(l, dev.NewCtx(), false)
+		script(l, dev, dev.NewCtx(), false)
 		dev.Crash()
 		l2, recs, err := Open(dev, 4096, testRegion, 6)
 		if err != nil {

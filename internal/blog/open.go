@@ -26,8 +26,8 @@ func (l *Log) validChunkAddr(a pmem.PAddr) bool {
 // silently truncated chain. The region break self-heals: it is raised to
 // cover every chunk the chain reaches and persisted back if the stored
 // value is torn or stale.
-func Open(dev *pmem.Device, base pmem.PAddr, size uint64, stripes int) (*Log, []Record, error) {
-	l := newLog(dev, base, size, stripes)
+func Open(dev pmem.Dev, base pmem.PAddr, size uint64, stripes int) (*Log, []Record, error) {
+	l := newLog(dev.Mem(), base, size, stripes)
 	c := dev.NewCtx()
 	defer c.Merge()
 

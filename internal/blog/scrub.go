@@ -13,8 +13,8 @@ import (
 // mid-reactivation tolerance). Entries in dropped chunks are lost —
 // scavenging trades tail records for a mountable heap. It returns a
 // description of every repair made (empty when nothing was wrong).
-func Scrub(dev *pmem.Device, base pmem.PAddr, size uint64, stripes int) []string {
-	l := newLog(dev, base, size, stripes)
+func Scrub(dev pmem.Dev, base pmem.PAddr, size uint64, stripes int) []string {
+	l := newLog(dev.Mem(), base, size, stripes)
 	c := dev.NewCtx()
 	defer c.Merge()
 	var done []string
@@ -96,8 +96,8 @@ func Scrub(dev *pmem.Device, base pmem.PAddr, size uint64, stripes int) []string
 // Returns how many entries were cleared. The chain must already be
 // structurally sound (run Scrub first); a damaged chain stops the walk
 // early rather than erroring.
-func DropRecord(dev *pmem.Device, base pmem.PAddr, size uint64, stripes int, addr pmem.PAddr) int {
-	l := newLog(dev, base, size, stripes)
+func DropRecord(dev pmem.Dev, base pmem.PAddr, size uint64, stripes int, addr pmem.PAddr) int {
+	l := newLog(dev.Mem(), base, size, stripes)
 	c := dev.NewCtx()
 	defer c.Merge()
 	alt, ok := pmem.UnsealU64(dev.ReadU64(base + offAlt))

@@ -20,7 +20,7 @@ import (
 // an external resource (see SelfLocked). GC also runs inline, per
 // shard, inside the same shard section as the free that triggered it.
 type Sharded struct {
-	dev     *pmem.Device
+	dev     pmem.Mem
 	base    pmem.PAddr
 	size    uint64 // per-shard region size
 	stripes int
@@ -76,7 +76,7 @@ func shardedLayout(size uint64, n int) uint64 {
 
 // NewSharded formats n fresh log shards over [base, base+size). The
 // region is split into n equal chunk-aligned sub-regions.
-func NewSharded(dev *pmem.Device, base pmem.PAddr, size uint64, stripes, n int) *Sharded {
+func NewSharded(dev pmem.Mem, base pmem.PAddr, size uint64, stripes, n int) *Sharded {
 	if n < 1 {
 		n = 1
 	}
@@ -94,12 +94,12 @@ func NewSharded(dev *pmem.Device, base pmem.PAddr, size uint64, stripes, n int) 
 // and the per-shard live sets are merged into one deterministic,
 // address-ordered record list. A crash with any subset of shards
 // mid-append recovers each shard's valid prefix.
-func OpenSharded(dev *pmem.Device, base pmem.PAddr, size uint64, stripes, n int) (*Sharded, []Record, error) {
+func OpenSharded(dev pmem.Dev, base pmem.PAddr, size uint64, stripes, n int) (*Sharded, []Record, error) {
 	if n < 1 {
 		n = 1
 	}
 	per := shardedLayout(size, n)
-	s := &Sharded{dev: dev, base: base, size: per, stripes: stripes,
+	s := &Sharded{dev: dev.Mem(), base: base, size: per, stripes: stripes,
 		shards: make([]*Log, n), res: make([]pmem.Resource, n)}
 	var all []Record
 	for i := 0; i < n; i++ {
@@ -423,7 +423,7 @@ func (s *Sharded) GCCounts() (fast, slow uint64) {
 
 // ScrubSharded repairs every shard of a damaged sharded log region in
 // place (see Scrub), prefixing each repair with its shard index.
-func ScrubSharded(dev *pmem.Device, base pmem.PAddr, size uint64, stripes, n int) []string {
+func ScrubSharded(dev pmem.Dev, base pmem.PAddr, size uint64, stripes, n int) []string {
 	if n < 1 {
 		n = 1
 	}
@@ -441,7 +441,7 @@ func ScrubSharded(dev *pmem.Device, base pmem.PAddr, size uint64, stripes, n int
 // shards (see DropRecord). The walk covers every shard rather than just
 // addr's routed shard, so it stays correct even against images written
 // with a different routing function.
-func DropRecordSharded(dev *pmem.Device, base pmem.PAddr, size uint64, stripes, n int, addr pmem.PAddr) int {
+func DropRecordSharded(dev pmem.Dev, base pmem.PAddr, size uint64, stripes, n int, addr pmem.PAddr) int {
 	if n < 1 {
 		n = 1
 	}

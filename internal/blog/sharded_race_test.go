@@ -27,7 +27,7 @@ func TestShardedAppendersRaceIncrementalGC(t *testing.T) {
 		keep    = 2 // live extents retained per round per worker
 	)
 	dev := pmem.New(pmem.Config{Size: 8 << 20, Strict: true})
-	s := NewSharded(dev, 4096, testShardedSize, 6, testShards)
+	s := NewSharded(dev.Mem(), 4096, testShardedSize, 6, testShards)
 	// Escalate to slow GC after ~4 chunks per shard and advance it one
 	// chunk at a time, so compaction interleaves with appends as finely
 	// as the implementation allows.

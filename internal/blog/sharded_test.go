@@ -16,7 +16,7 @@ const (
 func newTestSharded(t *testing.T) (*pmem.Device, *Sharded) {
 	t.Helper()
 	dev := pmem.New(pmem.Config{Size: 8 << 20, Strict: true})
-	return dev, NewSharded(dev, 4096, testShardedSize, 6, testShards)
+	return dev, NewSharded(dev.Mem(), 4096, testShardedSize, 6, testShards)
 }
 
 // shardedAddr returns the i-th test address, one routing granule apart
@@ -110,7 +110,7 @@ func TestShardedConcurrentAppendCrashSweep(t *testing.T) {
 	for _, cut := range []int64{1, 2, 5, 9, 17, 33, 70, 151, 400} {
 		t.Run(fmt.Sprintf("cut%d", cut), func(t *testing.T) {
 			dev := pmem.New(pmem.Config{Size: 8 << 20, Strict: true})
-			s := NewSharded(dev, 4096, testShardedSize, 6, testShards)
+			s := NewSharded(dev.Mem(), 4096, testShardedSize, 6, testShards)
 
 			// Phase 1 (pre-crash, durable): record a base set and free a
 			// deterministic subset; everything here is fenced before the
@@ -195,7 +195,7 @@ func TestShardedConcurrentAppendCrashSweep(t *testing.T) {
 func TestShardedLazyFormatCostsNothing(t *testing.T) {
 	dev := pmem.New(pmem.Config{Size: 8 << 20, Strict: true})
 	before := dev.Stats().Flushes
-	NewSharded(dev, 4096, testShardedSize, 6, testShards)
+	NewSharded(dev.Mem(), 4096, testShardedSize, 6, testShards)
 	if after := dev.Stats().Flushes; after != before {
 		t.Fatalf("NewSharded flushed %d lines, want 0", after-before)
 	}

@@ -18,7 +18,13 @@ import (
 type arena struct {
 	h     *Heap
 	index int
-	res   pmem.Resource
+	// Align res to its own cache line (h + index fill 16 bytes; the pad
+	// brings res to offset 64). Resource is itself padded to 64 bytes, so
+	// the arena lock — the hottest word in real-concurrency mode — never
+	// shares a line with the read-mostly header fields above or the
+	// freelist pointers below.
+	_   [48]byte
+	res pmem.Resource
 	wal   *walog.Log // nil in the GC variant's runtime path? (kept for morph records)
 
 	// cache is the arena-local slab-extent cache (nil when disabled):
@@ -390,7 +396,7 @@ func (a *arena) newSlab(c *pmem.Ctx, class int) *slab.Slab {
 	if !ok {
 		return nil
 	}
-	s := slab.Format(h.dev, c, base, class, h.bitmapStripes, h.persistSmall)
+	s := slab.Format(h.mem, c, base, class, h.bitmapStripes, h.persistSmall)
 	var err error
 	if a.cache != nil {
 		// Record under BookRes alone: the global large lock stays free.

@@ -176,7 +176,7 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // break [56,64) zeroed. Both change at runtime without a checksum
 // update — the state word carries its own seal (pmem.SealU64) and the
 // break self-heals in extent.Rebuild.
-func superCRC(dev *pmem.Device) uint32 {
+func superCRC(dev pmem.Dev) uint32 {
 	var buf [sbChecksum]byte
 	copy(buf[:], dev.Bytes(superBase, sbChecksum))
 	for i := sbState; i < sbState+8; i++ {
@@ -209,7 +209,8 @@ const arenaFlagsBase = superBase + 1024
 
 // Heap is an NVAlloc heap instance.
 type Heap struct {
-	dev  *pmem.Device
+	dev  pmem.Dev
+	mem  pmem.Mem // dev's concrete image view, for dispatch-free hot paths
 	opts Options
 
 	bitmapStripes int // 1 when bitmap interleaving is off
@@ -244,7 +245,7 @@ type Heap struct {
 var _ alloc.Heap = (*Heap)(nil)
 
 // Create formats the device as a fresh NVAlloc heap.
-func Create(dev *pmem.Device, opts Options) (*Heap, error) {
+func Create(dev pmem.Dev, opts Options) (*Heap, error) {
 	opts = opts.withDefaults()
 	h, err := layout(dev, opts)
 	if err != nil {
@@ -278,7 +279,7 @@ func Create(dev *pmem.Device, opts Options) (*Heap, error) {
 	c.Fence()
 	// Fresh persistent structures.
 	if opts.LogBookkeeping {
-		h.blog = blog.NewSharded(dev, h.blogBase(), h.blogSize(), h.walStripesForBlog(), opts.BookShards)
+		h.blog = blog.NewSharded(dev.Mem(), h.blogBase(), h.blogSize(), h.walStripesForBlog(), opts.BookShards)
 		if !opts.BlogGC {
 			h.blog.SetSlowGCThreshold(^uint64(0) >> 1)
 		} else if opts.BlogGCThreshold > 0 {
@@ -309,8 +310,8 @@ func Create(dev *pmem.Device, opts Options) (*Heap, error) {
 
 // layout computes region addresses for a fresh heap and records them in
 // the (not yet flushed) superblock.
-func layout(dev *pmem.Device, opts Options) (*Heap, error) {
-	h := &Heap{dev: dev, opts: opts}
+func layout(dev pmem.Dev, opts Options) (*Heap, error) {
+	h := &Heap{dev: dev, mem: dev.Mem(), opts: opts}
 	walBytes := uint64(opts.Arenas) * uint64(walog.RegionSize(opts.WALEntries, opts.Stripes))
 	walBase := uint64(8192)
 	blogBase := (walBase + walBytes + 4095) &^ 4095
@@ -335,7 +336,7 @@ func (h *Heap) walBase() pmem.PAddr  { return pmem.PAddr(h.dev.ReadU64(superBase
 // WALs (interleaved mapping toggle applies to both, per Table 2).
 func (h *Heap) walStripesForBlog() int { return h.walStripes }
 
-func (h *Heap) initVolatile(dev *pmem.Device, opts Options) {
+func (h *Heap) initVolatile(dev pmem.Dev, opts Options) {
 	h.bitmapStripes = 1
 	if opts.InterleaveBitmap {
 		h.bitmapStripes = opts.Stripes
@@ -365,11 +366,11 @@ func (h *Heap) newWAL(i int, fresh bool) (*walog.Log, error) {
 	if fresh {
 		h.dev.Zero(base, walog.RegionSize(h.opts.WALEntries, h.opts.Stripes))
 	}
-	return walog.New(h.dev, base, h.opts.WALEntries, h.walStripes)
+	return walog.New(h.mem, base, h.opts.WALEntries, h.walStripes)
 }
 
 // Device returns the underlying device.
-func (h *Heap) Device() *pmem.Device { return h.dev }
+func (h *Heap) Device() pmem.Dev { return h.dev }
 
 // Options returns the heap's effective options.
 func (h *Heap) Options() Options { return h.opts }

@@ -19,7 +19,7 @@ type Region struct {
 // checksummed superblock fields, the root-slot array, the WAL rings, the
 // bookkeeping-log region (log-structured mode only) and the slab/extent
 // heap area. The device must hold a valid superblock.
-func Regions(dev *pmem.Device) []Region {
+func Regions(dev pmem.Dev) []Region {
 	rs := []Region{
 		{Name: "superblock", Range: pmem.Range{Start: superBase, End: superBase + sbRoots}},
 		{Name: "roots", Range: pmem.Range{Start: superBase + sbRoots, End: superBase + sbRoots + 8*alloc.NumRootSlots}},
@@ -47,7 +47,7 @@ func Regions(dev *pmem.Device) []Region {
 // exercise the detection paths (a flip in plain object data is the
 // application's problem, not the allocator's). The device must hold a
 // valid superblock.
-func MetaRanges(dev *pmem.Device) []pmem.Range {
+func MetaRanges(dev pmem.Dev) []pmem.Range {
 	rs := []pmem.Range{{Start: superBase, End: superBase + sbRoots}}
 	arenas := dev.ReadU64(superBase + sbArenas)
 	walEnts := int(dev.ReadU64(superBase + sbWALEnts))

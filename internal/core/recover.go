@@ -12,7 +12,7 @@ import (
 // trusted: magic, version, checksum, parameter ranges and the region
 // layout. A zeroed, truncated or bit-flipped image yields a typed
 // CorruptError here instead of a panic (or an absurd allocation) later.
-func validateSuper(dev *pmem.Device) error {
+func validateSuper(dev pmem.Dev) error {
 	if dev.Size() < uint64(superBase)+4096 {
 		return pmem.Corrupt("superblock", superBase, "device too small (%d bytes) for a superblock page", dev.Size())
 	}
@@ -71,7 +71,7 @@ func validateSuper(dev *pmem.Device) error {
 // shut down cleanly, additionally resolves leaks per the variant's
 // consistency model: WAL replay for NVAlloc-LOG, conservative GC for
 // NVAlloc-GC. It returns the recovery's virtual nanoseconds.
-func Open(dev *pmem.Device, opts Options) (*Heap, int64, error) {
+func Open(dev pmem.Dev, opts Options) (*Heap, int64, error) {
 	if err := validateSuper(dev); err != nil {
 		return nil, 0, err
 	}
@@ -90,7 +90,7 @@ func Open(dev *pmem.Device, opts Options) (*Heap, int64, error) {
 		opts.BookShards = int(dev.ReadU64(superBase + sbBookShards))
 	}
 
-	h := &Heap{dev: dev, opts: opts}
+	h := &Heap{dev: dev, mem: dev.Mem(), opts: opts}
 	h.heapBase = pmem.PAddr(dev.ReadU64(superBase + sbHeapBase))
 	h.initVolatile(dev, opts)
 
@@ -169,7 +169,7 @@ func Open(dev *pmem.Device, opts Options) (*Heap, int64, error) {
 		if uint64(v.Addr)%slab.Size != 0 || v.Size != slab.Size {
 			return nil, 0, pmem.Corrupt("extent", v.Addr, "slab record misaligned or sized %d, want %d", v.Size, uint64(slab.Size))
 		}
-		s, err := slab.Load(dev, c, v.Addr)
+		s, err := slab.Load(dev.Mem(), c, v.Addr)
 		if err != nil {
 			return nil, 0, err
 		}

@@ -22,6 +22,7 @@ const maxScavengeRounds = 32
 // the image without modifying it. An empty result means the image opens
 // cleanly. When the image is damaged, the first entry is the error Open
 // hit and the rest describe what a Scavenge run would do about it.
+// Cloning is a simulation feature, so Check takes the concrete device.
 func Check(dev *pmem.Device, opts Options) []string {
 	clone := dev.Clone()
 	if _, _, err := Open(clone, opts); err == nil {
@@ -40,7 +41,7 @@ func Check(dev *pmem.Device, opts Options) []string {
 // or truncated (leaking or dropping their contents), never guessed at —
 // and dangling root slots are scrubbed after a successful open. On
 // success it returns the opened heap and a description of every repair.
-func Scavenge(dev *pmem.Device, opts Options) (*Heap, []string, error) {
+func Scavenge(dev pmem.Dev, opts Options) (*Heap, []string, error) {
 	var repairs []string
 	for round := 0; round < maxScavengeRounds; round++ {
 		h, _, err := Open(dev, opts)
@@ -65,7 +66,7 @@ func Scavenge(dev *pmem.Device, opts Options) (*Heap, []string, error) {
 // superblock must already validate for every region except "superblock"
 // itself (Open fails there first), so superblock field reads below are
 // safe. Returns what was done and whether a repair was possible.
-func repairOne(dev *pmem.Device, ce *pmem.CorruptError) (string, bool) {
+func repairOne(dev pmem.Dev, ce *pmem.CorruptError) (string, bool) {
 	switch ce.Region {
 	case "superblock":
 		switch ce.Addr {
@@ -113,7 +114,7 @@ func repairOne(dev *pmem.Device, ce *pmem.CorruptError) (string, bool) {
 			return "", false
 		}
 		c := dev.NewCtx()
-		slab.Quarantine(dev, c, base, 1)
+		slab.Quarantine(dev.Mem(), c, base, 1)
 		c.Merge()
 		return fmt.Sprintf("quarantined slab %#x as fully allocated", base), true
 

@@ -86,7 +86,9 @@ func TargetOpts(name string, mk func() core.Options) torture.Target {
 			}
 			return h, nil
 		},
-		MetaRanges: core.MetaRanges,
+		MetaRanges: func(dev *pmem.Device) []pmem.Range {
+			return core.MetaRanges(dev)
+		},
 		Check: func(dev *pmem.Device) []string {
 			return core.Check(dev, core.DefaultOptions(v))
 		},

@@ -155,7 +155,7 @@ func OpenHeap(name string, cfg Config) (alloc.Heap, error) {
 	return openOn(dev, name)
 }
 
-func openOn(dev *pmem.Device, name string) (alloc.Heap, error) {
+func openOn(dev pmem.Dev, name string) (alloc.Heap, error) {
 	switch name {
 	case "PMDK":
 		return baseline.New(dev, baseline.PMDK)

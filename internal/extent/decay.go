@@ -129,7 +129,7 @@ func (a *Allocator) drainFIFO(fifo *[]*VEH, want State, fn func(*VEH) bool) {
 // page-aligned, inside the heap and non-overlapping — and the stored
 // break self-heals: if it is torn or flipped it is rewritten to the
 // smallest chunk-aligned value covering every live record.
-func Rebuild(dev *pmem.Device, book Bookkeeper, cfg Config, c *pmem.Ctx, records []LiveRecord) (*Allocator, []*VEH, error) {
+func Rebuild(dev pmem.Dev, book Bookkeeper, cfg Config, c *pmem.Ctx, records []LiveRecord) (*Allocator, []*VEH, error) {
 	a := newAllocator(dev, book, cfg)
 	sort.Slice(records, func(i, j int) bool { return records[i].Addr < records[j].Addr })
 

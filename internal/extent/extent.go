@@ -120,7 +120,7 @@ type Allocator struct {
 	// moves off the global lock.
 	BookRes pmem.Resource
 
-	dev            *pmem.Device
+	dev            pmem.Dev
 	book           Bookkeeper
 	bookSelfLocked bool
 	heapBase       pmem.PAddr
@@ -181,7 +181,7 @@ type Config struct {
 }
 
 // New creates a large allocator over a fresh heap region.
-func New(dev *pmem.Device, book Bookkeeper, cfg Config) *Allocator {
+func New(dev pmem.Dev, book Bookkeeper, cfg Config) *Allocator {
 	a := newAllocator(dev, book, cfg)
 	c := dev.NewCtx()
 	c.PersistU64(pmem.CatMeta, cfg.BreakPtr, uint64(cfg.HeapBase))
@@ -189,7 +189,7 @@ func New(dev *pmem.Device, book Bookkeeper, cfg Config) *Allocator {
 	return a
 }
 
-func newAllocator(dev *pmem.Device, book Bookkeeper, cfg Config) *Allocator {
+func newAllocator(dev pmem.Dev, book Bookkeeper, cfg Config) *Allocator {
 	if cfg.HeapBase%ChunkSize != 0 {
 		panic(fmt.Sprintf("extent: heap base %#x must be %d-aligned", cfg.HeapBase, ChunkSize))
 	}

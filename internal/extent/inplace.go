@@ -13,7 +13,7 @@ import (
 // these header updates are exactly the small random persistent-memory
 // writes Figure 2 profiles.
 type InPlace struct {
-	dev      *pmem.Device
+	dev      pmem.Dev
 	heapBase pmem.PAddr
 	brkAddr  pmem.PAddr
 }
@@ -30,7 +30,7 @@ const (
 
 // NewInPlace creates the in-place bookkeeper for a heap whose chunks are
 // carved from heapBase and whose break lives at brkAddr.
-func NewInPlace(dev *pmem.Device, heapBase, brkAddr pmem.PAddr) *InPlace {
+func NewInPlace(dev pmem.Dev, heapBase, brkAddr pmem.PAddr) *InPlace {
 	return &InPlace{dev: dev, heapBase: heapBase, brkAddr: brkAddr}
 }
 

@@ -66,7 +66,7 @@ type inner struct {
 // Tree is an FPTree instance bound to a heap.
 type Tree struct {
 	heap     alloc.Heap
-	dev      *pmem.Device
+	dev      pmem.Dev
 	rootSlot pmem.PAddr // persistent pointer to the first (leftmost) leaf
 
 	mu     sync.RWMutex // guards the volatile inner structure
@@ -488,7 +488,7 @@ func (t *Tree) Scan(th alloc.Thread, lo, hi uint64, fn func(key, value uint64) b
 	}
 }
 
-func minKeyOf(dev *pmem.Device, leafAddr pmem.PAddr) uint64 {
+func minKeyOf(dev pmem.Dev, leafAddr pmem.PAddr) uint64 {
 	bm := dev.ReadU64(leafAddr + lfBitmap)
 	min := ^uint64(0)
 	for s := 0; s < LeafSlots; s++ {

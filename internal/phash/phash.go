@@ -58,7 +58,7 @@ const lockStripes = 64
 // Map is a persistent hash index bound to a heap.
 type Map struct {
 	heap     alloc.Heap
-	dev      *pmem.Device
+	dev      pmem.Dev
 	header   pmem.PAddr
 	dir      pmem.PAddr
 	nBuckets uint64

@@ -90,7 +90,20 @@ type SchedHook interface {
 // detector) and per-category accounting. A Ctx must not be shared between
 // goroutines.
 type Ctx struct {
-	dev *Device
+	dev Dev
+
+	// sim is dev's concrete type when the context runs on the simulated
+	// device (nil in direct mode), so the flush hot path reaches banks,
+	// line locks and the media image without interface dispatch.
+	sim *Device
+
+	// direct short-circuits the virtual-time model: flushes and fences
+	// only bump local counters, and Resources degrade to plain mutexes.
+	direct bool
+
+	// mem is the device's concrete image view, so Ctx store helpers
+	// (PersistU64) skip interface dispatch.
+	mem Mem
 
 	// Now is the worker's virtual clock in nanoseconds.
 	Now int64
@@ -122,11 +135,14 @@ type Ctx struct {
 
 // NewCtx creates a worker context for the device.
 func (d *Device) NewCtx() *Ctx {
-	return &Ctx{dev: d}
+	return &Ctx{dev: d, sim: d, mem: d.Mem()}
 }
 
 // Device returns the device this context operates on.
-func (c *Ctx) Device() *Device { return c.dev }
+func (c *Ctx) Device() Dev { return c.dev }
+
+// Direct reports whether the context runs on the real-concurrency device.
+func (c *Ctx) Direct() bool { return c.direct }
 
 // SetSchedHook installs (or, with nil, removes) the context's scheduler
 // hook. Must be called while the context is quiescent.
@@ -149,6 +165,13 @@ func (c *Ctx) Charge(cat Category, ns int64) {
 // latency, so a fence only costs the small fixed fence latency.
 func (c *Ctx) Fence() {
 	c.local.Fences++
+	if c.direct {
+		// Real mode: the fence is instrumentation only. The compiler
+		// barrier a real sfence would add is unnecessary — every ordering
+		// the allocators rely on at runtime comes from their own mutexes
+		// and atomics, not from persistence fences.
+		return
+	}
 	c.Charge(CatOther, FenceNS)
 	c.yield(PointFence, nil)
 }
@@ -182,13 +205,20 @@ func (c *Ctx) FlushLineOf(cat Category, addr PAddr) {
 // PersistU64 stores v at addr and flushes its line: the canonical
 // 8-byte-atomic persistent write.
 func (c *Ctx) PersistU64(cat Category, addr PAddr, v uint64) {
-	c.dev.WriteU64(addr, v)
+	c.mem.WriteU64(addr, v)
 	c.FlushU64(cat, addr)
 }
 
 func (c *Ctx) flushLine(cat Category, line uint64) {
-	d := c.dev
 	c.flushIssued++
+	if c.direct {
+		// Real mode: count the flush so call ratios stay comparable with
+		// simulated runs, but charge nothing and touch no shared state.
+		c.local.Flushes++
+		c.local.CatFlush[cat]++
+		return
+	}
+	d := c.sim
 
 	// Rare-feature checks (crash flag, flush countdown, fault plan, flush
 	// tracing) sit behind a single pre-armed gate: the steady-state flush
@@ -353,14 +383,7 @@ func (d *Device) flushSlowPath(cat Category, line uint64) bool {
 // Merge folds this context's local statistics into the device totals and
 // resets the local counters. Call it when a worker finishes.
 func (c *Ctx) Merge() {
-	d := c.dev
-	d.statsMu.Lock()
-	d.stats.add(&c.local)
-	d.flushTotal += c.flushIssued
-	if c.Now > d.stats.MaxClockNS {
-		d.stats.MaxClockNS = c.Now
-	}
-	d.statsMu.Unlock()
+	c.dev.mergeStats(&c.local, c.flushIssued, c.Now)
 	c.local = Stats{}
 	c.flushIssued = 0
 }
@@ -383,11 +406,22 @@ type Resource struct {
 	start    int64  // current holder's section start (valid while locked)
 	waitNS   int64  // cumulative virtual wait observed by acquirers
 	acquires uint64 // number of Acquire calls (not Lock)
+
+	// _pad rounds the resource to a full cache line (8+8+8+8+8+24 = 64)
+	// so structs embedding several Resources — or a Resource next to other
+	// hot fields — don't false-share under real goroutines.
+	_pad [64 - 40]byte
 }
 
 // Acquire locks the resource and queues the worker behind its accumulated
-// virtual load.
+// virtual load. In direct mode it is a plain mutex lock: real contention
+// is measured by the wall clock, not modelled.
 func (r *Resource) Acquire(c *Ctx) {
+	if c.direct {
+		r.mu.Lock()
+		c.held++
+		return
+	}
 	c.yield(PointAcquire, r)
 	r.mu.Lock()
 	c.held++
@@ -404,6 +438,11 @@ func (r *Resource) Acquire(c *Ctx) {
 // Release adds the critical section's virtual duration to the resource's
 // load and unlocks it.
 func (r *Resource) Release(c *Ctx) {
+	if c.direct {
+		r.mu.Unlock()
+		c.held--
+		return
+	}
 	if cs := c.Now - r.start; cs > 0 {
 		r.load += cs
 	}

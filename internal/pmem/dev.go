@@ -1,0 +1,86 @@
+package pmem
+
+// Dev is the device abstraction the allocators run on. Two implementations
+// exist:
+//
+//   - *Device, the simulated DIMM: virtual-time flush latencies, strict-mode
+//     media shadowing, crash injection and flush journaling. Every experiment
+//     table and the crash-point model checker run on it.
+//   - *Direct, the real-concurrency device: plain memory (anonymous or an
+//     mmap'd file), no per-line simulation locks, and flushes reduced to
+//     no-op instrumentation counters. Hot paths run at wall-clock speed under
+//     real goroutines.
+//
+// The interface is deliberately exactly the surface the allocator layers
+// (core, baseline, slab, walog, blog, extent) use; the simulation-only
+// features (Crash, SaveImage, FlushTrace, fault plans) stay on the concrete
+// *Device so a glance at a signature tells whether code can be reached from
+// real mode.
+//
+// Dev is sealed (mergeStats is unexported): only this package's devices can
+// implement it, which lets Ctx assume one of the two concrete types on its
+// fast paths.
+type Dev interface {
+	// Size returns the device capacity in bytes.
+	Size() uint64
+	// Mode returns the persistence mode (ADR or eADR).
+	Mode() Mode
+	// EADR reports whether the persistence domain includes the caches.
+	EADR() bool
+	// Strict reports whether crash simulation (shadow media image) is on.
+	Strict() bool
+	// Direct reports whether this is the real-concurrency device (flushes
+	// are instrumentation-only; no crash-consistency simulation).
+	Direct() bool
+
+	// Mem returns the concrete image view hot paths hold by value to
+	// avoid interface dispatch on every typed access.
+	Mem() Mem
+
+	// Bytes returns a mutable view of [addr, addr+n); see Device.Bytes for
+	// the flushing and synchronization contract.
+	Bytes(addr PAddr, n int) []byte
+	ReadU64(addr PAddr) uint64
+	WriteU64(addr PAddr, v uint64)
+	ReadU32(addr PAddr) uint32
+	WriteU32(addr PAddr, v uint32)
+	ReadU16(addr PAddr) uint16
+	WriteU16(addr PAddr, v uint16)
+	ReadU8(addr PAddr) byte
+	WriteU8(addr PAddr, v byte)
+	// Write copies p into the device at addr.
+	Write(addr PAddr, p []byte)
+	// Read copies n bytes at addr into a fresh slice.
+	Read(addr PAddr, n int) []byte
+	// Zero clears [addr, addr+n).
+	Zero(addr PAddr, n int)
+
+	// NewCtx creates a worker context bound to this device.
+	NewCtx() *Ctx
+	// Stats returns a snapshot of the merged device statistics.
+	Stats() Stats
+	// ResetStats clears merged statistics.
+	ResetStats()
+
+	// mergeStats folds a finishing worker's local counters into the device
+	// totals (Ctx.Merge). Unexported: it seals the interface.
+	mergeStats(local *Stats, flushIssued uint64, now int64)
+}
+
+// Direct reports that *Device is the simulated implementation.
+func (d *Device) Direct() bool { return false }
+
+func (d *Device) mergeStats(local *Stats, flushIssued uint64, now int64) {
+	d.statsMu.Lock()
+	d.stats.add(local)
+	d.flushTotal += flushIssued
+	if now > d.stats.MaxClockNS {
+		d.stats.MaxClockNS = now
+	}
+	d.statsMu.Unlock()
+}
+
+var (
+	_ Dev = (*Device)(nil)
+	_ Dev = (*DirectDev)(nil)
+)

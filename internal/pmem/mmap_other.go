@@ -1,0 +1,11 @@
+//go:build !unix
+
+package pmem
+
+import "errors"
+
+// mapFile is unavailable off unix; file-backed direct devices need mmap.
+// Anonymous direct devices (DirectConfig.Path == "") work everywhere.
+func mapFile(path string, size uint64) ([]byte, func() error, error) {
+	return nil, nil, errors.New("file-backed direct device requires a unix platform")
+}

@@ -1,0 +1,37 @@
+//go:build unix
+
+package pmem
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile creates (or truncates) path at size bytes and maps it shared
+// read-write, returning the mapping and an unmap-and-close function. The
+// stdlib syscall mmap is used directly so the repository stays free of
+// external dependencies.
+func mapFile(path string, size uint64) ([]byte, func() error, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := f.Truncate(int64(size)); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	mem, err := syscall.Mmap(int(f.Fd()), 0, int(size),
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	unmap := func() error {
+		err := syscall.Munmap(mem)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}
+	return mem, unmap, nil
+}

@@ -21,7 +21,6 @@
 package pmem
 
 import (
-	"encoding/binary"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -244,159 +243,48 @@ func (d *Device) check(addr PAddr, n int) {
 // Bytes returns a mutable view of [addr, addr+n) in the cache image. The
 // caller is responsible for flushing any stores it performs through the
 // view. This is the bulk-access escape hatch; prefer the typed accessors.
-func (d *Device) Bytes(addr PAddr, n int) []byte {
-	d.check(addr, n)
-	return d.mem[addr : uint64(addr)+uint64(n) : uint64(addr)+uint64(n)]
-}
-
-// ReadU64 loads a little-endian uint64.
-func (d *Device) ReadU64(addr PAddr) uint64 {
-	d.check(addr, 8)
-	return binary.LittleEndian.Uint64(d.mem[addr:])
-}
+func (d *Device) Bytes(addr PAddr, n int) []byte { return d.Mem().Bytes(addr, n) }
 
 // lineLock returns the stripe lock covering line (strict mode only).
 func (d *Device) lineLock(line uint64) *sync.Mutex {
 	return &d.lineLocks[line%uint64(len(d.lineLocks))]
 }
 
-// lockSpan locks the one or two line stripes covering a small write
-// [addr, addr+n), in stripe order so concurrent spanning writes cannot
-// deadlock, and returns an unlock function. Callers have already checked
-// d.lineLocks != nil.
-func (d *Device) lockSpan(addr PAddr, n int) func() {
-	s := uint64(len(d.lineLocks))
-	f := (uint64(addr) / LineSize) % s
-	l := ((uint64(addr) + uint64(n) - 1) / LineSize) % s
-	if f == l {
-		mu := &d.lineLocks[f]
-		mu.Lock()
-		return mu.Unlock
-	}
-	if f > l {
-		f, l = l, f
-	}
-	a, b := &d.lineLocks[f], &d.lineLocks[l]
-	a.Lock()
-	b.Lock()
-	return func() { b.Unlock(); a.Unlock() }
-}
+// The typed accessors delegate to the Mem view, which holds the canonical
+// bounds-check and strict-mode line-locking logic.
+
+// ReadU64 loads a little-endian uint64.
+func (d *Device) ReadU64(addr PAddr) uint64 { return d.Mem().ReadU64(addr) }
 
 // WriteU64 stores a little-endian uint64 to the cache image.
-func (d *Device) WriteU64(addr PAddr, v uint64) {
-	d.check(addr, 8)
-	if d.lineLocks != nil {
-		defer d.lockSpan(addr, 8)()
-	}
-	binary.LittleEndian.PutUint64(d.mem[addr:], v)
-}
+func (d *Device) WriteU64(addr PAddr, v uint64) { d.Mem().WriteU64(addr, v) }
 
 // ReadU32 loads a little-endian uint32.
-func (d *Device) ReadU32(addr PAddr) uint32 {
-	d.check(addr, 4)
-	return binary.LittleEndian.Uint32(d.mem[addr:])
-}
+func (d *Device) ReadU32(addr PAddr) uint32 { return d.Mem().ReadU32(addr) }
 
 // WriteU32 stores a little-endian uint32.
-func (d *Device) WriteU32(addr PAddr, v uint32) {
-	d.check(addr, 4)
-	if d.lineLocks != nil {
-		defer d.lockSpan(addr, 4)()
-	}
-	binary.LittleEndian.PutUint32(d.mem[addr:], v)
-}
+func (d *Device) WriteU32(addr PAddr, v uint32) { d.Mem().WriteU32(addr, v) }
 
 // ReadU16 loads a little-endian uint16.
-func (d *Device) ReadU16(addr PAddr) uint16 {
-	d.check(addr, 2)
-	return binary.LittleEndian.Uint16(d.mem[addr:])
-}
+func (d *Device) ReadU16(addr PAddr) uint16 { return d.Mem().ReadU16(addr) }
 
 // WriteU16 stores a little-endian uint16.
-func (d *Device) WriteU16(addr PAddr, v uint16) {
-	d.check(addr, 2)
-	if d.lineLocks != nil {
-		defer d.lockSpan(addr, 2)()
-	}
-	binary.LittleEndian.PutUint16(d.mem[addr:], v)
-}
+func (d *Device) WriteU16(addr PAddr, v uint16) { d.Mem().WriteU16(addr, v) }
 
 // ReadU8 loads one byte.
-func (d *Device) ReadU8(addr PAddr) byte {
-	d.check(addr, 1)
-	return d.mem[addr]
-}
+func (d *Device) ReadU8(addr PAddr) byte { return d.Mem().ReadU8(addr) }
 
 // WriteU8 stores one byte.
-func (d *Device) WriteU8(addr PAddr, v byte) {
-	d.check(addr, 1)
-	if d.lineLocks != nil {
-		mu := d.lineLock(uint64(addr) / LineSize)
-		mu.Lock()
-		d.mem[addr] = v
-		mu.Unlock()
-		return
-	}
-	d.mem[addr] = v
-}
+func (d *Device) WriteU8(addr PAddr, v byte) { d.Mem().WriteU8(addr, v) }
 
 // Write copies p into the cache image at addr.
-func (d *Device) Write(addr PAddr, p []byte) {
-	d.check(addr, len(p))
-	if d.lineLocks != nil && len(p) > 0 {
-		// Chunk the copy one line at a time so at most one stripe is held
-		// and arbitrary spans cannot deadlock against each other.
-		for off := 0; off < len(p); {
-			line := (uint64(addr) + uint64(off)) / LineSize
-			chunk := int((line+1)*LineSize - (uint64(addr) + uint64(off)))
-			if chunk > len(p)-off {
-				chunk = len(p) - off
-			}
-			mu := d.lineLock(line)
-			mu.Lock()
-			copy(d.mem[uint64(addr)+uint64(off):], p[off:off+chunk])
-			mu.Unlock()
-			off += chunk
-		}
-		return
-	}
-	copy(d.mem[addr:], p)
-}
+func (d *Device) Write(addr PAddr, p []byte) { d.Mem().Write(addr, p) }
 
 // Read copies n bytes at addr into a fresh slice.
-func (d *Device) Read(addr PAddr, n int) []byte {
-	d.check(addr, n)
-	out := make([]byte, n)
-	copy(out, d.mem[addr:])
-	return out
-}
+func (d *Device) Read(addr PAddr, n int) []byte { return d.Mem().Read(addr, n) }
 
 // Zero clears [addr, addr+n) in the cache image.
-func (d *Device) Zero(addr PAddr, n int) {
-	d.check(addr, n)
-	if d.lineLocks != nil && n > 0 {
-		for off := 0; off < n; {
-			line := (uint64(addr) + uint64(off)) / LineSize
-			chunk := int((line+1)*LineSize - (uint64(addr) + uint64(off)))
-			if chunk > n-off {
-				chunk = n - off
-			}
-			mu := d.lineLock(line)
-			mu.Lock()
-			b := d.mem[uint64(addr)+uint64(off) : uint64(addr)+uint64(off)+uint64(chunk)]
-			for i := range b {
-				b[i] = 0
-			}
-			mu.Unlock()
-			off += chunk
-		}
-		return
-	}
-	b := d.mem[addr : uint64(addr)+uint64(n)]
-	for i := range b {
-		b[i] = 0
-	}
-}
+func (d *Device) Zero(addr PAddr, n int) { d.Mem().Zero(addr, n) }
 
 // CrashAfterFlushes arms fault injection: after n more successful line
 // flushes the device "loses power" — subsequent flushes stop persisting and

@@ -267,7 +267,7 @@ func (s *Slab) FreeOldBlock(c *pmem.Ctx, idx int, persist bool) (done bool, err 
 // validateOldFields checks the old-class header fields semantically (they
 // are excluded from the header checksum so that flag commits stay
 // single-word). Returns the old class, data offset and live count.
-func validateOldFields(dev *pmem.Device, base pmem.PAddr, stripes int) (oldClass int, oldDataOff uint32, oldLive int, err error) {
+func validateOldFields(dev pmem.Mem, base pmem.PAddr, stripes int) (oldClass int, oldDataOff uint32, oldLive int, err error) {
 	oldClassRaw := dev.ReadU32(base + hOldClass)
 	oldDataOff = dev.ReadU32(base + hOldDataOff)
 	oldLive = int(dev.ReadU32(base + hOldLive))
@@ -290,7 +290,7 @@ func validateOldFields(dev *pmem.Device, base pmem.PAddr, stripes int) (oldClass
 // validated — geometry against the header checksum, old-class fields
 // semantically — so a torn or corrupted image yields a CorruptError, not
 // a panic or a silently wrong heap. Recovery costs are charged to c.
-func Load(dev *pmem.Device, c *pmem.Ctx, base pmem.PAddr) (*Slab, error) {
+func Load(dev pmem.Mem, c *pmem.Ctx, base pmem.PAddr) (*Slab, error) {
 	if uint64(base)+Size > dev.Size() || base%Size != 0 {
 		return nil, pmem.Corrupt("slab", base, "slab extent out of device bounds or misaligned")
 	}
@@ -420,7 +420,7 @@ func Load(dev *pmem.Device, c *pmem.Ctx, base pmem.PAddr) (*Slab, error) {
 // the index table exists); the restored geometry and its checksum are
 // persisted while the flag still reads 2 — a crash mid-undo simply redoes
 // it — and only then does a separate single-word commit clear the flag.
-func undoMorph(dev *pmem.Device, c *pmem.Ctx, base pmem.PAddr, flag uint32, stripes int) error {
+func undoMorph(dev pmem.Mem, c *pmem.Ctx, base pmem.PAddr, flag uint32, stripes int) error {
 	oldClass, oldDataOff, oldLive, err := validateOldFields(dev, base, stripes)
 	if err != nil {
 		return err

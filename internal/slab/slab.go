@@ -161,7 +161,7 @@ type Slab struct {
 	// identity under Mu before acting on the index.
 	geom atomic.Pointer[Geom]
 
-	dev        *pmem.Device
+	dev        pmem.Mem
 	m          interleave.Mapping
 	lay        *bitLayout // shared (blocks, stripes) bit-layout table
 	bitmapBase uint32
@@ -282,7 +282,7 @@ func BlocksPerSlab(class, stripes int) int {
 // extent at base. When persist is true the header and bitmap are flushed
 // (LOG variant); the GC variant persists the header only, leaving bitmap
 // persistence to post-crash GC.
-func Format(dev *pmem.Device, c *pmem.Ctx, base pmem.PAddr, class, stripes int, persist bool) *Slab {
+func Format(dev pmem.Mem, c *pmem.Ctx, base pmem.PAddr, class, stripes int, persist bool) *Slab {
 	if base%Size != 0 {
 		panic(fmt.Sprintf("slab: base %#x not %d-aligned", base, Size))
 	}
@@ -327,7 +327,7 @@ func Format(dev *pmem.Device, c *pmem.Ctx, base pmem.PAddr, class, stripes int, 
 // subsequent Load accepts it without ever handing out one of its
 // blocks. The payload bytes are untouched: quarantining turns a slab
 // that would fail recovery into a permanent leak instead of a loss.
-func Quarantine(dev *pmem.Device, c *pmem.Ctx, base pmem.PAddr, stripes int) {
+func Quarantine(dev pmem.Mem, c *pmem.Ctx, base pmem.PAddr, stripes int) {
 	base &^= Size - 1
 	_, bitmapBase, dataOff := geometry(0, stripes)
 	dev.WriteU32(base+hMagic, Magic)

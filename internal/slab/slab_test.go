@@ -15,7 +15,7 @@ func newSlab(t *testing.T, class, stripes int) (*pmem.Device, *pmem.Ctx, *Slab) 
 	t.Helper()
 	dev := pmem.New(pmem.Config{Size: 4 * Size, Strict: true})
 	c := dev.NewCtx()
-	s := Format(dev, c, slabBase, class, stripes, true)
+	s := Format(dev.Mem(), c, slabBase, class, stripes, true)
 	return dev, c, s
 }
 
@@ -94,7 +94,7 @@ func TestConsecutiveAllocsAvoidReflush(t *testing.T) {
 	reflushes := func(stripes int) uint64 {
 		dev := pmem.New(pmem.Config{Size: 4 * Size})
 		c := dev.NewCtx()
-		s := Format(dev, c, slabBase, sizeclass.Class(64), stripes, true)
+		s := Format(dev.Mem(), c, slabBase, sizeclass.Class(64), stripes, true)
 		start := c.Local().Reflushes
 		for i := 0; i < 64; i++ {
 			s.AllocBlock(c, i, true)
@@ -151,7 +151,7 @@ func TestLoadRebuildsVslab(t *testing.T) {
 		want[idx] = true
 	}
 	dev.Crash()
-	s2, err := Load(dev, dev.NewCtx(), slabBase)
+	s2, err := Load(dev.Mem(), dev.NewCtx(), slabBase)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +170,7 @@ func TestLoadRebuildsVslab(t *testing.T) {
 
 func TestLoadBadMagic(t *testing.T) {
 	dev := pmem.New(pmem.Config{Size: 4 * Size})
-	if _, err := Load(dev, dev.NewCtx(), slabBase); err == nil {
+	if _, err := Load(dev.Mem(), dev.NewCtx(), slabBase); err == nil {
 		t.Fatal("expected bad-magic error")
 	}
 }
@@ -222,7 +222,7 @@ func TestMorphBasicSmallToLarge(t *testing.T) {
 		}
 	}
 	dev.Crash() // morph must be fully persistent
-	s2, err := Load(dev, dev.NewCtx(), slabBase)
+	s2, err := Load(dev.Mem(), dev.NewCtx(), slabBase)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +311,7 @@ func TestMorphCrashUndoAtEachStep(t *testing.T) {
 	for cut := int64(1); cut < 20; cut++ {
 		dev := pmem.New(pmem.Config{Size: 4 * Size, Strict: true})
 		c := dev.NewCtx()
-		s := Format(dev, c, slabBase, sizeclass.Class(64), 6, true)
+		s := Format(dev.Mem(), c, slabBase, sizeclass.Class(64), 6, true)
 		liveIdx := []int{s.Blocks - 1, s.Blocks - 5}
 		for _, idx := range liveIdx {
 			s.AllocBlock(c, idx, true)
@@ -321,7 +321,7 @@ func TestMorphCrashUndoAtEachStep(t *testing.T) {
 		_ = s.MorphTo(c, sizeclass.Class(256), true)
 		completed := !dev.Crashed()
 		dev.Crash()
-		s2, err := Load(dev, dev.NewCtx(), slabBase)
+		s2, err := Load(dev.Mem(), dev.NewCtx(), slabBase)
 		if err != nil {
 			t.Fatalf("cut=%d: %v", cut, err)
 		}
@@ -387,7 +387,7 @@ func TestMorphedSlabAllocFreeRandomized(t *testing.T) {
 	}
 	// Crash + reload preserves everything.
 	dev.Crash()
-	s2, err := Load(dev, dev.NewCtx(), slabBase)
+	s2, err := Load(dev.Mem(), dev.NewCtx(), slabBase)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -409,7 +409,7 @@ func TestMorphedSlabAllocFreeRandomized(t *testing.T) {
 	}
 	// And the demotion is persistent.
 	dev.Crash()
-	s3, err := Load(dev, dev.NewCtx(), slabBase)
+	s3, err := Load(dev.Mem(), dev.NewCtx(), slabBase)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -436,7 +436,7 @@ func TestSecondMorphAfterDemotion(t *testing.T) {
 		t.Fatal(err)
 	}
 	dev.Crash()
-	s2, err := Load(dev, dev.NewCtx(), slabBase)
+	s2, err := Load(dev.Mem(), dev.NewCtx(), slabBase)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -448,7 +448,7 @@ func TestSecondMorphAfterDemotion(t *testing.T) {
 func TestGCVariantSkipsBitmapFlushes(t *testing.T) {
 	dev := pmem.New(pmem.Config{Size: 4 * Size})
 	c := dev.NewCtx()
-	s := Format(dev, c, slabBase, sizeclass.Class(64), 6, false)
+	s := Format(dev.Mem(), c, slabBase, sizeclass.Class(64), 6, false)
 	before := c.Local().Flushes
 	for i := 0; i < 100; i++ {
 		s.AllocBlock(c, i, false)
@@ -472,7 +472,7 @@ func TestSyncBitmapPersistsVolatileTruth(t *testing.T) {
 	// must make the persistent image match the volatile one.
 	dev := pmem.New(pmem.Config{Size: 4 * Size, Strict: true})
 	c := dev.NewCtx()
-	s := Format(dev, c, slabBase, sizeclass.Class(64), 6, false)
+	s := Format(dev.Mem(), c, slabBase, sizeclass.Class(64), 6, false)
 	want := map[int]bool{}
 	for _, idx := range []int{1, 5, 99, s.Blocks - 1} {
 		s.AllocBlock(c, idx, false) // no flush
@@ -480,7 +480,7 @@ func TestSyncBitmapPersistsVolatileTruth(t *testing.T) {
 	}
 	s.SyncBitmap(c)
 	dev.Crash()
-	s2, err := Load(dev, dev.NewCtx(), slabBase)
+	s2, err := Load(dev.Mem(), dev.NewCtx(), slabBase)
 	if err != nil {
 		t.Fatal(err)
 	}

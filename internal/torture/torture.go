@@ -175,7 +175,9 @@ func Targets() []Target {
 				}
 				return h, nil
 			},
-			MetaRanges: baseline.MetaRanges,
+			MetaRanges: func(dev *pmem.Device) []pmem.Range {
+				return baseline.MetaRanges(dev)
+			},
 		})
 	}
 	return ts
@@ -196,7 +198,9 @@ func nvallocTarget(name string, v core.Variant) Target {
 			}
 			return h, nil
 		},
-		MetaRanges: core.MetaRanges,
+		MetaRanges: func(dev *pmem.Device) []pmem.Range {
+			return core.MetaRanges(dev)
+		},
 		Check: func(dev *pmem.Device) []string {
 			return core.Check(dev, core.DefaultOptions(v))
 		},

@@ -60,7 +60,7 @@ type Entry struct {
 // Log is a write-ahead log over a fixed PM region. It is not
 // goroutine-safe; callers hold the owning arena's resource lock.
 type Log struct {
-	dev    *pmem.Device
+	dev    pmem.Mem
 	base   pmem.PAddr
 	m      interleave.Mapping
 	n      int
@@ -98,7 +98,7 @@ func entryCheck(seq, addr, aux uint64, aux2 uint32, op byte) uint32 {
 // region at base. n is the entry capacity; stripes=1 disables
 // interleaving (the paper's baseline layout). It fails if the checkpoint
 // word does not unseal.
-func New(dev *pmem.Device, base pmem.PAddr, n, stripes int) (*Log, error) {
+func New(dev pmem.Mem, base pmem.PAddr, n, stripes int) (*Log, error) {
 	l := &Log{
 		dev:  dev,
 		base: base,

@@ -9,7 +9,7 @@ import (
 
 func mustNew(t *testing.T, dev *pmem.Device, base pmem.PAddr, n, stripes int) *Log {
 	t.Helper()
-	l, err := New(dev, base, n, stripes)
+	l, err := New(dev.Mem(), base, n, stripes)
 	if err != nil {
 		t.Fatalf("walog.New: %v", err)
 	}
@@ -262,7 +262,7 @@ func TestNewDetectsCorruptCheckpoint(t *testing.T) {
 	}
 	dev.Crash()
 	dev.WriteU64(4096, dev.ReadU64(4096)^(1<<5))
-	if _, err := New(dev, 4096, 16, 2); !errors.Is(err, pmem.ErrCorrupted) {
+	if _, err := New(dev.Mem(), 4096, 16, 2); !errors.Is(err, pmem.ErrCorrupted) {
 		t.Fatalf("corrupt checkpoint not detected: %v", err)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"testing"
 
+	"nvalloc/internal/alloc"
 	"nvalloc/internal/experiment"
 	"nvalloc/internal/pmem"
 )
@@ -24,6 +25,21 @@ var stressAllocators = []string{
 }
 
 func TestConcurrentStressAllAllocators(t *testing.T) {
+	stressAll(t, experiment.OpenHeap)
+}
+
+// TestConcurrentStressAllAllocatorsReal is the same stress run on the
+// direct device. The simulated device serializes every access behind
+// per-line locks, which can hide ordering races between allocator-level
+// atomics; real mode removes that accidental synchronization, so this is
+// the variant where `go test -race` exercises the allocators' own
+// publish protocols at full concurrency. Standing test: runs in every
+// `go test ./...`, not just under -race.
+func TestConcurrentStressAllAllocatorsReal(t *testing.T) {
+	stressAll(t, experiment.OpenHeapDirect)
+}
+
+func stressAll(t *testing.T, open func(name string, cfg experiment.Config) (alloc.Heap, error)) {
 	ops := 4000
 	if testing.Short() {
 		ops = 600
@@ -33,7 +49,7 @@ func TestConcurrentStressAllAllocators(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
 			cfg := experiment.Config{DeviceBytes: 128 << 20}
-			h, err := experiment.OpenHeap(name, cfg)
+			h, err := open(name, cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
