@@ -10,6 +10,12 @@
 //	nvstat -image heap.img -size 268435456
 //	nvstat -image heap.img -check     # report corruption, modify nothing
 //	nvstat -image heap.img -repair    # scavenge in place, rewrite image
+//	nvstat -heap nvkv.heap            # inspect an nvkv server's heap file
+//
+// -heap loads the mmap'd device file behind `nvkv serve` (size inferred
+// from the file itself); since a kill -9'd server leaves a dirty state
+// flag, the open performs crash recovery before inspection, and -check /
+// -repair work on heap files the same way they do on images.
 package main
 
 import (
@@ -25,38 +31,55 @@ import (
 
 func main() {
 	var (
-		image  = flag.String("image", "", "heap image file written by Device.SaveImage")
-		size   = flag.Uint64("size", 256<<20, "device size in bytes (must match the image)")
-		demo   = flag.Bool("demo", false, "generate a demo heap instead of loading an image")
-		check  = flag.Bool("check", false, "report corruption in the image without modifying it")
-		repair = flag.Bool("repair", false, "scavenge the image in place and rewrite it")
+		image    = flag.String("image", "", "heap image file written by Device.SaveImage")
+		heapFile = flag.String("heap", "", "nvkv heap file (direct-device mmap file; size inferred)")
+		size     = flag.Uint64("size", 256<<20, "device size in bytes (must match the image)")
+		demo     = flag.Bool("demo", false, "generate a demo heap instead of loading an image")
+		check    = flag.Bool("check", false, "report corruption in the image without modifying it")
+		repair   = flag.Bool("repair", false, "scavenge the image in place and rewrite it")
 	)
 	flag.Parse()
+
+	// A direct-device heap file is byte-identical to a saved image, so
+	// -heap is -image with the device sized from the file itself.
+	path := *image
+	if *heapFile != "" {
+		if *image != "" {
+			fmt.Fprintln(os.Stderr, "nvstat: -image and -heap are mutually exclusive")
+			os.Exit(2)
+		}
+		st, err := os.Stat(*heapFile)
+		if err != nil {
+			fatal(err)
+		}
+		path = *heapFile
+		*size = uint64(st.Size())
+	}
 
 	dev := nvalloc.NewDevice(nvalloc.DeviceConfig{Size: *size})
 	var heap *nvalloc.Heap
 	switch {
 	case *demo:
 		heap = buildDemo(dev)
-	case *image != "":
-		if err := dev.LoadImage(*image); err != nil {
+	case path != "":
+		if err := dev.LoadImage(path); err != nil {
 			fatal(err)
 		}
 		switch {
 		case *check:
 			os.Exit(runCheck(dev))
 		case *repair:
-			heap = runRepair(dev, *image)
+			heap = runRepair(dev, path)
 		default:
 			h, ns, err := nvalloc.Open(dev, nvalloc.Options{})
 			if err != nil {
 				fatal(err)
 			}
-			fmt.Printf("opened image %s (recovery: %.2f ms virtual)\n\n", *image, float64(ns)/1e6)
+			fmt.Printf("opened image %s (recovery: %.2f ms virtual)\n\n", path, float64(ns)/1e6)
 			heap = h
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "nvstat: need -demo or -image <file>")
+		fmt.Fprintln(os.Stderr, "nvstat: need -demo, -image <file> or -heap <file>")
 		os.Exit(2)
 	}
 

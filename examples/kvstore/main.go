@@ -9,12 +9,47 @@ import (
 	"log"
 
 	"nvalloc"
+	"nvalloc/internal/alloc"
 	"nvalloc/internal/core"
 	"nvalloc/internal/fptree"
 	"nvalloc/internal/pmem"
 )
 
 const treeRootSlot = 0
+
+// workload loads n key-value pairs (every insert allocates a pair blob
+// through the allocator) and deletes every third one (each delete frees
+// one). The tier-1 mode-equivalence test runs the identical workload on
+// both execution modes and diffs the final state.
+func workload(th alloc.Thread, tree *fptree.Tree, n uint64) (deleted int, err error) {
+	for k := uint64(0); k < n; k++ {
+		if err := tree.Insert(th, k, k*3); err != nil {
+			return deleted, err
+		}
+	}
+	for k := uint64(0); k < n; k += 3 {
+		ok, err := tree.Delete(th, k)
+		if err != nil {
+			return deleted, err
+		}
+		if ok {
+			deleted++
+		}
+	}
+	return deleted, nil
+}
+
+// snapshot reads the tree's state over the workload's key range back
+// into a plain map.
+func snapshot(th alloc.Thread, tree *fptree.Tree, n uint64) map[uint64]uint64 {
+	m := make(map[uint64]uint64)
+	for k := uint64(0); k < n; k++ {
+		if v, ok := tree.Get(th, k); ok {
+			m[k] = v
+		}
+	}
+	return m
+}
 
 func main() {
 	dev := nvalloc.NewDevice(nvalloc.DeviceConfig{Size: 512 << 20, Strict: true})
@@ -29,24 +64,10 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Load 50k key-value pairs; every insert allocates a 128 B pair blob
-	// through the allocator, and every delete frees one.
 	const n = 50000
-	for k := uint64(0); k < n; k++ {
-		if err := tree.Insert(th, k, k*3); err != nil {
-			log.Fatal(err)
-		}
-	}
-	// Delete every third key.
-	deleted := 0
-	for k := uint64(0); k < n; k += 3 {
-		ok, err := tree.Delete(th, k)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if ok {
-			deleted++
-		}
+	deleted, err := workload(th, tree, n)
+	if err != nil {
+		log.Fatal(err)
 	}
 	fmt.Printf("loaded %d pairs, deleted %d, live %d\n", n, deleted, tree.Len())
 	th.Ctx().Merge()

@@ -1,0 +1,330 @@
+// Package nvkv is the network-facing persistent key-value service built
+// on the NVAlloc heap: a TCP server speaking a minimal RESP-like wire
+// protocol whose keys index through the persistent hash (internal/phash)
+// and whose values live in allocator-backed, CRC-sealed record blobs.
+//
+// The service runs on either execution mode: a virtual-time pmem.Device
+// for deterministic tests (the crash-restart harness records the flush
+// journal and reopens the image at every persistence boundary) or a
+// DirectDev — an mmap'd heap file — for wall-clock serving, where a
+// kill -9 loses nothing that was acknowledged.
+//
+// Acknowledged durability is the service contract: a reply is written
+// only after the operation's commit point (the index entry's 8-byte
+// atomic persist, plus the allocator's WAL/bitmap commits) has been
+// fenced. See DESIGN.md §10.
+package nvkv
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Wire-protocol limits. Oversized frames are rejected before any
+// allocation is sized by attacker-controlled input.
+const (
+	// MaxArgs is the maximum elements in one command array.
+	MaxArgs = 8
+	// MaxBulk is the maximum byte length of one bulk string (and so the
+	// maximum value size the protocol can carry).
+	MaxBulk = 8 << 20
+	// maxLineLen bounds a single protocol line (inline commands and
+	// length headers).
+	maxLineLen = 16 << 10
+)
+
+// ErrProtocol is the sentinel wrapped by every wire-protocol parse
+// error. The parser returns typed errors and never panics, whatever the
+// input (FuzzRESPParse holds it to that); io errors (io.EOF,
+// io.ErrUnexpectedEOF) pass through unwrapped so callers can tell a
+// closed peer from a malformed frame.
+var ErrProtocol = errors.New("nvkv: protocol error")
+
+func protoErrf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrProtocol, fmt.Sprintf(format, args...))
+}
+
+// readLine reads one CRLF-terminated line, rejecting lines longer than
+// maxLineLen and bare-LF or bare-CR terminators.
+func readLine(br *bufio.Reader) ([]byte, error) {
+	line, err := br.ReadSlice('\n')
+	if err != nil {
+		if err == bufio.ErrBufferFull {
+			return nil, protoErrf("line exceeds %d bytes", maxLineLen)
+		}
+		if err == io.EOF && len(line) > 0 {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	if len(line) > maxLineLen {
+		return nil, protoErrf("line exceeds %d bytes", maxLineLen)
+	}
+	if len(line) < 2 || line[len(line)-2] != '\r' {
+		return nil, protoErrf("line not CRLF-terminated")
+	}
+	return line[:len(line)-2], nil
+}
+
+// parseInt parses a decimal integer from a protocol line without
+// tolerating signs, blanks, or empty input (lengths and counts are
+// always non-negative on the wire; -1 nil frames are handled by their
+// dedicated reply paths).
+func parseInt(b []byte) (int64, error) {
+	if len(b) == 0 || len(b) > 19 {
+		return 0, protoErrf("bad integer %q", b)
+	}
+	var n int64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, protoErrf("bad integer %q", b)
+		}
+		n = n*10 + int64(c-'0')
+	}
+	return n, nil
+}
+
+// ReadCommand reads one client command: either a RESP array of bulk
+// strings (*N\r\n$len\r\npayload\r\n...) or a space-separated inline
+// line. It returns the argument vector; the first element is the
+// command name. Limits: at most MaxArgs arguments, at most MaxBulk
+// bytes per argument. Every parse failure wraps ErrProtocol; the
+// function never panics.
+func ReadCommand(br *bufio.Reader) ([][]byte, error) {
+	first, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if first != '*' {
+		if err := br.UnreadByte(); err != nil {
+			return nil, err
+		}
+		return readInline(br)
+	}
+	header, err := readLine(br)
+	if err != nil {
+		return nil, err
+	}
+	n, err := parseInt(header)
+	if err != nil {
+		return nil, err
+	}
+	if n < 1 || n > MaxArgs {
+		return nil, protoErrf("array of %d elements (limit %d)", n, MaxArgs)
+	}
+	args := make([][]byte, 0, n)
+	for i := int64(0); i < n; i++ {
+		arg, err := readBulk(br)
+		if err != nil {
+			if err == io.EOF {
+				return nil, io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+		args = append(args, arg)
+	}
+	return args, nil
+}
+
+// readBulk reads one $len\r\npayload\r\n frame.
+func readBulk(br *bufio.Reader) ([]byte, error) {
+	prefix, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if prefix != '$' {
+		return nil, protoErrf("expected bulk string, got %q", prefix)
+	}
+	header, err := readLine(br)
+	if err != nil {
+		return nil, err
+	}
+	n, err := parseInt(header)
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxBulk {
+		return nil, protoErrf("bulk of %d bytes (limit %d)", n, MaxBulk)
+	}
+	payload := make([]byte, n+2)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		if err == io.EOF {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	if payload[n] != '\r' || payload[n+1] != '\n' {
+		return nil, protoErrf("bulk payload not CRLF-terminated")
+	}
+	return payload[:n], nil
+}
+
+// readInline parses a space-separated inline command line (telnet
+// convenience; also the framing the fuzzer stresses hardest).
+func readInline(br *bufio.Reader) ([][]byte, error) {
+	line, err := readLine(br)
+	if err != nil {
+		return nil, err
+	}
+	var args [][]byte
+	i := 0
+	for i < len(line) {
+		for i < len(line) && line[i] == ' ' {
+			i++
+		}
+		start := i
+		for i < len(line) && line[i] != ' ' {
+			i++
+		}
+		if i > start {
+			if len(args) == MaxArgs {
+				return nil, protoErrf("inline command exceeds %d arguments", MaxArgs)
+			}
+			arg := make([]byte, i-start)
+			copy(arg, line[start:i])
+			args = append(args, arg)
+		}
+	}
+	if len(args) == 0 {
+		return nil, protoErrf("empty inline command")
+	}
+	return args, nil
+}
+
+// WriteCommand writes args as a RESP array of bulk strings (the client
+// side of ReadCommand).
+func WriteCommand(bw *bufio.Writer, args ...[]byte) error {
+	bw.WriteByte('*')
+	bw.WriteString(strconv.Itoa(len(args)))
+	bw.WriteString("\r\n")
+	for _, a := range args {
+		bw.WriteByte('$')
+		bw.WriteString(strconv.Itoa(len(a)))
+		bw.WriteString("\r\n")
+		bw.Write(a)
+		bw.WriteString("\r\n")
+	}
+	return nil
+}
+
+// Reply kinds.
+const (
+	ReplyStatus = iota // +OK
+	ReplyError         // -ERR ...
+	ReplyInt           // :N
+	ReplyBulk          // $len payload
+	ReplyNil           // $-1
+)
+
+// Reply is one server response as seen by a client.
+type Reply struct {
+	Kind int
+	// Status holds the status or error text.
+	Status string
+	// Int holds the integer for ReplyInt.
+	Int int64
+	// Bulk holds the payload for ReplyBulk.
+	Bulk []byte
+}
+
+// ReadReply reads one server reply (the client side of the reply
+// writers below). Parse failures wrap ErrProtocol.
+func ReadReply(br *bufio.Reader) (Reply, error) {
+	prefix, err := br.ReadByte()
+	if err != nil {
+		return Reply{}, err
+	}
+	switch prefix {
+	case '+', '-':
+		line, err := readLine(br)
+		if err != nil {
+			return Reply{}, err
+		}
+		kind := ReplyStatus
+		if prefix == '-' {
+			kind = ReplyError
+		}
+		return Reply{Kind: kind, Status: string(line)}, nil
+	case ':':
+		line, err := readLine(br)
+		if err != nil {
+			return Reply{}, err
+		}
+		neg := false
+		if len(line) > 0 && line[0] == '-' {
+			neg = true
+			line = line[1:]
+		}
+		n, err := parseInt(line)
+		if err != nil {
+			return Reply{}, err
+		}
+		if neg {
+			n = -n
+		}
+		return Reply{Kind: ReplyInt, Int: n}, nil
+	case '$':
+		header, err := readLine(br)
+		if err != nil {
+			return Reply{}, err
+		}
+		if len(header) == 2 && header[0] == '-' && header[1] == '1' {
+			return Reply{Kind: ReplyNil}, nil
+		}
+		n, err := parseInt(header)
+		if err != nil {
+			return Reply{}, err
+		}
+		if n > MaxBulk {
+			return Reply{}, protoErrf("bulk reply of %d bytes (limit %d)", n, MaxBulk)
+		}
+		payload := make([]byte, n+2)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			if err == io.EOF {
+				return Reply{}, io.ErrUnexpectedEOF
+			}
+			return Reply{}, err
+		}
+		if payload[n] != '\r' || payload[n+1] != '\n' {
+			return Reply{}, protoErrf("bulk reply not CRLF-terminated")
+		}
+		return Reply{Kind: ReplyBulk, Bulk: payload[:n]}, nil
+	default:
+		return Reply{}, protoErrf("bad reply prefix %q", prefix)
+	}
+}
+
+// Reply writers (server side).
+
+func writeStatus(bw *bufio.Writer, s string) {
+	bw.WriteByte('+')
+	bw.WriteString(s)
+	bw.WriteString("\r\n")
+}
+
+func writeErrorReply(bw *bufio.Writer, msg string) {
+	bw.WriteString("-ERR ")
+	bw.WriteString(msg)
+	bw.WriteString("\r\n")
+}
+
+func writeInt(bw *bufio.Writer, n int64) {
+	bw.WriteByte(':')
+	bw.WriteString(strconv.FormatInt(n, 10))
+	bw.WriteString("\r\n")
+}
+
+func writeBulk(bw *bufio.Writer, b []byte) {
+	bw.WriteByte('$')
+	bw.WriteString(strconv.Itoa(len(b)))
+	bw.WriteString("\r\n")
+	bw.Write(b)
+	bw.WriteString("\r\n")
+}
+
+func writeNil(bw *bufio.Writer) {
+	bw.WriteString("$-1\r\n")
+}

@@ -1,0 +1,182 @@
+package nvkv
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func readerFor(s string) *bufio.Reader {
+	return bufio.NewReader(strings.NewReader(s))
+}
+
+func TestReadCommandArray(t *testing.T) {
+	args, err := ReadCommand(readerFor("*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$5\r\nhello\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(args) != 3 || string(args[0]) != "SET" || string(args[2]) != "hello" {
+		t.Fatalf("args: %q", args)
+	}
+	// Empty bulk strings are legal frames (the store, not the parser,
+	// rejects empty keys).
+	args, err = ReadCommand(readerFor("*2\r\n$3\r\nGET\r\n$0\r\n\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(args) != 2 || len(args[1]) != 0 {
+		t.Fatalf("args: %q", args)
+	}
+}
+
+func TestReadCommandInline(t *testing.T) {
+	args, err := ReadCommand(readerFor("  GET   some-key \r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(args) != 2 || string(args[0]) != "GET" || string(args[1]) != "some-key" {
+		t.Fatalf("args: %q", args)
+	}
+}
+
+func TestReadCommandErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"bare LF line", "GET k\n"},
+		{"empty inline", "\r\n"},
+		{"too many args", "*9\r\n"},
+		{"zero args", "*0\r\n"},
+		{"negative count", "*-1\r\n"},
+		{"count not a number", "*x\r\n"},
+		{"huge bulk", "*1\r\n$99999999999\r\n"},
+		{"bulk over limit", "*1\r\n$8388609\r\n"},
+		{"bulk bad terminator", "*1\r\n$2\r\nabXX"},
+		{"not a bulk", "*1\r\n:5\r\n"},
+		{"giant inline line", strings.Repeat("a", 20<<10) + "\r\n"},
+		{"inline too many args", "a b c d e f g h i\r\n"},
+	}
+	for _, c := range cases {
+		_, err := ReadCommand(readerFor(c.in))
+		if !errors.Is(err, ErrProtocol) {
+			t.Errorf("%s: err = %v, want ErrProtocol", c.name, err)
+		}
+	}
+	// Truncation mid-frame is an io error, not a protocol error: the
+	// peer hung up.
+	for _, in := range []string{"", "*2\r\n$3\r\nGET\r\n", "*1\r\n$5\r\nab"} {
+		_, err := ReadCommand(readerFor(in))
+		if err != io.EOF && err != io.ErrUnexpectedEOF {
+			t.Errorf("%q: err = %v, want io.EOF/ErrUnexpectedEOF", in, err)
+		}
+	}
+}
+
+func TestCommandRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	want := [][]byte{[]byte("SET"), []byte("k"), {0, 1, 2, '\r', '\n', 0xFF}}
+	if err := WriteCommand(bw, want...); err != nil {
+		t.Fatal(err)
+	}
+	bw.Flush()
+	got, err := ReadCommand(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d args", len(got))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("arg %d: %q != %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReplyRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	writeStatus(bw, "OK")
+	writeErrorReply(bw, "boom")
+	writeInt(bw, -42)
+	writeBulk(bw, []byte("payload\r\nwith crlf"))
+	writeNil(bw)
+	bw.Flush()
+	br := bufio.NewReader(&buf)
+
+	for _, want := range []Reply{
+		{Kind: ReplyStatus, Status: "OK"},
+		{Kind: ReplyError, Status: "ERR boom"},
+		{Kind: ReplyInt, Int: -42},
+		{Kind: ReplyBulk, Bulk: []byte("payload\r\nwith crlf")},
+		{Kind: ReplyNil},
+	} {
+		got, err := ReadReply(br)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Kind != want.Kind || got.Status != want.Status || got.Int != want.Int || !bytes.Equal(got.Bulk, want.Bulk) {
+			t.Fatalf("reply %+v, want %+v", got, want)
+		}
+	}
+}
+
+// FuzzRESPParse holds the parser to its contract: arbitrary bytes never
+// panic, never allocate past the frame limits, and fail only with typed
+// errors (ErrProtocol or an io error).
+func FuzzRESPParse(f *testing.F) {
+	seeds := []string{
+		"*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$5\r\nhello\r\n",
+		"*1\r\n$4\r\nPING\r\n",
+		"GET key\r\n",
+		"*2\r\n$3\r\nGET\r\n$0\r\n\r\n",
+		"*8\r\n$1\r\na\r\n",
+		"$-1\r\n",
+		"+OK\r\n",
+		":-123\r\n",
+		"-ERR nope\r\n",
+		"*1\r\n$8388608\r\n",
+		"\r\n",
+		"*999999999999999999999\r\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		for i := 0; i < 4; i++ {
+			args, err := ReadCommand(br)
+			if err != nil {
+				if !errors.Is(err, ErrProtocol) && err != io.EOF && err != io.ErrUnexpectedEOF {
+					t.Fatalf("untyped error: %v", err)
+				}
+				break
+			}
+			if len(args) == 0 || len(args) > MaxArgs {
+				t.Fatalf("arg count %d out of contract", len(args))
+			}
+			for _, a := range args {
+				if len(a) > MaxBulk {
+					t.Fatalf("arg of %d bytes out of contract", len(a))
+				}
+			}
+		}
+		br = bufio.NewReader(bytes.NewReader(data))
+		for i := 0; i < 4; i++ {
+			rep, err := ReadReply(br)
+			if err != nil {
+				if !errors.Is(err, ErrProtocol) && err != io.EOF && err != io.ErrUnexpectedEOF {
+					t.Fatalf("untyped reply error: %v", err)
+				}
+				break
+			}
+			if rep.Kind < ReplyStatus || rep.Kind > ReplyNil {
+				t.Fatalf("reply kind %d out of contract", rep.Kind)
+			}
+		}
+	})
+}

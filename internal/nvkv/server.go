@@ -1,0 +1,336 @@
+package nvkv
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nvalloc/internal/alloc"
+	"nvalloc/internal/pmem"
+)
+
+// Server serves the RESP-like protocol over TCP (or any net.Listener —
+// the deterministic tests drive it over net.Pipe). Every connection gets
+// its own allocator Thread, so connections allocate through their own
+// tcache and contend only where the allocator itself contends.
+//
+// Commands:
+//
+//	PING                       -> +PONG
+//	GET key                    -> bulk value | $-1
+//	SET key value [TTL ms]     -> +OK         (durable on reply)
+//	DEL key                    -> :1 | :0     (durable on reply)
+//	EXPIRE key ms              -> :1 | :0     (ms <= 0 deletes)
+//	STATS                      -> bulk text (store counters + heap accounting)
+//	SNAPSHOT                   -> +saved <path> (configured path only)
+//	QUIT                       -> +OK, connection closes
+type Server struct {
+	store *Store
+	heap  alloc.Heap
+
+	// Now supplies the service clock in ns. The default is wall time;
+	// the virtual-time harness injects a logical clock so expiry is
+	// deterministic.
+	now func() int64
+
+	// snapshotPath, when non-empty, enables the SNAPSHOT command.
+	snapshotPath string
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+
+	ops atomic.Uint64
+}
+
+// ServerConfig parameterizes NewServer.
+type ServerConfig struct {
+	// Now overrides the service clock (default time.Now().UnixNano).
+	Now func() int64
+	// SnapshotPath enables SNAPSHOT, writing the heap image there.
+	SnapshotPath string
+}
+
+// NewServer wraps a store for serving.
+func NewServer(store *Store, cfg ServerConfig) *Server {
+	now := cfg.Now
+	if now == nil {
+		now = func() int64 { return time.Now().UnixNano() }
+	}
+	return &Server{
+		store:        store,
+		heap:         store.Heap(),
+		now:          now,
+		snapshotPath: cfg.SnapshotPath,
+		conns:        make(map[net.Conn]struct{}),
+	}
+}
+
+// Ops returns the total commands served.
+func (s *Server) Ops() uint64 { return s.ops.Load() }
+
+// Serve accepts connections until the listener is closed (Close does
+// that). It always returns a non-nil error; after Close it returns
+// net.ErrClosed.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		s.track(conn, true)
+		go func() {
+			defer s.track(conn, false)
+			s.ServeConn(conn)
+		}()
+	}
+}
+
+func (s *Server) track(c net.Conn, add bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if add {
+		if s.closed {
+			c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+	} else {
+		delete(s.conns, c)
+	}
+}
+
+// Close stops accepting and closes every live connection.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	l := s.listener
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// flushEvery bounds how many commands a connection serves between
+// explicit drains of the thread's deferred buffers (batched remote
+// frees). Acknowledged mutations are durable regardless — the drain only
+// bounds how much reclaimable storage a crash can leak.
+const flushEvery = 4096
+
+// ServeConn serves one connection synchronously and closes it on
+// return. Exposed so tests can serve a net.Pipe end without a listener.
+func (s *Server) ServeConn(conn net.Conn) {
+	defer conn.Close()
+	th := s.heap.NewThread()
+	defer th.Close()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	served := 0
+	for {
+		args, err := ReadCommand(br)
+		if err != nil {
+			if errors.Is(err, ErrProtocol) {
+				writeErrorReply(bw, err.Error())
+				bw.Flush()
+			}
+			return
+		}
+		quit := s.dispatch(bw, th, args)
+		s.ops.Add(1)
+		served++
+		if served%flushEvery == 0 {
+			if f, ok := th.(alloc.Flusher); ok {
+				f.Flush()
+			}
+		}
+		// Pipelining: only pay the write syscall when no further
+		// command is already buffered.
+		if br.Buffered() == 0 || quit {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+		if quit {
+			return
+		}
+	}
+}
+
+// dispatch executes one command and writes its reply. It reports
+// whether the connection should close (QUIT).
+func (s *Server) dispatch(bw *bufio.Writer, th alloc.Thread, args [][]byte) bool {
+	cmd := asciiUpper(args[0])
+	switch cmd {
+	case "PING":
+		writeStatus(bw, "PONG")
+	case "GET":
+		if len(args) != 2 {
+			writeErrorReply(bw, "GET needs 1 argument")
+			return false
+		}
+		val, ok, err := s.store.Get(th, s.now(), args[1])
+		switch {
+		case err != nil:
+			writeErrorReply(bw, err.Error())
+		case !ok:
+			writeNil(bw)
+		default:
+			writeBulk(bw, val)
+		}
+	case "SET":
+		if len(args) != 3 && len(args) != 5 {
+			writeErrorReply(bw, "SET needs key value [TTL ms]")
+			return false
+		}
+		var ttl int64
+		if len(args) == 5 {
+			if asciiUpper(args[3]) != "TTL" {
+				writeErrorReply(bw, "SET option must be TTL")
+				return false
+			}
+			ms, err := strconv.ParseInt(string(args[4]), 10, 64)
+			if err != nil || ms < 0 {
+				writeErrorReply(bw, "bad TTL")
+				return false
+			}
+			ttl = ms * int64(time.Millisecond)
+		}
+		if err := s.store.Set(th, s.now(), args[1], args[2], ttl); err != nil {
+			writeErrorReply(bw, err.Error())
+			return false
+		}
+		writeStatus(bw, "OK")
+	case "DEL":
+		if len(args) != 2 {
+			writeErrorReply(bw, "DEL needs 1 argument")
+			return false
+		}
+		ok, err := s.store.Del(th, args[1])
+		if err != nil {
+			writeErrorReply(bw, err.Error())
+			return false
+		}
+		writeInt(bw, b2i(ok))
+	case "EXPIRE":
+		if len(args) != 3 {
+			writeErrorReply(bw, "EXPIRE needs key and ms")
+			return false
+		}
+		ms, err := strconv.ParseInt(string(args[2]), 10, 64)
+		if err != nil {
+			writeErrorReply(bw, "bad TTL")
+			return false
+		}
+		ok, err := s.store.Expire(th, s.now(), args[1], ms*int64(time.Millisecond))
+		if err != nil {
+			writeErrorReply(bw, err.Error())
+			return false
+		}
+		writeInt(bw, b2i(ok))
+	case "STATS":
+		if f, ok := th.(alloc.Flusher); ok {
+			f.Flush()
+		}
+		writeBulk(bw, []byte(s.store.StatsText()))
+	case "SNAPSHOT":
+		if f, ok := th.(alloc.Flusher); ok {
+			f.Flush()
+		}
+		if err := s.Snapshot(); err != nil {
+			writeErrorReply(bw, err.Error())
+			return false
+		}
+		writeStatus(bw, "saved "+s.snapshotPath)
+	case "QUIT":
+		writeStatus(bw, "OK")
+		return true
+	default:
+		writeErrorReply(bw, fmt.Sprintf("unknown command %q", cmd))
+	}
+	return false
+}
+
+// Snapshot writes a point-in-time copy of the heap image to the
+// configured path (temp file + rename, so a host crash mid-save never
+// leaves a torn snapshot). On a simulated device the persisted media
+// image is saved; on a direct device the copy is taken while serving
+// continues, so it is fuzzy under write load — `nvstat -check` (or
+// -repair) validates a snapshot before it is trusted.
+func (s *Server) Snapshot() error {
+	if s.snapshotPath == "" {
+		return errors.New("nvkv: snapshots disabled (no snapshot path configured)")
+	}
+	switch dev := s.heap.Device().(type) {
+	case *pmem.Device:
+		return dev.SaveImage(s.snapshotPath)
+	default:
+		img := dev.Bytes(0, int(dev.Size()))
+		dir := filepath.Dir(s.snapshotPath)
+		tmp, err := os.CreateTemp(dir, ".nvkv-snap-*")
+		if err != nil {
+			return err
+		}
+		name := tmp.Name()
+		_, err = tmp.Write(img)
+		if err == nil {
+			err = tmp.Sync()
+		}
+		if err != nil {
+			tmp.Close()
+			os.Remove(name)
+			return err
+		}
+		if err := tmp.Close(); err != nil {
+			os.Remove(name)
+			return err
+		}
+		return os.Rename(name, s.snapshotPath)
+	}
+}
+
+// asciiUpper upper-cases a short command word without allocating for
+// the common already-upper case.
+func asciiUpper(b []byte) string {
+	upper := true
+	for _, c := range b {
+		if c >= 'a' && c <= 'z' {
+			upper = false
+			break
+		}
+	}
+	if upper {
+		return string(b)
+	}
+	u := bytes.ToUpper(b)
+	return string(u)
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,366 @@
+package nvkv
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"sync/atomic"
+
+	"nvalloc/internal/alloc"
+	"nvalloc/internal/phash"
+	"nvalloc/internal/pmem"
+)
+
+// The persistent layout. Each key-value pair is one allocator-backed
+// record blob, reached through the phash index: the index maps
+// hash64(key bytes) -> record PAddr, and the record carries the full key
+// so hits are verified byte-for-byte (a 64-bit digest collision is
+// detected, never silently conflated).
+//
+// Record blob (16 + klen + vlen + 4 bytes, allocated via Thread.Malloc):
+//
+//	[0,8)              header: magic(16) | klen(16) | vlen(32)
+//	[8,16)             expiry, absolute ns (0 = no expiry)
+//	[16,16+klen)       key bytes
+//	[16+klen,...+vlen) value bytes
+//	last 4             CRC32 (IEEE) of key||value
+//
+// Consistency: the record is written and fenced before the index entry
+// publishes it (phash's presence-bit or in-place pointer commit, both
+// 8-byte atomic persists). A crash between publish and the free of a
+// superseded record leaks the old blob — a leak, never corruption; the
+// GC variant's conservative scan reclaims it, and under LOG/IC it is
+// visible to a Heap.Objects walk (DESIGN.md §10 discusses the window).
+const (
+	recHeader = 0
+	recExpiry = 8
+	recKey    = 16
+
+	recMagic = 0x4B56 // "KV"
+
+	// MaxKeyLen bounds keys; the wire protocol's MaxBulk bounds values.
+	MaxKeyLen = 4 << 10
+)
+
+// Store errors.
+var (
+	// ErrKeyTooLarge is returned for keys above MaxKeyLen or empty keys.
+	ErrKeyTooLarge = errors.New("nvkv: key empty or exceeds MaxKeyLen")
+	// ErrValueTooLarge is returned for values above the store's cap.
+	ErrValueTooLarge = errors.New("nvkv: value exceeds maximum size")
+	// ErrHashCollision is returned when a Set would land on a different
+	// key with the same 64-bit digest. The store refuses to clobber it.
+	ErrHashCollision = errors.New("nvkv: 64-bit key digest collision")
+	// ErrRecordCorrupt wraps every record integrity failure (bad magic,
+	// bad CRC, out-of-range geometry).
+	ErrRecordCorrupt = errors.New("nvkv: record corrupt")
+)
+
+const storeStripes = 256
+
+// Store is the persistent KV engine: a phash directory of record blobs
+// on an NVAlloc heap. It is safe for concurrent use; every read-modify-
+// write on a key holds that key's service-level stripe lock around the
+// whole lookup/allocate/publish/free sequence (phash's own bucket locks
+// only cover single index operations).
+type Store struct {
+	heap   alloc.Heap
+	dev    pmem.Dev
+	idx    *phash.Map
+	maxVal uint64
+	locks  [storeStripes]sync.Mutex
+
+	// Volatile counters (rebuilt or re-zeroed on open).
+	liveKeys   atomic.Int64
+	gets       atomic.Uint64
+	hits       atomic.Uint64
+	sets       atomic.Uint64
+	dels       atomic.Uint64
+	expires    atomic.Uint64
+	collisions atomic.Uint64
+}
+
+// StoreConfig parameterizes CreateStore.
+type StoreConfig struct {
+	// Buckets sizes the phash directory (default 1<<15).
+	Buckets int
+	// MaxValLen caps value sizes (default MaxBulk).
+	MaxValLen uint64
+}
+
+func (c StoreConfig) withDefaults() StoreConfig {
+	if c.Buckets <= 0 {
+		c.Buckets = 1 << 15
+	}
+	if c.MaxValLen == 0 {
+		c.MaxValLen = MaxBulk
+	}
+	return c
+}
+
+// CreateStore formats a fresh store whose index header persists in the
+// heap's rootSlot.
+func CreateStore(h alloc.Heap, th alloc.Thread, rootSlot int, cfg StoreConfig) (*Store, error) {
+	cfg = cfg.withDefaults()
+	// The phash blob (its per-entry allocation) holds exactly the pair
+	// (key digest, record PAddr): 16 bytes.
+	idx, err := phash.Create(h, th, rootSlot, cfg.Buckets, 16)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{heap: h, dev: h.Device(), idx: idx, maxVal: cfg.MaxValLen}, nil
+}
+
+// OpenStore attaches to an existing store after a restart or crash
+// recovery. The live-key counter is rebuilt by walking the directory.
+func OpenStore(h alloc.Heap, rootSlot int, cfg StoreConfig) (*Store, error) {
+	cfg = cfg.withDefaults()
+	idx, err := phash.Open(h, rootSlot)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{heap: h, dev: h.Device(), idx: idx, maxVal: cfg.MaxValLen}
+	s.liveKeys.Store(int64(idx.Len()))
+	return s, nil
+}
+
+// hashKey is FNV-1a 64 over the key bytes.
+func hashKey(key []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range key {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
+
+func (s *Store) lockFor(k64 uint64) *sync.Mutex {
+	return &s.locks[k64%storeStripes]
+}
+
+// readRecordMeta loads and sanity-checks a record header, returning key
+// and value geometry.
+func (s *Store) readRecordMeta(rec pmem.PAddr) (klen, vlen uint64, expiry int64, err error) {
+	hdr := s.dev.ReadU64(rec + recHeader)
+	if hdr>>48 != recMagic {
+		return 0, 0, 0, fmt.Errorf("%w: bad magic %#x at %#x", ErrRecordCorrupt, hdr>>48, rec)
+	}
+	klen = (hdr >> 32) & 0xFFFF
+	vlen = hdr & 0xFFFFFFFF
+	if klen == 0 || klen > MaxKeyLen || vlen > MaxBulk {
+		return 0, 0, 0, fmt.Errorf("%w: geometry klen=%d vlen=%d at %#x", ErrRecordCorrupt, klen, vlen, rec)
+	}
+	return klen, vlen, int64(s.dev.ReadU64(rec + recExpiry)), nil
+}
+
+// lookup resolves key to its record, verifying the stored key bytes.
+// Caller holds the stripe lock. found=false with rec!=Null never
+// happens; a digest collision reports collision=true.
+func (s *Store) lookup(th alloc.Thread, k64 uint64, key []byte) (rec pmem.PAddr, expiry int64, found, collision bool, err error) {
+	v, ok := s.idx.Get(th, k64)
+	if !ok {
+		return pmem.Null, 0, false, false, nil
+	}
+	rec = pmem.PAddr(v)
+	klen, _, exp, err := s.readRecordMeta(rec)
+	if err != nil {
+		return pmem.Null, 0, false, false, err
+	}
+	if klen != uint64(len(key)) || string(s.dev.Bytes(rec+recKey, int(klen))) != string(key) {
+		s.collisions.Add(1)
+		return pmem.Null, 0, false, true, nil
+	}
+	return rec, exp, true, false, nil
+}
+
+// writeRecord allocates, writes, flushes and fences a record blob. The
+// fence guarantees the record is durable before any index publish that
+// could make it reachable.
+func (s *Store) writeRecord(th alloc.Thread, key, val []byte, expiry int64) (pmem.PAddr, error) {
+	n := uint64(recKey) + uint64(len(key)) + uint64(len(val)) + 4
+	rec, err := th.Malloc(n)
+	if err != nil {
+		return pmem.Null, err
+	}
+	hdr := uint64(recMagic)<<48 | uint64(len(key))<<32 | uint64(len(val))
+	s.dev.WriteU64(rec+recHeader, hdr)
+	s.dev.WriteU64(rec+recExpiry, uint64(expiry))
+	s.dev.Write(rec+recKey, key)
+	s.dev.Write(rec+recKey+pmem.PAddr(len(key)), val)
+	crc := crc32.ChecksumIEEE(key)
+	crc = crc32.Update(crc, crc32.IEEETable, val)
+	s.dev.WriteU32(rec+pmem.PAddr(n-4), crc)
+	c := th.Ctx()
+	c.Flush(pmem.CatOther, rec, int(n))
+	c.Fence()
+	return rec, nil
+}
+
+// Set inserts or replaces key with val. A ttl of 0 stores without
+// expiry; ttl > 0 expires the key at now+ttl (both in ns). The reply
+// contract: when Set returns nil the pair is durable — the record was
+// fenced before the index entry's atomic commit, which phash fences
+// before returning.
+func (s *Store) Set(th alloc.Thread, now int64, key, val []byte, ttl int64) error {
+	if len(key) == 0 || len(key) > MaxKeyLen {
+		return ErrKeyTooLarge
+	}
+	if uint64(len(val)) > s.maxVal {
+		return ErrValueTooLarge
+	}
+	var expiry int64
+	if ttl > 0 {
+		expiry = now + ttl
+	}
+	k64 := hashKey(key)
+	lk := s.lockFor(k64)
+	lk.Lock()
+	defer lk.Unlock()
+
+	old, _, found, collision, err := s.lookup(th, k64, key)
+	if err != nil {
+		return err
+	}
+	if collision {
+		return ErrHashCollision
+	}
+	rec, err := s.writeRecord(th, key, val, expiry)
+	if err != nil {
+		return err
+	}
+	if err := s.idx.Put(th, k64, uint64(rec)); err != nil {
+		// The record never became reachable; return it.
+		_ = th.Free(rec)
+		return err
+	}
+	s.sets.Add(1)
+	if found {
+		// The old record is unreachable from the index now; a crash
+		// before this free merely leaks it.
+		if err := th.Free(old); err != nil {
+			return err
+		}
+	} else {
+		s.liveKeys.Add(1)
+	}
+	return nil
+}
+
+// Get returns the value stored under key, or ok=false when the key is
+// absent or expired at now. Expired records are left in place (lazy
+// expiry): a later Set or Del reclaims them, keeping Get read-only.
+func (s *Store) Get(th alloc.Thread, now int64, key []byte) ([]byte, bool, error) {
+	if len(key) == 0 || len(key) > MaxKeyLen {
+		return nil, false, ErrKeyTooLarge
+	}
+	k64 := hashKey(key)
+	lk := s.lockFor(k64)
+	lk.Lock()
+	defer lk.Unlock()
+	s.gets.Add(1)
+
+	rec, expiry, found, _, err := s.lookup(th, k64, key)
+	if err != nil || !found {
+		return nil, false, err
+	}
+	if expiry != 0 && expiry <= now {
+		return nil, false, nil
+	}
+	klen, vlen, _, err := s.readRecordMeta(rec)
+	if err != nil {
+		return nil, false, err
+	}
+	val := s.dev.Read(rec+recKey+pmem.PAddr(klen), int(vlen))
+	crc := crc32.ChecksumIEEE(s.dev.Bytes(rec+recKey, int(klen)))
+	crc = crc32.Update(crc, crc32.IEEETable, val)
+	if got := s.dev.ReadU32(rec + recKey + pmem.PAddr(klen+vlen)); got != crc {
+		return nil, false, fmt.Errorf("%w: CRC mismatch at %#x", ErrRecordCorrupt, rec)
+	}
+	s.hits.Add(1)
+	return val, true, nil
+}
+
+// Del removes key, reporting whether it was present (expired keys count
+// as present for deletion: their storage is reclaimed either way).
+func (s *Store) Del(th alloc.Thread, key []byte) (bool, error) {
+	if len(key) == 0 || len(key) > MaxKeyLen {
+		return false, ErrKeyTooLarge
+	}
+	k64 := hashKey(key)
+	lk := s.lockFor(k64)
+	lk.Lock()
+	defer lk.Unlock()
+	return s.delLocked(th, k64, key)
+}
+
+func (s *Store) delLocked(th alloc.Thread, k64 uint64, key []byte) (bool, error) {
+	rec, _, found, _, err := s.lookup(th, k64, key)
+	if err != nil || !found {
+		return false, err
+	}
+	// The presence-bit clear inside Delete is the commit point; it is
+	// fenced before Delete returns, so a nil return is a durable delete.
+	if _, err := s.idx.Delete(th, k64); err != nil {
+		return false, err
+	}
+	s.dels.Add(1)
+	s.liveKeys.Add(-1)
+	return true, th.Free(rec)
+}
+
+// Expire re-arms key's expiry to now+ttl. A ttl <= 0 deletes the key
+// immediately (the redis convention). It reports whether the key was
+// present and unexpired.
+func (s *Store) Expire(th alloc.Thread, now int64, key []byte, ttl int64) (bool, error) {
+	if len(key) == 0 || len(key) > MaxKeyLen {
+		return false, ErrKeyTooLarge
+	}
+	k64 := hashKey(key)
+	lk := s.lockFor(k64)
+	lk.Lock()
+	defer lk.Unlock()
+
+	rec, expiry, found, _, err := s.lookup(th, k64, key)
+	if err != nil || !found {
+		return false, err
+	}
+	if expiry != 0 && expiry <= now {
+		return false, nil
+	}
+	if ttl <= 0 {
+		return s.delLocked(th, k64, key)
+	}
+	c := th.Ctx()
+	// An 8-byte atomic persist: the expiry flips in one commit.
+	c.PersistU64(pmem.CatOther, rec+recExpiry, uint64(now+ttl))
+	c.Fence()
+	s.expires.Add(1)
+	return true, nil
+}
+
+// Len returns the live key count (including not-yet-reclaimed expired
+// keys), maintained volatilely and rebuilt on open.
+func (s *Store) Len() int64 { return s.liveKeys.Load() }
+
+// StatsText renders the operational counters and heap accounting as the
+// STATS reply body.
+func (s *Store) StatsText() string {
+	var lease uint64
+	if lo, ok := s.heap.(interface{ LeaseOverhead() uint64 }); ok {
+		lease = lo.LeaseOverhead()
+	}
+	return fmt.Sprintf(
+		"keys:%d\nused_bytes:%d\npeak_bytes:%d\nlease_overhead_bytes:%d\n"+
+			"sets:%d\ngets:%d\nhits:%d\ndels:%d\nexpires:%d\ncollisions:%d\n",
+		s.liveKeys.Load(), s.heap.Used(), s.heap.Peak(), lease,
+		s.sets.Load(), s.gets.Load(), s.hits.Load(), s.dels.Load(),
+		s.expires.Load(), s.collisions.Load())
+}
+
+// Heap exposes the backing heap (STATS, snapshots, tests).
+func (s *Store) Heap() alloc.Heap { return s.heap }

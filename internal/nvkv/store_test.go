@@ -1,0 +1,236 @@
+package nvkv
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"nvalloc/internal/alloc"
+	"nvalloc/internal/core"
+	"nvalloc/internal/pmem"
+)
+
+func newStore(t *testing.T) (pmem.Dev, alloc.Heap, alloc.Thread, *Store) {
+	t.Helper()
+	dev := pmem.New(pmem.Config{Size: 64 << 20, Strict: true})
+	h, err := core.Create(dev, core.DefaultOptions(core.LOG))
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := h.NewThread()
+	st, err := CreateStore(h, th, 0, StoreConfig{Buckets: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev, h, th, st
+}
+
+func TestStoreBasic(t *testing.T) {
+	_, _, th, st := newStore(t)
+	defer th.Close()
+	if err := st.Set(th, 1, []byte("k"), []byte("v1"), 0); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := st.Get(th, 2, []byte("k"))
+	if err != nil || !ok || string(v) != "v1" {
+		t.Fatalf("get: %q %v %v", v, ok, err)
+	}
+	// Overwrite frees the old record and replaces in place.
+	if err := st.Set(th, 3, []byte("k"), []byte("v2-longer"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := st.Get(th, 4, []byte("k")); string(v) != "v2-longer" {
+		t.Fatalf("overwrite lost: %q", v)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("len %d", st.Len())
+	}
+	ok, err = st.Del(th, []byte("k"))
+	if err != nil || !ok {
+		t.Fatalf("del: %v %v", ok, err)
+	}
+	if _, ok, _ := st.Get(th, 5, []byte("k")); ok {
+		t.Fatal("deleted key readable")
+	}
+	if ok, _ := st.Del(th, []byte("k")); ok {
+		t.Fatal("double delete")
+	}
+	if st.Len() != 0 {
+		t.Fatalf("len after del %d", st.Len())
+	}
+}
+
+func TestStoreLimits(t *testing.T) {
+	_, _, th, st := newStore(t)
+	defer th.Close()
+	if err := st.Set(th, 1, nil, []byte("v"), 0); !errors.Is(err, ErrKeyTooLarge) {
+		t.Fatalf("empty key: %v", err)
+	}
+	if err := st.Set(th, 1, make([]byte, MaxKeyLen+1), []byte("v"), 0); !errors.Is(err, ErrKeyTooLarge) {
+		t.Fatalf("huge key: %v", err)
+	}
+	if _, _, err := st.Get(th, 1, nil); !errors.Is(err, ErrKeyTooLarge) {
+		t.Fatalf("empty key get: %v", err)
+	}
+	big := make([]byte, MaxBulk+1)
+	if err := st.Set(th, 1, []byte("k"), big, 0); !errors.Is(err, ErrValueTooLarge) {
+		t.Fatalf("huge value: %v", err)
+	}
+	// Empty values are legal.
+	if err := st.Set(th, 1, []byte("k"), nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := st.Get(th, 2, []byte("k")); err != nil || !ok || len(v) != 0 {
+		t.Fatalf("empty value: %q %v %v", v, ok, err)
+	}
+}
+
+func TestStoreExpiry(t *testing.T) {
+	_, _, th, st := newStore(t)
+	defer th.Close()
+	if err := st.Set(th, 100, []byte("k"), []byte("v"), 50); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := st.Get(th, 149, []byte("k")); !ok {
+		t.Fatal("expired early")
+	}
+	if _, ok, _ := st.Get(th, 150, []byte("k")); ok {
+		t.Fatal("not expired at deadline")
+	}
+	// Re-arm via Expire before expiry.
+	if err := st.Set(th, 100, []byte("k2"), []byte("v"), 50); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := st.Expire(th, 120, []byte("k2"), 1000); err != nil || !ok {
+		t.Fatalf("expire: %v %v", ok, err)
+	}
+	if _, ok, _ := st.Get(th, 200, []byte("k2")); !ok {
+		t.Fatal("re-armed key expired")
+	}
+	// Expire with ttl<=0 deletes.
+	if ok, err := st.Expire(th, 200, []byte("k2"), 0); err != nil || !ok {
+		t.Fatalf("expire 0: %v %v", ok, err)
+	}
+	if _, ok, _ := st.Get(th, 201, []byte("k2")); ok {
+		t.Fatal("expire 0 left key")
+	}
+	// Expire on absent/expired keys reports false.
+	if ok, _ := st.Expire(th, 300, []byte("k"), 100); ok {
+		t.Fatal("expire on expired key")
+	}
+	if ok, _ := st.Expire(th, 300, []byte("nope"), 100); ok {
+		t.Fatal("expire on absent key")
+	}
+	// A Set on the expired key reclaims and replaces it.
+	if err := st.Set(th, 300, []byte("k"), []byte("v2"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := st.Get(th, 301, []byte("k")); !ok || string(v) != "v2" {
+		t.Fatalf("reclaim: %q %v", v, ok)
+	}
+}
+
+func TestStoreReopen(t *testing.T) {
+	dev, h, th, st := newStore(t)
+	want := map[string]string{}
+	for i := 0; i < 200; i++ {
+		k, v := fmt.Sprintf("key-%d", i), fmt.Sprintf("val-%d", i)
+		if err := st.Set(th, 1, []byte(k), []byte(v), 0); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = v
+	}
+	for i := 0; i < 200; i += 3 {
+		k := fmt.Sprintf("key-%d", i)
+		if _, err := st.Del(th, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+		delete(want, k)
+	}
+	if f, ok := th.(alloc.Flusher); ok {
+		f.Flush()
+	}
+	th.Close()
+	_ = h
+
+	h2, _, err := core.Open(dev, core.DefaultOptions(core.LOG))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := OpenStore(h2, 0, StoreConfig{Buckets: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th2 := h2.NewThread()
+	defer th2.Close()
+	if got := st2.Len(); got != int64(len(want)) {
+		t.Fatalf("reopened Len %d, want %d", got, len(want))
+	}
+	for k, v := range want {
+		got, ok, err := st2.Get(th2, 1, []byte(k))
+		if err != nil || !ok || string(got) != v {
+			t.Fatalf("reopened %s: %q %v %v", k, got, ok, err)
+		}
+	}
+}
+
+// TestStoreConcurrent exercises the stripe locking: disjoint and
+// overlapping keys mutated from many goroutines, each with its own
+// allocator thread (run under -race).
+func TestStoreConcurrent(t *testing.T) {
+	_, h, setup, st := newStore(t)
+	setup.Close()
+	const workers = 8
+	const perWorker = 300
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := h.NewThread()
+			defer th.Close()
+			for i := 0; i < perWorker; i++ {
+				// Private key plus a shared hot key per round.
+				priv := []byte(fmt.Sprintf("w%d-%d", w, i%17))
+				val := []byte(fmt.Sprintf("v-%d-%d", w, i))
+				if err := st.Set(th, int64(i), priv, val, 0); err != nil {
+					errs[w] = err
+					return
+				}
+				got, ok, err := st.Get(th, int64(i), priv)
+				if err != nil || !ok || !bytes.Equal(got, val) {
+					errs[w] = fmt.Errorf("w%d: readback %q %v %v", w, got, ok, err)
+					return
+				}
+				hot := []byte("hot")
+				switch i % 3 {
+				case 0:
+					if err := st.Set(th, int64(i), hot, val, 0); err != nil {
+						errs[w] = err
+						return
+					}
+				case 1:
+					if _, _, err := st.Get(th, int64(i), hot); err != nil {
+						errs[w] = err
+						return
+					}
+				default:
+					if _, err := st.Del(th, hot); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
