@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 )
 
@@ -72,7 +73,9 @@ func readLine(br *bufio.Reader) ([]byte, error) {
 // parseInt parses a decimal integer from a protocol line without
 // tolerating signs, blanks, or empty input (lengths and counts are
 // always non-negative on the wire; -1 nil frames are handled by their
-// dedicated reply paths).
+// dedicated reply paths). Values that would wrap int64 are rejected, so
+// the result is always >= 0 — a 19-digit header like 9999999999999999999
+// must never reach a length check as a negative number.
 func parseInt(b []byte) (int64, error) {
 	if len(b) == 0 || len(b) > 19 {
 		return 0, protoErrf("bad integer %q", b)
@@ -82,7 +85,11 @@ func parseInt(b []byte) (int64, error) {
 		if c < '0' || c > '9' {
 			return 0, protoErrf("bad integer %q", b)
 		}
-		n = n*10 + int64(c-'0')
+		d := int64(c - '0')
+		if n > (math.MaxInt64-d)/10 {
+			return 0, protoErrf("integer %q overflows", b)
+		}
+		n = n*10 + d
 	}
 	return n, nil
 }
@@ -146,7 +153,7 @@ func readBulk(br *bufio.Reader) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if n > MaxBulk {
+	if n < 0 || n > MaxBulk {
 		return nil, protoErrf("bulk of %d bytes (limit %d)", n, MaxBulk)
 	}
 	payload := make([]byte, n+2)
@@ -278,7 +285,7 @@ func ReadReply(br *bufio.Reader) (Reply, error) {
 		if err != nil {
 			return Reply{}, err
 		}
-		if n > MaxBulk {
+		if n < 0 || n > MaxBulk {
 			return Reply{}, protoErrf("bulk reply of %d bytes (limit %d)", n, MaxBulk)
 		}
 		payload := make([]byte, n+2)

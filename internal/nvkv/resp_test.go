@@ -54,6 +54,10 @@ func TestReadCommandErrors(t *testing.T) {
 		{"count not a number", "*x\r\n"},
 		{"huge bulk", "*1\r\n$99999999999\r\n"},
 		{"bulk over limit", "*1\r\n$8388609\r\n"},
+		// 19 digits that wrap int64 negative: must be rejected before
+		// sizing an allocation (regression: make([]byte, n+2) panicked).
+		{"bulk length wraps int64", "*1\r\n$9999999999999999999\r\n"},
+		{"array count wraps int64", "*9999999999999999999\r\n"},
 		{"bulk bad terminator", "*1\r\n$2\r\nabXX"},
 		{"not a bulk", "*1\r\n:5\r\n"},
 		{"giant inline line", strings.Repeat("a", 20<<10) + "\r\n"},
@@ -142,6 +146,8 @@ func FuzzRESPParse(f *testing.F) {
 		"*1\r\n$8388608\r\n",
 		"\r\n",
 		"*999999999999999999999\r\n",
+		"*1\r\n$9999999999999999999\r\n",
+		"$9999999999999999999\r\n",
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))

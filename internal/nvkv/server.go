@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"os"
 	"path/filepath"
@@ -43,6 +44,13 @@ type Server struct {
 
 	// snapshotPath, when non-empty, enables the SNAPSHOT command.
 	snapshotPath string
+
+	// snapMu quiesces heap mutation for SNAPSHOT: every server-side
+	// path that can write the device (command execution, thread
+	// open/close, deferred-free drains) holds it for read; Snapshot
+	// holds it for write while the image copy is taken, so the copy is
+	// a consistent point-in-time cut, not a torn read of live memory.
+	snapMu sync.RWMutex
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -134,6 +142,11 @@ func (s *Server) Close() {
 	}
 }
 
+// maxTTLms is the largest TTL (in ms) the protocol accepts: anything
+// bigger would overflow the ns conversion (ms * time.Millisecond) and
+// silently flip the expiry semantics. ~292 years is not a real TTL.
+const maxTTLms = math.MaxInt64 / int64(time.Millisecond)
+
 // flushEvery bounds how many commands a connection serves between
 // explicit drains of the thread's deferred buffers (batched remote
 // frees). Acknowledged mutations are durable regardless — the drain only
@@ -144,8 +157,14 @@ const flushEvery = 4096
 // return. Exposed so tests can serve a net.Pipe end without a listener.
 func (s *Server) ServeConn(conn net.Conn) {
 	defer conn.Close()
+	s.snapMu.RLock()
 	th := s.heap.NewThread()
-	defer th.Close()
+	s.snapMu.RUnlock()
+	defer func() {
+		s.snapMu.RLock()
+		th.Close()
+		s.snapMu.RUnlock()
+	}()
 	br := bufio.NewReaderSize(conn, 64<<10)
 	bw := bufio.NewWriterSize(conn, 64<<10)
 	served := 0
@@ -162,9 +181,11 @@ func (s *Server) ServeConn(conn net.Conn) {
 		s.ops.Add(1)
 		served++
 		if served%flushEvery == 0 {
+			s.snapMu.RLock()
 			if f, ok := th.(alloc.Flusher); ok {
 				f.Flush()
 			}
+			s.snapMu.RUnlock()
 		}
 		// Pipelining: only pay the write syscall when no further
 		// command is already buffered.
@@ -183,6 +204,24 @@ func (s *Server) ServeConn(conn net.Conn) {
 // whether the connection should close (QUIT).
 func (s *Server) dispatch(bw *bufio.Writer, th alloc.Thread, args [][]byte) bool {
 	cmd := asciiUpper(args[0])
+	if cmd == "SNAPSHOT" {
+		// Drain this thread's deferred buffers under the read lock,
+		// then let Snapshot take the write lock (RWMutex does not
+		// upgrade, so SNAPSHOT stays outside the RLock'd switch).
+		s.snapMu.RLock()
+		if f, ok := th.(alloc.Flusher); ok {
+			f.Flush()
+		}
+		s.snapMu.RUnlock()
+		if err := s.Snapshot(); err != nil {
+			writeErrorReply(bw, err.Error())
+			return false
+		}
+		writeStatus(bw, "saved "+s.snapshotPath)
+		return false
+	}
+	s.snapMu.RLock()
+	defer s.snapMu.RUnlock()
 	switch cmd {
 	case "PING":
 		writeStatus(bw, "PONG")
@@ -212,7 +251,7 @@ func (s *Server) dispatch(bw *bufio.Writer, th alloc.Thread, args [][]byte) bool
 				return false
 			}
 			ms, err := strconv.ParseInt(string(args[4]), 10, 64)
-			if err != nil || ms < 0 {
+			if err != nil || ms < 0 || ms > maxTTLms {
 				writeErrorReply(bw, "bad TTL")
 				return false
 			}
@@ -240,11 +279,17 @@ func (s *Server) dispatch(bw *bufio.Writer, th alloc.Thread, args [][]byte) bool
 			return false
 		}
 		ms, err := strconv.ParseInt(string(args[2]), 10, 64)
-		if err != nil {
+		if err != nil || ms > maxTTLms {
 			writeErrorReply(bw, "bad TTL")
 			return false
 		}
-		ok, err := s.store.Expire(th, s.now(), args[1], ms*int64(time.Millisecond))
+		// ms <= 0 means delete; pass it through unconverted so a huge
+		// negative ms cannot overflow the multiply either.
+		ttl := ms
+		if ms > 0 {
+			ttl = ms * int64(time.Millisecond)
+		}
+		ok, err := s.store.Expire(th, s.now(), args[1], ttl)
 		if err != nil {
 			writeErrorReply(bw, err.Error())
 			return false
@@ -255,15 +300,6 @@ func (s *Server) dispatch(bw *bufio.Writer, th alloc.Thread, args [][]byte) bool
 			f.Flush()
 		}
 		writeBulk(bw, []byte(s.store.StatsText()))
-	case "SNAPSHOT":
-		if f, ok := th.(alloc.Flusher); ok {
-			f.Flush()
-		}
-		if err := s.Snapshot(); err != nil {
-			writeErrorReply(bw, err.Error())
-			return false
-		}
-		writeStatus(bw, "saved "+s.snapshotPath)
 	case "QUIT":
 		writeStatus(bw, "OK")
 		return true
@@ -275,19 +311,29 @@ func (s *Server) dispatch(bw *bufio.Writer, th alloc.Thread, args [][]byte) bool
 
 // Snapshot writes a point-in-time copy of the heap image to the
 // configured path (temp file + rename, so a host crash mid-save never
-// leaves a torn snapshot). On a simulated device the persisted media
-// image is saved; on a direct device the copy is taken while serving
-// continues, so it is fuzzy under write load — `nvstat -check` (or
-// -repair) validates a snapshot before it is trusted.
+// leaves a torn snapshot). Mutations are quiesced (snapMu held for
+// write) while the image is captured, so the snapshot is a consistent
+// cut on both device kinds: on a simulated device the persisted media
+// image is saved; on a direct device the mmap is copied to a private
+// buffer under the lock and written out after serving resumes.
+// `nvstat -check` (or -repair) still validates a snapshot before it is
+// trusted, guarding against media-level corruption.
 func (s *Server) Snapshot() error {
 	if s.snapshotPath == "" {
 		return errors.New("nvkv: snapshots disabled (no snapshot path configured)")
 	}
 	switch dev := s.heap.Device().(type) {
 	case *pmem.Device:
-		return dev.SaveImage(s.snapshotPath)
+		s.snapMu.Lock()
+		err := dev.SaveImage(s.snapshotPath)
+		s.snapMu.Unlock()
+		return err
 	default:
-		img := dev.Bytes(0, int(dev.Size()))
+		s.snapMu.Lock()
+		src := dev.Bytes(0, int(dev.Size()))
+		img := make([]byte, len(src))
+		copy(img, src)
+		s.snapMu.Unlock()
 		dir := filepath.Dir(s.snapshotPath)
 		tmp, err := os.CreateTemp(dir, ".nvkv-snap-*")
 		if err != nil {

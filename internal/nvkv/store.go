@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -201,6 +202,16 @@ func (s *Store) writeRecord(th alloc.Thread, key, val []byte, expiry int64) (pme
 	return rec, nil
 }
 
+// expiryAt computes now+ttl (both ns, ttl > 0), saturating at MaxInt64
+// instead of wrapping negative: a TTL too large to represent means
+// "effectively never expires", not "already expired".
+func expiryAt(now, ttl int64) int64 {
+	if now > math.MaxInt64-ttl {
+		return math.MaxInt64
+	}
+	return now + ttl
+}
+
 // Set inserts or replaces key with val. A ttl of 0 stores without
 // expiry; ttl > 0 expires the key at now+ttl (both in ns). The reply
 // contract: when Set returns nil the pair is durable — the record was
@@ -215,7 +226,7 @@ func (s *Store) Set(th alloc.Thread, now int64, key, val []byte, ttl int64) erro
 	}
 	var expiry int64
 	if ttl > 0 {
-		expiry = now + ttl
+		expiry = expiryAt(now, ttl)
 	}
 	k64 := hashKey(key)
 	lk := s.lockFor(k64)
@@ -337,7 +348,7 @@ func (s *Store) Expire(th alloc.Thread, now int64, key []byte, ttl int64) (bool,
 	}
 	c := th.Ctx()
 	// An 8-byte atomic persist: the expiry flips in one commit.
-	c.PersistU64(pmem.CatOther, rec+recExpiry, uint64(now+ttl))
+	c.PersistU64(pmem.CatOther, rec+recExpiry, uint64(expiryAt(now, ttl)))
 	c.Fence()
 	s.expires.Add(1)
 	return true, nil
